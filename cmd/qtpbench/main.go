@@ -1,0 +1,52 @@
+// Command qtpbench regenerates the full evaluation: every experiment
+// table and figure series from EXPERIMENTS.md, printed as aligned text.
+//
+// Usage:
+//
+//	qtpbench [-quick] [-seed N] [-only E1,E4,...]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "run shortened scenarios (seconds instead of minutes)")
+	seed := flag.Int64("seed", 1, "scenario random seed (results are deterministic per seed)")
+	only := flag.String("only", "", "comma-separated experiment IDs to run (default: all)")
+	flag.Parse()
+
+	want := map[string]bool{}
+	if *only != "" {
+		for _, id := range strings.Split(*only, ",") {
+			want[strings.TrimSpace(strings.ToUpper(id))] = true
+		}
+	}
+
+	cfg := experiments.Config{Seed: *seed, Quick: *quick}
+	ran := 0
+	for _, r := range experiments.All() {
+		if len(want) > 0 && !want[r.ID] {
+			continue
+		}
+		start := time.Now()
+		fmt.Fprintf(os.Stderr, "running %s (%s)...\n", r.ID, r.Name)
+		tbl := r.Run(cfg)
+		fmt.Fprintf(os.Stderr, "  done in %v\n", time.Since(start).Round(time.Millisecond))
+		tbl.Render(os.Stdout)
+		ran++
+	}
+	if ran == 0 {
+		fmt.Fprintln(os.Stderr, "no experiments matched -only; known IDs:")
+		for _, r := range experiments.All() {
+			fmt.Fprintf(os.Stderr, "  %-4s %s\n", r.ID, r.Name)
+		}
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,78 @@
+// Command qtpd is the QTP responder daemon: it accepts one connection,
+// receives a stream, and reports what was negotiated and delivered.
+// Pair it with qtpcat.
+//
+// Usage:
+//
+//	qtpd [-listen :9000] [-qos-budget bytesPerSec] [-o file]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/qtpnet"
+)
+
+func main() {
+	listen := flag.String("listen", ":9000", "UDP address to listen on")
+	budget := flag.Float64("qos-budget", 0, "max QoS reservation to grant, bytes/s (0 = refuse QoS)")
+	out := flag.String("o", "", "write received data to this file (default: discard)")
+	flag.Parse()
+
+	cons := core.Constraints{
+		MaxTargetRate:   *budget,
+		AllowSenderLoss: true,
+		MaxReliability:  2, // full
+	}
+	l, err := qtpnet.Listen(*listen, cons)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("qtpd: listening on %s (QoS budget %.0f B/s)", l.Addr(), *budget)
+
+	conn, err := l.Accept()
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer conn.Close()
+	log.Printf("qtpd: accepted, negotiated %v", conn.Profile())
+
+	var w io.Writer = io.Discard
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+
+	total := 0
+	start := time.Now()
+	for {
+		chunk, ok := conn.Read(2 * time.Second)
+		if !ok {
+			if conn.Finished() {
+				break
+			}
+			st := conn.Stats()
+			if st.FramesReceived > 0 && time.Since(start) > 30*time.Second {
+				break
+			}
+			continue
+		}
+		total += len(chunk)
+		if _, err := w.Write(chunk); err != nil {
+			log.Fatal(err)
+		}
+	}
+	el := time.Since(start).Seconds()
+	fmt.Printf("qtpd: received %d bytes in %.2fs (%.1f kB/s), finished=%v\n",
+		total, el, float64(total)/el/1000, conn.Finished())
+}

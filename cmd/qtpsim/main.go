@@ -1,0 +1,89 @@
+// Command qtpsim runs a single simulated QTP flow over a configurable
+// path and prints a one-second goodput series plus summary counters —
+// a workbench for exploring protocol behaviour outside the fixed
+// experiment suite.
+//
+// Usage:
+//
+//	qtpsim [-profile qtpaf|qtplight|qtplight-rel|classic] [-rate 125000]
+//	       [-g 50000] [-loss 0.01] [-burst] [-rtt 40ms] [-dur 30s] [-seed 1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/netsim"
+	"repro/internal/qtp"
+	"repro/internal/stats"
+)
+
+func main() {
+	profName := flag.String("profile", "classic", "qtpaf | qtplight | qtplight-rel | classic")
+	rate := flag.Float64("rate", 125_000, "bottleneck rate, bytes/s")
+	g := flag.Float64("g", 50_000, "QoS target for qtpaf, bytes/s")
+	loss := flag.Float64("loss", 0.01, "random loss probability")
+	burst := flag.Bool("burst", false, "use Gilbert-Elliott burst loss instead of i.i.d.")
+	rtt := flag.Duration("rtt", 40*time.Millisecond, "base round-trip time")
+	dur := flag.Duration("dur", 30*time.Second, "simulated duration")
+	seed := flag.Int64("seed", 1, "random seed")
+	flag.Parse()
+
+	var prof core.Profile
+	switch *profName {
+	case "qtpaf":
+		prof = core.QTPAF(*g)
+	case "qtplight":
+		prof = core.QTPLight()
+	case "qtplight-rel":
+		prof = core.QTPLightReliable(0)
+	case "classic":
+		prof = core.ClassicTFRC()
+	default:
+		log.Fatalf("unknown profile %q", *profName)
+	}
+
+	var lm netsim.LossModel
+	if *loss > 0 {
+		if *burst {
+			lm = netsim.NewGilbertElliott(*loss/10, 0.4, *loss/2, 0.15)
+		} else {
+			lm = netsim.Bernoulli{P: *loss}
+		}
+	}
+
+	sim := netsim.New(*seed)
+	toRecv, toSend := &netsim.Indirect{}, &netsim.Indirect{}
+	fwd := netsim.NewLink(sim, netsim.LinkConfig{
+		Name: "fwd", Rate: *rate, Delay: *rtt / 2,
+		Queue: netsim.NewDropTail(100), Loss: lm, Dst: toRecv,
+	})
+	rev := netsim.NewLink(sim, netsim.LinkConfig{
+		Name: "rev", Rate: 125e6, Delay: *rtt / 2,
+		Queue: &netsim.DropTail{}, Dst: toSend,
+	})
+	f := qtp.StartFlow(sim, qtp.FlowConfig{
+		ID: 1, Profile: prof, RTTHint: *rtt, Fwd: fwd, Rev: rev, Bulk: true,
+	})
+	toRecv.Target = f.ReceiverEntry()
+	toSend.Target = f.SenderEntry()
+
+	rs := stats.NewRateSeries(time.Second)
+	rs.Add(0, 0)
+	f.DeliveredAt = func(now time.Duration, n int) { rs.Add(now, n) }
+	sim.Run(*dur)
+
+	fmt.Printf("# profile=%v rate=%.0f loss=%.3f burst=%v rtt=%v seed=%d\n",
+		prof, *rate, *loss, *burst, *rtt, *seed)
+	fmt.Println("t(s)  goodput(kB/s)")
+	for i, r := range rs.Rates() {
+		fmt.Printf("%4d  %8.1f\n", i+1, r/1000)
+	}
+	st := f.Sender.Stats()
+	fmt.Printf("\nsummary: sent=%d retx=%d delivered=%d rate=%.0fB/s rtt=%v p=%.5f\n",
+		st.DataBytesSent, st.RetransFrames, f.DeliveredBytes,
+		f.Sender.Rate(), f.Sender.RTT(), f.Sender.LossRate())
+}

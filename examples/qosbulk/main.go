@@ -1,0 +1,101 @@
+// QoSBulk: the paper's §4 scenario — a reliable bulk transfer over a
+// DiffServ/AF network with a negotiated bandwidth reservation, running
+// QTPAF next to a plain TCP flow with the *same* reservation. The AF
+// class is congested by best-effort traffic; watch who actually gets
+// the bandwidth they paid for.
+//
+// Run: go run ./examples/qosbulk
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/diffserv"
+	"repro/internal/netsim"
+	"repro/internal/qtp"
+	"repro/internal/tcp"
+)
+
+func main() {
+	const (
+		linkRate = 1.25e6    // 10 Mb/s AF class
+		g        = 500_000.0 // both flows reserve 4 Mb/s
+		delay    = 20 * time.Millisecond
+		dur      = 30 * time.Second
+	)
+	sim := netsim.New(11)
+	router := netsim.NewRouter(nil)
+	bottleneck := netsim.NewLink(sim, netsim.LinkConfig{
+		Name: "af-core", Rate: linkRate, Delay: delay,
+		Queue: diffserv.DefaultRIO(100), Dst: router,
+	})
+
+	// Congest the class: 3 best-effort TCP flows + unresponsive CBR.
+	for i := 0; i < 3; i++ {
+		addTCP(sim, router, bottleneck, netsim.FlowID(10+i), 0)
+	}
+	addCBR(sim, router, bottleneck, 99, 0.55*linkRate)
+
+	// The QTPAF flow: gTFRC + full reliability, marker at CIR = g.
+	qtpSend := &netsim.Indirect{}
+	qtpRev := netsim.NewLink(sim, netsim.LinkConfig{
+		Name: "rev-qtp", Rate: 125e6, Delay: delay, Queue: &netsim.DropTail{}, Dst: qtpSend,
+	})
+	marker := diffserv.NewMarker(sim, g, g/5, bottleneck)
+	qf := qtp.StartFlow(sim, qtp.FlowConfig{
+		ID: 1, Profile: core.QTPAF(g), RTTHint: 2 * delay,
+		Fwd: marker, Rev: qtpRev, Bulk: true,
+	})
+	qtpRecv := &netsim.Indirect{Target: qf.ReceiverEntry()}
+	qtpSend.Target = qf.SenderEntry()
+	router.Route(1, qtpRecv)
+
+	// The TCP flow with an identical reservation and marker.
+	tf := addTCP(sim, router, bottleneck, 2, g)
+
+	sim.Run(dur)
+
+	qGood := float64(qf.DeliveredBytes) / dur.Seconds()
+	tGood := float64(tf.Stats().DeliveredBytes) / dur.Seconds()
+	fmt.Printf("AF class: %.1f Mb/s link, both flows reserved g = %.1f Mb/s, heavy best-effort load\n\n",
+		linkRate*8/1e6, g*8/1e6)
+	fmt.Printf("  QTPAF:  %7.2f Mb/s  (%.0f%% of its reservation)\n",
+		qGood*8/1e6, 100*qGood/g)
+	fmt.Printf("  TCP:    %7.2f Mb/s  (%.0f%% of its reservation)\n",
+		tGood*8/1e6, 100*tGood/g)
+	fmt.Printf("\nQTPAF sender: rate=%.0f B/s rtt=%v p=%.4f retx=%d\n",
+		qf.Sender.Rate(), qf.Sender.RTT(), qf.Sender.LossRate(),
+		qf.Sender.Stats().RetransFrames)
+	fmt.Printf("negotiated profile: %v\n", qf.Sender.Profile())
+}
+
+func addTCP(sim *netsim.Sim, router *netsim.Router, bn *netsim.Link, id netsim.FlowID, cir float64) *tcp.Flow {
+	toSend := &netsim.Indirect{}
+	rev := netsim.NewLink(sim, netsim.LinkConfig{
+		Name: "rev", Rate: 125e6, Delay: 20 * time.Millisecond,
+		Queue: &netsim.DropTail{}, Dst: toSend,
+	})
+	var entry netsim.Handler = bn
+	if cir > 0 {
+		entry = diffserv.NewMarker(sim, cir, cir/5, bn)
+	}
+	f := tcp.StartFlow(sim, tcp.Config{ID: id, Fwd: entry, Rev: rev})
+	toRecv := &netsim.Indirect{Target: f.ReceiverEntry()}
+	toSend.Target = f.SenderEntry()
+	router.Route(id, toRecv)
+	return f
+}
+
+func addCBR(sim *netsim.Sim, router *netsim.Router, bn *netsim.Link, id netsim.FlowID, rate float64) {
+	var sink netsim.Sink
+	router.Route(id, &sink)
+	gap := time.Duration(1000 / rate * float64(time.Second))
+	var tick func()
+	tick = func() {
+		bn.Send(&netsim.Packet{Flow: id, Size: 1000})
+		sim.After(gap, tick)
+	}
+	sim.After(gap, tick)
+}

@@ -1,0 +1,54 @@
+// Selfish: the receiver-cheating attack (Georg & Gorinsky) and why
+// QTPlight is immune. A misbehaving receiver understates loss and
+// inflates its receive-rate reports to extract more bandwidth. Under
+// classic TFRC the sender believes it; under QTPlight there is nothing
+// to believe — the sender computes p and X_recv itself from which
+// packets were SACKed.
+//
+// Run: go run ./examples/selfish
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/netsim"
+	"repro/internal/qtp"
+)
+
+func run(profile core.Profile, lie float64) float64 {
+	const dur = 20 * time.Second
+	sim := netsim.New(3)
+	toRecv, toSend := &netsim.Indirect{}, &netsim.Indirect{}
+	fwd := netsim.NewLink(sim, netsim.LinkConfig{
+		Name: "fwd", Rate: 2e6, Delay: 20 * time.Millisecond,
+		Queue: &netsim.DropTail{}, Loss: netsim.Bernoulli{P: 0.02}, Dst: toRecv,
+	})
+	rev := netsim.NewLink(sim, netsim.LinkConfig{
+		Name: "rev", Rate: 125e6, Delay: 20 * time.Millisecond,
+		Queue: &netsim.DropTail{}, Dst: toSend,
+	})
+	f := qtp.StartFlow(sim, qtp.FlowConfig{
+		ID: 1, Profile: profile, RTTHint: 40 * time.Millisecond,
+		Fwd: fwd, Rev: rev, Bulk: true, SelfishLie: lie,
+	})
+	toRecv.Target = f.ReceiverEntry()
+	toSend.Target = f.SenderEntry()
+	sim.Run(dur)
+	return float64(f.Sender.Stats().DataBytesSent) / dur.Seconds() / 1000
+}
+
+func main() {
+	fmt.Println("2% lossy path; a fair-share flow would run at the honest rate.")
+	fmt.Println()
+	fmt.Printf("%-28s %10s %10s\n", "", "honest", "liar (8x)")
+	c0 := run(core.ClassicTFRC(), 0)
+	c8 := run(core.ClassicTFRC(), 8)
+	fmt.Printf("%-28s %8.1f kB/s %6.1f kB/s   <- cheating pays (%.1fx)\n",
+		"classic TFRC (trusts rx)", c0, c8, c8/c0)
+	l0 := run(core.QTPLight(), 0)
+	l8 := run(core.QTPLight(), 8)
+	fmt.Printf("%-28s %8.1f kB/s %6.1f kB/s   <- nothing to lie about\n",
+		"QTPlight (sender-side)", l0, l8)
+}

@@ -1,0 +1,257 @@
+// Package core is the composition framework of the versatile transport:
+// it defines the micro-protocol roles a QTP connection is assembled from
+// (rate control, reliability, feedback mode), the Profile that bundles a
+// concrete choice of each, and the capability negotiation that lets two
+// endpoints agree on a composition at connection setup.
+//
+// The paper's two instances are just profiles:
+//
+//   - QTPAF    = gTFRC rate control + full reliability + receiver-side
+//     loss feedback, for QoS-enabled (DiffServ/AF) networks.
+//   - QTPlight = TFRC rate control + sender-side loss estimation
+//     (bare SACK feedback), for resource-limited receivers.
+//
+// Any other point in the feature lattice is equally constructible — e.g.
+// partially reliable QTPlight for live video, or unreliable gTFRC for
+// QoS media push. internal/qtp instantiates connections from a Profile.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/packet"
+	"repro/internal/tfrc"
+)
+
+// RateController is the congestion-control role of a composition. It is
+// satisfied by *tfrc.Sender (TCP-friendly best effort) and by
+// *gtfrc.Controller (QoS-aware with a guaranteed floor); experiments may
+// plug in fixed-rate controllers for calibration.
+type RateController interface {
+	// Start begins transmission at time now.
+	Start(now time.Duration)
+	// SeedRTT installs an RTT sample measured during connection setup.
+	SeedRTT(now, sample time.Duration)
+	// OnFeedback folds a receiver report into the allowed rate.
+	OnFeedback(now time.Duration, fb tfrc.FeedbackInfo)
+	// OnNoFeedback signals expiry of the nofeedback timer.
+	OnNoFeedback(now time.Duration)
+	// Rate returns the allowed sending rate in bytes/second.
+	Rate() float64
+	// RTT returns the smoothed round-trip estimate (0 if unknown).
+	RTT() time.Duration
+	// NoFeedbackDeadline returns when OnNoFeedback is next due.
+	NoFeedbackDeadline() time.Duration
+	// InterPacketInterval returns the pacing gap for a packet of size
+	// bytes at the current rate.
+	InterPacketInterval(size int) time.Duration
+}
+
+// Profile is a concrete composition of micro-protocols plus their
+// parameters — everything two endpoints must agree on.
+type Profile struct {
+	// Reliability selects the reliability micro-protocol.
+	Reliability packet.ReliabilityMode
+	// Deadline bounds retransmission under partial reliability.
+	Deadline time.Duration
+	// Feedback selects where TFRC loss estimation runs.
+	Feedback packet.FeedbackMode
+	// TargetRate g in bytes/s enables gTFRC when positive.
+	TargetRate float64
+	// MSS is the maximum data payload per frame.
+	MSS int
+	// AckEvery makes the QTPlight receiver emit one SACK per this many
+	// data packets (1 = every packet).
+	AckEvery int
+	// WALIDepth overrides the loss-history depth (0 = RFC default).
+	WALIDepth int
+	// SACKBlockBudget caps the SACK blocks carried per acknowledgment
+	// frame (0 = the wire maximum). Ablation A3 studies this trade-off.
+	SACKBlockBudget int
+}
+
+// DefaultMSS is the default data payload size, sized so frame+header
+// fits a typical 1500-byte MTU path with room to spare.
+const DefaultMSS = 1400
+
+// DefaultPartialDeadline is the retransmission bound applied when
+// negotiation degrades full reliability to partial and the proposal
+// carried no deadline of its own.
+const DefaultPartialDeadline = 500 * time.Millisecond
+
+// Predefined compositions.
+
+// QTPAF returns the paper's QoS-aware reliable profile with the given
+// negotiated target rate in bytes/second.
+func QTPAF(targetRate float64) Profile {
+	return Profile{
+		Reliability: packet.ReliabilityFull,
+		Feedback:    packet.FeedbackReceiverLoss,
+		TargetRate:  targetRate,
+		MSS:         DefaultMSS,
+		AckEvery:    1,
+	}
+}
+
+// QTPLight returns the paper's light-receiver profile: sender-side loss
+// estimation over bare SACK feedback, no reliability (media streaming).
+func QTPLight() Profile {
+	return Profile{
+		Reliability: packet.ReliabilityNone,
+		Feedback:    packet.FeedbackSenderLoss,
+		MSS:         DefaultMSS,
+		AckEvery:    1,
+	}
+}
+
+// QTPLightReliable returns QTPlight with reliability layered on — the
+// "efficient selective retransmission of lost data" the paper notes
+// comes for free once the sender tracks SACKs.
+func QTPLightReliable(deadline time.Duration) Profile {
+	p := QTPLight()
+	if deadline > 0 {
+		p.Reliability = packet.ReliabilityPartial
+		p.Deadline = deadline
+	} else {
+		p.Reliability = packet.ReliabilityFull
+	}
+	return p
+}
+
+// ClassicTFRC returns an RFC 3448 baseline composition: receiver-side
+// loss estimation, no reliability, best effort.
+func ClassicTFRC() Profile {
+	return Profile{
+		Reliability: packet.ReliabilityNone,
+		Feedback:    packet.FeedbackReceiverLoss,
+		MSS:         DefaultMSS,
+		AckEvery:    1,
+	}
+}
+
+// Normalize fills zero-valued fields with defaults and returns the
+// result.
+func (p Profile) Normalize() Profile {
+	if p.MSS == 0 {
+		p.MSS = DefaultMSS
+	}
+	if p.AckEvery <= 0 {
+		p.AckEvery = 1
+	}
+	if p.WALIDepth == 0 {
+		p.WALIDepth = tfrc.DefaultWALIDepth
+	}
+	if p.SACKBlockBudget <= 0 || p.SACKBlockBudget > packet.MaxSACKBlocks {
+		p.SACKBlockBudget = packet.MaxSACKBlocks
+	}
+	return p
+}
+
+// Validate reports whether the profile is internally consistent.
+func (p Profile) Validate() error {
+	if p.MSS <= 0 || p.MSS > 65000 {
+		return fmt.Errorf("core: invalid MSS %d", p.MSS)
+	}
+	if p.Reliability == packet.ReliabilityPartial && p.Deadline <= 0 {
+		return errors.New("core: partial reliability requires a deadline")
+	}
+	if p.Reliability != packet.ReliabilityPartial && p.Deadline != 0 {
+		return errors.New("core: deadline only valid with partial reliability")
+	}
+	if p.TargetRate < 0 {
+		return errors.New("core: negative target rate")
+	}
+	return nil
+}
+
+// Handshake encodes the profile as wire-format handshake options.
+func (p Profile) Handshake() packet.Handshake {
+	return packet.Handshake{
+		Reliability:      p.Reliability,
+		ReliabilityParam: uint32(p.Deadline / time.Millisecond),
+		FeedbackMode:     p.Feedback,
+		TargetRate:       uint64(p.TargetRate),
+		MSS:              uint16(p.MSS),
+	}
+}
+
+// ProfileFromHandshake decodes a wire handshake into a Profile.
+func ProfileFromHandshake(h packet.Handshake) Profile {
+	return Profile{
+		Reliability: h.Reliability,
+		Deadline:    time.Duration(h.ReliabilityParam) * time.Millisecond,
+		Feedback:    h.FeedbackMode,
+		TargetRate:  float64(h.TargetRate),
+		MSS:         int(h.MSS),
+		AckEvery:    1,
+	}.Normalize()
+}
+
+// Constraints bounds what a responder is willing to grant. The zero
+// value accepts anything except a QoS reservation (MaxTargetRate 0
+// refuses gTFRC, as a best-effort server should).
+type Constraints struct {
+	// MaxTargetRate caps the QoS reservation in bytes/s (0 = refuse QoS).
+	MaxTargetRate float64
+	// AllowSenderLoss permits QTPlight-style feedback. When false the
+	// responder insists on classic receiver-side estimation.
+	AllowSenderLoss bool
+	// MaxReliability caps the reliability service level.
+	MaxReliability packet.ReliabilityMode
+	// MaxMSS caps the segment size (0 = DefaultMSS).
+	MaxMSS int
+}
+
+// Permissive returns constraints that accept any proposal up to the
+// given QoS budget.
+func Permissive(maxTargetRate float64) Constraints {
+	return Constraints{
+		MaxTargetRate:   maxTargetRate,
+		AllowSenderLoss: true,
+		MaxReliability:  packet.ReliabilityFull,
+		MaxMSS:          DefaultMSS,
+	}
+}
+
+// Negotiate intersects a client proposal with the responder's
+// constraints, returning the profile both sides will instantiate. The
+// semantics are "highest service not exceeding the proposal or the
+// constraints": reliability degrades Full→Partial→None, QoS rate is
+// capped, and feedback mode falls back to classic when sender-side
+// estimation is not allowed.
+func Negotiate(c Constraints, proposal Profile) Profile {
+	granted := proposal.Normalize()
+	if granted.Reliability > c.MaxReliability {
+		granted.Reliability = c.MaxReliability
+	}
+	if granted.Reliability != packet.ReliabilityPartial {
+		granted.Deadline = 0
+	} else if granted.Deadline == 0 {
+		// Full degraded to partial with no proposed bound: apply the
+		// default so the result is a usable composition.
+		granted.Deadline = DefaultPartialDeadline
+	}
+	if granted.TargetRate > c.MaxTargetRate {
+		granted.TargetRate = c.MaxTargetRate
+	}
+	if granted.Feedback == packet.FeedbackSenderLoss && !c.AllowSenderLoss {
+		granted.Feedback = packet.FeedbackReceiverLoss
+	}
+	maxMSS := c.MaxMSS
+	if maxMSS == 0 {
+		maxMSS = DefaultMSS
+	}
+	if granted.MSS > maxMSS {
+		granted.MSS = maxMSS
+	}
+	return granted
+}
+
+// String summarises the composition, e.g.
+// "reliability=full feedback=receiver-loss g=1.25e+06B/s mss=1400".
+func (p Profile) String() string {
+	return fmt.Sprintf("reliability=%v feedback=%v g=%gB/s mss=%d",
+		p.Reliability, p.Feedback, p.TargetRate, p.MSS)
+}

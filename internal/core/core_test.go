@@ -1,0 +1,172 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/gtfrc"
+	"repro/internal/packet"
+	"repro/internal/tfrc"
+)
+
+// Compile-time checks: both rate controllers satisfy the role interface.
+var (
+	_ RateController = (*tfrc.Sender)(nil)
+	_ RateController = (*gtfrc.Controller)(nil)
+)
+
+func TestPredefinedProfilesValidate(t *testing.T) {
+	profiles := map[string]Profile{
+		"qtpaf":         QTPAF(1e6),
+		"qtplight":      QTPLight(),
+		"qtplight-rel":  QTPLightReliable(0),
+		"qtplight-part": QTPLightReliable(200 * time.Millisecond),
+		"classic":       ClassicTFRC(),
+	}
+	for name, p := range profiles {
+		if err := p.Normalize().Validate(); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+	if QTPAF(1e6).Feedback != packet.FeedbackReceiverLoss ||
+		QTPAF(1e6).Reliability != packet.ReliabilityFull {
+		t.Error("QTPAF composition wrong")
+	}
+	if QTPLight().Feedback != packet.FeedbackSenderLoss ||
+		QTPLight().Reliability != packet.ReliabilityNone {
+		t.Error("QTPlight composition wrong")
+	}
+	if QTPLightReliable(time.Second).Reliability != packet.ReliabilityPartial {
+		t.Error("QTPLightReliable(deadline) should be partial")
+	}
+	if QTPLightReliable(0).Reliability != packet.ReliabilityFull {
+		t.Error("QTPLightReliable(0) should be full")
+	}
+}
+
+func TestValidateRejectsBadProfiles(t *testing.T) {
+	bad := []Profile{
+		{MSS: -1},
+		{MSS: 70000},
+		{MSS: 1400, Reliability: packet.ReliabilityPartial}, // no deadline
+		{MSS: 1400, Deadline: time.Second},                  // deadline w/o partial
+		{MSS: 1400, TargetRate: -5},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d accepted: %+v", i, p)
+		}
+	}
+}
+
+func TestHandshakeRoundTrip(t *testing.T) {
+	in := Profile{
+		Reliability: packet.ReliabilityPartial,
+		Deadline:    250 * time.Millisecond,
+		Feedback:    packet.FeedbackSenderLoss,
+		TargetRate:  750_000,
+		MSS:         1200,
+	}
+	hs := in.Handshake()
+	buf, err := hs.AppendTo(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out packet.Handshake
+	if err := out.Parse(buf); err != nil {
+		t.Fatal(err)
+	}
+	got := ProfileFromHandshake(out)
+	if got.Reliability != in.Reliability || got.Deadline != in.Deadline ||
+		got.Feedback != in.Feedback || got.TargetRate != in.TargetRate ||
+		got.MSS != in.MSS {
+		t.Fatalf("round trip:\n in=%v\nout=%v", in, got)
+	}
+}
+
+func TestNegotiateCapsQoS(t *testing.T) {
+	granted := Negotiate(Permissive(500_000), QTPAF(2_000_000))
+	if granted.TargetRate != 500_000 {
+		t.Fatalf("target rate = %v, want capped 500000", granted.TargetRate)
+	}
+	// Zero-budget server refuses QoS entirely.
+	granted = Negotiate(Constraints{MaxReliability: packet.ReliabilityFull}, QTPAF(1e6))
+	if granted.TargetRate != 0 {
+		t.Fatalf("target rate = %v, want 0", granted.TargetRate)
+	}
+}
+
+func TestNegotiateDegradesReliability(t *testing.T) {
+	c := Constraints{MaxReliability: packet.ReliabilityNone, AllowSenderLoss: true}
+	granted := Negotiate(c, QTPLightReliable(0))
+	if granted.Reliability != packet.ReliabilityNone {
+		t.Fatalf("reliability = %v, want none", granted.Reliability)
+	}
+	if granted.Deadline != 0 {
+		t.Fatal("deadline must clear when partial is dropped")
+	}
+}
+
+func TestNegotiateFeedbackFallback(t *testing.T) {
+	c := Constraints{MaxReliability: packet.ReliabilityFull, AllowSenderLoss: false}
+	granted := Negotiate(c, QTPLight())
+	if granted.Feedback != packet.FeedbackReceiverLoss {
+		t.Fatalf("feedback = %v, want receiver-loss fallback", granted.Feedback)
+	}
+}
+
+func TestNegotiateMSS(t *testing.T) {
+	c := Permissive(0)
+	c.MaxMSS = 500
+	granted := Negotiate(c, QTPLight())
+	if granted.MSS != 500 {
+		t.Fatalf("mss = %d, want 500", granted.MSS)
+	}
+}
+
+func TestNegotiateGrantsWithinConstraints(t *testing.T) {
+	// A modest proposal passes through unchanged.
+	p := QTPAF(100_000)
+	granted := Negotiate(Permissive(1e6), p)
+	if granted.TargetRate != p.TargetRate || granted.Reliability != p.Reliability {
+		t.Fatalf("over-restricted: %v", granted)
+	}
+	if err := granted.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNegotiateResultAlwaysValid(t *testing.T) {
+	cons := []Constraints{
+		{},
+		Permissive(0),
+		Permissive(1e9),
+		{MaxReliability: packet.ReliabilityPartial, AllowSenderLoss: true},
+	}
+	props := []Profile{
+		QTPAF(1e6), QTPLight(), QTPLightReliable(time.Second),
+		QTPLightReliable(0), ClassicTFRC(), {},
+	}
+	for i, c := range cons {
+		for j, p := range props {
+			got := Negotiate(c, p)
+			if err := got.Validate(); err != nil {
+				t.Errorf("cons %d prop %d: %v (%v)", i, j, err, got)
+			}
+		}
+	}
+}
+
+func TestNormalizeDefaults(t *testing.T) {
+	p := Profile{}.Normalize()
+	if p.MSS != DefaultMSS || p.AckEvery != 1 || p.WALIDepth != tfrc.DefaultWALIDepth {
+		t.Fatalf("defaults: %+v", p)
+	}
+}
+
+func TestProfileString(t *testing.T) {
+	s := QTPAF(1e6).String()
+	if s == "" {
+		t.Fatal("empty String()")
+	}
+}

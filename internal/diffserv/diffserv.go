@@ -1,0 +1,221 @@
+// Package diffserv implements the DiffServ assured-forwarding substrate
+// the paper's QTPAF protocol targets: per-flow token-bucket markers at
+// the network edge (two-colour srTCM profile) and a RIO (RED with
+// In/Out) queue at the bottleneck implementing the AF per-hop behaviour.
+//
+// Together these reproduce the EuQoS project's "DiffServ/AF-like class
+// of service for non-real-time traffic": traffic within the negotiated
+// profile is marked green and protected; excess traffic is marked red
+// and dropped early under congestion. The well-known failure mode this
+// enables — TCP backing off on red drops and never claiming its green
+// reservation (Seddigh, Nandy, Pieda [8]) — is exactly what gTFRC fixes.
+package diffserv
+
+import (
+	"math/rand"
+	"time"
+
+	"repro/internal/netsim"
+)
+
+// Marker is a two-colour token-bucket policer: packets within the
+// committed rate/burst profile are marked green (in-profile), the rest
+// red (out-of-profile). It wraps a downstream handler so it can sit
+// in-line at the network edge.
+type Marker struct {
+	sim  *netsim.Sim
+	next netsim.Handler
+
+	cir float64 // committed information rate, bytes/s
+	cbs float64 // committed burst size, bytes
+
+	tokens float64
+	last   netsim.Time
+
+	Green netsim.Counter
+	Red   netsim.Counter
+}
+
+// NewMarker returns an edge marker with the given committed rate
+// (bytes/s) and burst (bytes), forwarding to next. The bucket starts
+// full.
+func NewMarker(sim *netsim.Sim, cir, cbs float64, next netsim.Handler) *Marker {
+	if cir <= 0 || cbs <= 0 {
+		panic("diffserv: marker needs positive rate and burst")
+	}
+	return &Marker{sim: sim, next: next, cir: cir, cbs: cbs, tokens: cbs}
+}
+
+// CIR returns the committed information rate in bytes/s.
+func (m *Marker) CIR() float64 { return m.cir }
+
+// Recv implements netsim.Handler: colour the packet and forward it.
+func (m *Marker) Recv(p *netsim.Packet) {
+	now := m.sim.Now()
+	m.tokens += m.cir * (now - m.last).Seconds()
+	if m.tokens > m.cbs {
+		m.tokens = m.cbs
+	}
+	m.last = now
+
+	if float64(p.Size) <= m.tokens {
+		m.tokens -= float64(p.Size)
+		p.Mark = netsim.MarkGreen
+		m.Green.Packets++
+		m.Green.Bytes += p.Size
+	} else {
+		p.Mark = netsim.MarkRed
+		m.Red.Packets++
+		m.Red.Bytes += p.Size
+	}
+	m.next.Recv(p)
+}
+
+// RIOConfig parameterises one of the two virtual RED instances inside a
+// RIO queue. Thresholds are in packets.
+type RIOConfig struct {
+	MinTh, MaxTh float64
+	MaxP         float64
+}
+
+// RIO is the RED In/Out queue (Clark & Fang 1998) realising the AF PHB:
+// one physical FIFO with two drop curves. Green (in-profile) packets are
+// dropped based on the average number of *green* packets queued, with
+// permissive thresholds; red (out-of-profile) packets are dropped based
+// on the average *total* queue, with aggressive thresholds. Under
+// congestion red traffic is shed first, protecting the reservations.
+//
+// RIO implements netsim.Queue.
+type RIO struct {
+	In        RIOConfig // green curve (based on avg green occupancy)
+	Out       RIOConfig // red curve (based on avg total occupancy)
+	Wq        float64
+	LimitPkts int
+
+	pkts   []*netsim.Packet
+	head   int
+	bytes  int
+	greens int
+
+	avgIn    float64
+	avgTotal float64
+	countIn  int
+	countOut int
+
+	DropsIn     int // probabilistic drops of green packets
+	DropsOut    int // probabilistic drops of red packets
+	ForcedDrops int // hard-limit drops
+}
+
+// DefaultRIO returns a RIO queue with the conventional protective
+// parameter split for a queue bounded to limit packets: the green curve
+// only engages when the queue is mostly full, the red curve engages
+// early and aggressively.
+func DefaultRIO(limit int) *RIO {
+	return &RIO{
+		In:        RIOConfig{MinTh: float64(limit) * 0.4, MaxTh: float64(limit) * 0.8, MaxP: 0.02},
+		Out:       RIOConfig{MinTh: float64(limit) * 0.1, MaxTh: float64(limit) * 0.4, MaxP: 0.5},
+		Wq:        0.002,
+		LimitPkts: limit,
+	}
+}
+
+// Enqueue implements netsim.Queue.
+func (r *RIO) Enqueue(now netsim.Time, rng *rand.Rand, p *netsim.Packet) bool {
+	total := len(r.pkts) - r.head
+	r.avgTotal = (1-r.Wq)*r.avgTotal + r.Wq*float64(total)
+	if p.Mark == netsim.MarkGreen {
+		r.avgIn = (1-r.Wq)*r.avgIn + r.Wq*float64(r.greens)
+	}
+
+	if r.LimitPkts > 0 && total >= r.LimitPkts {
+		r.ForcedDrops++
+		return false
+	}
+
+	var cfg RIOConfig
+	var avg float64
+	var count *int
+	if p.Mark == netsim.MarkGreen {
+		cfg, avg, count = r.In, r.avgIn, &r.countIn
+	} else {
+		cfg, avg, count = r.Out, r.avgTotal, &r.countOut
+	}
+	if redDrop(cfg, avg, count, rng) {
+		if p.Mark == netsim.MarkGreen {
+			r.DropsIn++
+		} else {
+			r.DropsOut++
+		}
+		return false
+	}
+
+	r.pkts = append(r.pkts, p)
+	r.bytes += p.Size
+	if p.Mark == netsim.MarkGreen {
+		r.greens++
+	}
+	return true
+}
+
+// redDrop evaluates one RED curve with the gentle extension and the
+// standard count-based uniformisation.
+func redDrop(cfg RIOConfig, avg float64, count *int, rng *rand.Rand) bool {
+	var pb float64
+	switch {
+	case avg < cfg.MinTh:
+		*count = -1
+		return false
+	case avg < cfg.MaxTh:
+		pb = cfg.MaxP * (avg - cfg.MinTh) / (cfg.MaxTh - cfg.MinTh)
+	case avg < 2*cfg.MaxTh:
+		pb = cfg.MaxP + (1-cfg.MaxP)*(avg-cfg.MaxTh)/cfg.MaxTh
+	default:
+		*count = 0
+		return true
+	}
+	*count++
+	pa := pb / (1 - float64(*count)*pb)
+	if pa < 0 || pa > 1 {
+		pa = 1
+	}
+	if rng.Float64() < pa {
+		*count = 0
+		return true
+	}
+	return false
+}
+
+// Dequeue implements netsim.Queue.
+func (r *RIO) Dequeue(now netsim.Time) *netsim.Packet {
+	if r.head >= len(r.pkts) {
+		return nil
+	}
+	p := r.pkts[r.head]
+	r.pkts[r.head] = nil
+	r.head++
+	r.bytes -= p.Size
+	if p.Mark == netsim.MarkGreen {
+		r.greens--
+	}
+	if r.head == len(r.pkts) {
+		r.pkts = r.pkts[:0]
+		r.head = 0
+	}
+	return p
+}
+
+// Len implements netsim.Queue.
+func (r *RIO) Len() int { return len(r.pkts) - r.head }
+
+// Bytes implements netsim.Queue.
+func (r *RIO) Bytes() int { return r.bytes }
+
+// GreenLen returns the number of green packets currently queued.
+func (r *RIO) GreenLen() int { return r.greens }
+
+// TokenInterval returns the time to accumulate tokens for one packet of
+// the given size at rate cir — a helper for pacing calculations.
+func TokenInterval(cir float64, size int) time.Duration {
+	return time.Duration(float64(size) / cir * float64(time.Second))
+}

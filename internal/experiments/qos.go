@@ -1,0 +1,193 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/diffserv"
+	"repro/internal/stats"
+)
+
+// The QoS experiments reproduce §4 of the paper: "Preliminary
+// measurements show that QTPAF obtains the QoS negotiated by the
+// application with the network service whereas TCP fails to deliver this
+// QoS." The setting is the EuQoS DiffServ/AF class: a 10 Mb/s (1.25
+// MB/s) AF bottleneck with a RIO queue, per-flow srTCM markers at the
+// edge, and best-effort TCP cross-traffic congesting the class.
+
+const (
+	afLinkRate  = 1.25e6 // 10 Mb/s in bytes/s
+	afQueuePkts = 100
+	afDelay     = 20 * time.Millisecond // one-way; base RTT 40 ms
+	afCrossTCP  = 3                     // responsive best-effort flows
+	afCrossCBR  = 0.55 * afLinkRate     // unresponsive best-effort load
+)
+
+// congest loads the AF class with best-effort traffic: responsive TCP
+// flows plus an unresponsive CBR aggregate, together oversubscribing the
+// link so out-of-profile (red) packets see heavy early drops — the
+// regime in which TCP cannot hold a reservation (Seddigh et al.).
+func congest(d *dumbbell) {
+	for i := 0; i < afCrossTCP; i++ {
+		d.addTCP(0, 0, time.Duration(i)*50*time.Millisecond)
+	}
+	d.addCrossCBR(afCrossCBR, 1000)
+}
+
+// runAFScenario measures the goodput of one reserved flow (QTP when
+// useQTP, else TCP) with target rate g against TCP cross-traffic, over
+// the given duration. Plain TFRC (no clamp) is selected by plainTFRC.
+func runAFScenario(seed int64, g float64, useQTP, plainTFRC bool, dur time.Duration) (goodput float64) {
+	d := newDumbbell(seed, afLinkRate, afDelay, diffserv.DefaultRIO(afQueuePkts))
+	congest(d)
+	if useQTP {
+		prof := core.QTPAF(g)
+		if plainTFRC {
+			prof.TargetRate = 0 // A1 ablation: same composition minus the clamp
+		}
+		f := d.addQTP(prof, g, true, nil, 0)
+		d.sim.Run(dur)
+		return float64(f.DeliveredBytes) / dur.Seconds()
+	}
+	f := d.addTCP(g, 0, 0)
+	d.sim.Run(dur)
+	return float64(f.Stats().DeliveredBytes) / dur.Seconds()
+}
+
+// RunE1QoSTargetSweep regenerates Table E1: achieved goodput vs the
+// negotiated target rate for QTPAF and TCP inside the AF class.
+func RunE1QoSTargetSweep(cfg Config) *Table {
+	t := &Table{
+		ID:      "E1",
+		Title:   "Goodput vs negotiated rate g on a congested 10 Mb/s AF class (60 s runs)",
+		Columns: []string{"g (Mb/s)", "QTPAF (Mb/s)", "QTPAF/g", "TCP (Mb/s)", "TCP/g"},
+		Notes: "QTPAF/g >= ~1 across the sweep is the paper's §4 claim; " +
+			"TCP/g collapses as g grows (Seddigh et al. failure mode).",
+	}
+	dur := cfg.dur(60 * time.Second)
+	targets := []float64{0.5, 1, 2, 4, 6, 8} // Mb/s
+	if cfg.Quick {
+		targets = []float64{1, 4, 8}
+	}
+	for i, mbps := range targets {
+		g := mbps * 1e6 / 8 // bytes/s
+		qg := runAFScenario(cfg.Seed+int64(i), g, true, false, dur)
+		tg := runAFScenario(cfg.Seed+int64(i), g, false, false, dur)
+		t.AddRow(fmt.Sprintf("%.1f", mbps),
+			fMbps(qg), fRatio(qg/g), fMbps(tg), fRatio(tg/g))
+	}
+	return t
+}
+
+// RunE2Timeseries regenerates Figure E2: goodput over time at g = 6 Mb/s
+// for QTPAF vs TCP (1-second bins).
+func RunE2Timeseries(cfg Config) *Table {
+	t := &Table{
+		ID:      "E2",
+		Title:   "Goodput over time at g = 6 Mb/s in the AF class (1 s bins)",
+		Columns: []string{"t (s)", "QTPAF (Mb/s)", "TCP (Mb/s)"},
+		Notes:   "QTPAF converges to g and stays there; TCP saws below it.",
+	}
+	dur := cfg.dur(40 * time.Second)
+	const g = 6e6 / 8
+
+	qtpSeries := func() []float64 {
+		d := newDumbbell(cfg.Seed, afLinkRate, afDelay, diffserv.DefaultRIO(afQueuePkts))
+		congest(d)
+		rs := stats.NewRateSeries(time.Second)
+		rs.Add(0, 0)
+		f := d.addQTP(core.QTPAF(g), g, true, nil, 0)
+		f.DeliveredAt = func(now time.Duration, n int) { rs.Add(now, n) }
+		d.sim.Run(dur)
+		return rs.Rates()
+	}()
+	tcpSeries := func() []float64 {
+		d := newDumbbell(cfg.Seed, afLinkRate, afDelay, diffserv.DefaultRIO(afQueuePkts))
+		congest(d)
+		f := d.addTCP(g, 0, 0)
+		rs := stats.NewRateSeries(time.Second)
+		rs.Add(0, 0)
+		last := int64(0)
+		// Sample delivered bytes once per simulated second.
+		var sample func()
+		sample = func() {
+			cur := f.Stats().DeliveredBytes
+			rs.Add(d.sim.Now(), int(cur-last))
+			last = cur
+			if d.sim.Now() < dur {
+				d.sim.After(time.Second, sample)
+			}
+		}
+		d.sim.After(time.Second, sample)
+		d.sim.Run(dur)
+		return rs.Rates()
+	}()
+	n := len(qtpSeries)
+	if len(tcpSeries) < n {
+		n = len(tcpSeries)
+	}
+	for i := 0; i < n; i++ {
+		t.AddRow(fmt.Sprintf("%d", i+1), fMbps(qtpSeries[i]), fMbps(tcpSeries[i]))
+	}
+	return t
+}
+
+// RunE3RTTSweep regenerates Table E3: does the guarantee hold as the
+// RTT grows? (TCP's AF failure worsens with RTT.)
+func RunE3RTTSweep(cfg Config) *Table {
+	t := &Table{
+		ID:      "E3",
+		Title:   "Achieved/g at g = 4 Mb/s vs round-trip time",
+		Columns: []string{"RTT (ms)", "QTPAF/g", "TCP/g"},
+	}
+	dur := cfg.dur(60 * time.Second)
+	const g = 4e6 / 8
+	rtts := []time.Duration{20, 50, 100, 200}
+	if cfg.Quick {
+		rtts = []time.Duration{20, 100}
+	}
+	for i, rtt := range rtts {
+		delay := rtt * time.Millisecond / 2
+		run := func(useQTP bool) float64 {
+			d := newDumbbell(cfg.Seed+int64(i), afLinkRate, delay, diffserv.DefaultRIO(afQueuePkts))
+			congest(d)
+			if useQTP {
+				f := d.addQTP(core.QTPAF(g), g, true, nil, 0)
+				d.sim.Run(dur)
+				return float64(f.DeliveredBytes) / dur.Seconds()
+			}
+			f := d.addTCP(g, 0, 0)
+			d.sim.Run(dur)
+			return float64(f.Stats().DeliveredBytes) / dur.Seconds()
+		}
+		q := run(true)
+		tc := run(false)
+		t.AddRow(fmt.Sprintf("%d", rtt), fRatio(q/g), fRatio(tc/g))
+	}
+	return t
+}
+
+// RunA1GTFRCvsTFRC regenerates ablation A1: the same QTP composition
+// with and without the gTFRC clamp, inside the AF class. Plain TFRC
+// reacts to out-of-profile drops and undershoots its reservation; the
+// clamp is the entire QTPAF difference.
+func RunA1GTFRCvsTFRC(cfg Config) *Table {
+	t := &Table{
+		ID:      "A1",
+		Title:   "Ablation: achieved/g with and without the gTFRC clamp (g sweep)",
+		Columns: []string{"g (Mb/s)", "gTFRC/g", "plain TFRC/g"},
+	}
+	dur := cfg.dur(60 * time.Second)
+	targets := []float64{2, 4, 6}
+	if cfg.Quick {
+		targets = []float64{4}
+	}
+	for i, mbps := range targets {
+		g := mbps * 1e6 / 8
+		with := runAFScenario(cfg.Seed+int64(i), g, true, false, dur)
+		without := runAFScenario(cfg.Seed+int64(i), g, true, true, dur)
+		t.AddRow(fmt.Sprintf("%.0f", mbps), fRatio(with/g), fRatio(without/g))
+	}
+	return t
+}

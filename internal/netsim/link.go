@@ -1,0 +1,166 @@
+package netsim
+
+import (
+	"fmt"
+	"time"
+)
+
+// Link is a unidirectional network link: a queue feeding a transmitter
+// of finite rate, followed by a fixed propagation delay and an optional
+// loss model, delivering to a Handler.
+//
+// Packets are serialized: a packet of size S occupies the transmitter
+// for S/Rate seconds. This is where congestion happens.
+type Link struct {
+	Name  string
+	sim   *Sim
+	rate  float64 // bytes per second
+	delay Time
+	queue Queue
+	loss  LossModel
+	dst   Handler
+
+	busy bool
+
+	// Counters (packets / bytes).
+	Sent        Counter // accepted into the queue
+	Delivered   Counter // handed to dst
+	QueueDrops  Counter // rejected by the queue
+	MediumDrops Counter // lost by the loss model
+
+	// Tap, when non-nil, observes every delivered packet just before it
+	// reaches dst. Used by experiments to record rate series.
+	Tap func(now Time, p *Packet)
+}
+
+// Counter tallies packets and bytes.
+type Counter struct {
+	Packets int
+	Bytes   int
+}
+
+func (c *Counter) add(p *Packet) {
+	c.Packets++
+	c.Bytes += p.Size
+}
+
+// LinkConfig configures NewLink.
+type LinkConfig struct {
+	Name  string
+	Rate  float64 // bytes per second; must be positive
+	Delay Time    // propagation delay
+	Queue Queue   // nil means DropTail(100)
+	Loss  LossModel
+	Dst   Handler
+}
+
+// NewLink creates a link inside sim. The destination handler must be set.
+func NewLink(sim *Sim, cfg LinkConfig) *Link {
+	if cfg.Rate <= 0 {
+		panic(fmt.Sprintf("netsim: link %q needs positive rate", cfg.Name))
+	}
+	if cfg.Dst == nil {
+		panic(fmt.Sprintf("netsim: link %q needs a destination", cfg.Name))
+	}
+	q := cfg.Queue
+	if q == nil {
+		q = NewDropTail(100)
+	}
+	return &Link{
+		Name:  cfg.Name,
+		sim:   sim,
+		rate:  cfg.Rate,
+		delay: cfg.Delay,
+		queue: q,
+		loss:  cfg.Loss,
+		dst:   cfg.Dst,
+	}
+}
+
+// Rate returns the link rate in bytes/second.
+func (l *Link) Rate() float64 { return l.rate }
+
+// Delay returns the propagation delay.
+func (l *Link) Delay() Time { return l.delay }
+
+// Queue returns the queuing discipline (for inspecting counters).
+func (l *Link) QueueDiscipline() Queue { return l.queue }
+
+// Recv implements Handler so links can be chained behind routers.
+func (l *Link) Recv(p *Packet) { l.Send(p) }
+
+// Send enqueues p for transmission.
+func (l *Link) Send(p *Packet) {
+	if !l.queue.Enqueue(l.sim.Now(), l.sim.Rand(), p) {
+		l.QueueDrops.add(p)
+		return
+	}
+	l.Sent.add(p)
+	if !l.busy {
+		l.transmitNext()
+	}
+}
+
+func (l *Link) transmitNext() {
+	p := l.queue.Dequeue(l.sim.Now())
+	if p == nil {
+		l.busy = false
+		return
+	}
+	l.busy = true
+	txTime := Time(float64(p.Size) / l.rate * float64(time.Second))
+	p.SentAt = l.sim.Now()
+	l.sim.After(txTime, func() {
+		// Transmitter is free for the next packet as soon as the last
+		// bit leaves; delivery happens after propagation.
+		l.transmitNext()
+		if l.loss != nil && l.loss.Lose(l.sim.Rand(), p) {
+			l.MediumDrops.add(p)
+			return
+		}
+		l.sim.After(l.delay, func() {
+			l.Delivered.add(p)
+			if l.Tap != nil {
+				l.Tap(l.sim.Now(), p)
+			}
+			l.dst.Recv(p)
+		})
+	})
+}
+
+// Utilization returns delivered bytes divided by capacity over elapsed
+// time (0 if no time has passed).
+func (l *Link) Utilization(elapsed Time) float64 {
+	if elapsed <= 0 {
+		return 0
+	}
+	return float64(l.Delivered.Bytes) / (l.rate * elapsed.Seconds())
+}
+
+// Router forwards packets to output links by flow ID, with an optional
+// default route. It models the interior node of the dumbbell topologies
+// used throughout the evaluation.
+type Router struct {
+	routes map[FlowID]Handler
+	def    Handler
+}
+
+// NewRouter returns a router with the given default next hop (may be nil,
+// in which case packets without a route are dropped silently).
+func NewRouter(def Handler) *Router {
+	return &Router{routes: make(map[FlowID]Handler), def: def}
+}
+
+// Route directs packets of flow f to h.
+func (r *Router) Route(f FlowID, h Handler) { r.routes[f] = h }
+
+// Recv implements Handler.
+func (r *Router) Recv(p *Packet) {
+	if h, ok := r.routes[p.Flow]; ok {
+		h.Recv(p)
+		return
+	}
+	if r.def != nil {
+		r.def.Recv(p)
+	}
+}

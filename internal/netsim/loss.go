@@ -1,0 +1,65 @@
+package netsim
+
+import "math/rand"
+
+// LossModel decides whether a packet is corrupted in flight. Loss is
+// applied after transmission, modelling bit errors on the medium rather
+// than queue overflow (which the Queue handles).
+type LossModel interface {
+	Lose(rng *rand.Rand, p *Packet) bool
+}
+
+// Bernoulli drops each packet independently with probability P.
+type Bernoulli struct {
+	P float64
+}
+
+// Lose implements LossModel.
+func (b Bernoulli) Lose(rng *rand.Rand, p *Packet) bool {
+	return b.P > 0 && rng.Float64() < b.P
+}
+
+// GilbertElliott is the classic two-state burst-loss model for wireless
+// channels: a Good state with loss probability PGood and a Bad state
+// with loss probability PBad, with geometric sojourn times controlled by
+// the transition probabilities (evaluated per packet).
+type GilbertElliott struct {
+	PGood, PBad float64 // per-packet loss probability in each state
+	GoodToBad   float64 // P(transition G->B) per packet
+	BadToGood   float64 // P(transition B->G) per packet
+
+	bad bool
+}
+
+// NewGilbertElliott returns a burst-loss model with the given average
+// loss rates and transition probabilities, starting in the Good state.
+func NewGilbertElliott(pGood, pBad, gToB, bToG float64) *GilbertElliott {
+	return &GilbertElliott{PGood: pGood, PBad: pBad, GoodToBad: gToB, BadToGood: bToG}
+}
+
+// MeanLossRate returns the stationary loss probability of the chain.
+func (g *GilbertElliott) MeanLossRate() float64 {
+	if g.GoodToBad+g.BadToGood == 0 {
+		return g.PGood
+	}
+	piBad := g.GoodToBad / (g.GoodToBad + g.BadToGood)
+	return (1-piBad)*g.PGood + piBad*g.PBad
+}
+
+// Lose implements LossModel.
+func (g *GilbertElliott) Lose(rng *rand.Rand, p *Packet) bool {
+	if g.bad {
+		if rng.Float64() < g.BadToGood {
+			g.bad = false
+		}
+	} else {
+		if rng.Float64() < g.GoodToBad {
+			g.bad = true
+		}
+	}
+	pr := g.PGood
+	if g.bad {
+		pr = g.PBad
+	}
+	return pr > 0 && rng.Float64() < pr
+}

@@ -1,0 +1,158 @@
+package netsim
+
+import "math/rand"
+
+// Queue is a link queuing discipline. Enqueue may drop (returning
+// false); Dequeue returns nil when empty. Implementations must do all
+// randomness through the supplied *rand.Rand for reproducibility.
+type Queue interface {
+	Enqueue(now Time, rng *rand.Rand, p *Packet) bool
+	Dequeue(now Time) *Packet
+	Len() int   // packets queued
+	Bytes() int // bytes queued
+}
+
+// fifo is the common ring-buffer backbone of the disciplines below.
+type fifo struct {
+	pkts  []*Packet
+	head  int
+	bytes int
+}
+
+func (f *fifo) push(p *Packet) {
+	f.pkts = append(f.pkts, p)
+	f.bytes += p.Size
+}
+
+func (f *fifo) pop() *Packet {
+	if f.head >= len(f.pkts) {
+		return nil
+	}
+	p := f.pkts[f.head]
+	f.pkts[f.head] = nil
+	f.head++
+	f.bytes -= p.Size
+	if f.head == len(f.pkts) {
+		f.pkts = f.pkts[:0]
+		f.head = 0
+	}
+	return p
+}
+
+func (f *fifo) len() int  { return len(f.pkts) - f.head }
+func (f *fifo) size() int { return f.bytes }
+
+// DropTail is a FIFO queue that drops arrivals once it holds LimitPkts
+// packets (or LimitBytes bytes, when set).
+type DropTail struct {
+	LimitPkts  int
+	LimitBytes int // 0 = unlimited
+	q          fifo
+
+	Drops int
+}
+
+// NewDropTail returns a FIFO queue bounded to limitPkts packets.
+func NewDropTail(limitPkts int) *DropTail {
+	return &DropTail{LimitPkts: limitPkts}
+}
+
+// Enqueue implements Queue.
+func (d *DropTail) Enqueue(now Time, rng *rand.Rand, p *Packet) bool {
+	if d.LimitPkts > 0 && d.q.len() >= d.LimitPkts {
+		d.Drops++
+		return false
+	}
+	if d.LimitBytes > 0 && d.q.size()+p.Size > d.LimitBytes {
+		d.Drops++
+		return false
+	}
+	d.q.push(p)
+	return true
+}
+
+// Dequeue implements Queue.
+func (d *DropTail) Dequeue(now Time) *Packet { return d.q.pop() }
+
+// Len implements Queue.
+func (d *DropTail) Len() int { return d.q.len() }
+
+// Bytes implements Queue.
+func (d *DropTail) Bytes() int { return d.q.size() }
+
+// RED implements Random Early Detection (Floyd & Jacobson 1993) with the
+// gentle variant: the drop probability rises linearly from 0 at MinTh to
+// MaxP at MaxTh, then from MaxP to 1 at 2*MaxTh. The average queue is an
+// EWMA over instantaneous occupancy sampled at each arrival.
+type RED struct {
+	MinTh, MaxTh float64 // thresholds in packets
+	MaxP         float64 // drop probability at MaxTh
+	Wq           float64 // EWMA weight, typically 0.002
+	LimitPkts    int     // hard limit
+
+	q     fifo
+	avg   float64
+	count int // packets since last drop, for uniformization
+
+	Drops       int
+	ForcedDrops int
+}
+
+// NewRED returns a RED queue with conventional parameters.
+func NewRED(minTh, maxTh float64, maxP float64, limitPkts int) *RED {
+	return &RED{MinTh: minTh, MaxTh: maxTh, MaxP: maxP, Wq: 0.002, LimitPkts: limitPkts}
+}
+
+// Enqueue implements Queue.
+func (r *RED) Enqueue(now Time, rng *rand.Rand, p *Packet) bool {
+	r.avg = (1-r.Wq)*r.avg + r.Wq*float64(r.q.len())
+	if r.LimitPkts > 0 && r.q.len() >= r.LimitPkts {
+		r.ForcedDrops++
+		return false
+	}
+	if r.dropProb(r.avg, rng) {
+		r.Drops++
+		return false
+	}
+	r.q.push(p)
+	return true
+}
+
+func (r *RED) dropProb(avg float64, rng *rand.Rand) bool {
+	var pb float64
+	switch {
+	case avg < r.MinTh:
+		r.count = -1
+		return false
+	case avg < r.MaxTh:
+		pb = r.MaxP * (avg - r.MinTh) / (r.MaxTh - r.MinTh)
+	case avg < 2*r.MaxTh: // gentle region
+		pb = r.MaxP + (1-r.MaxP)*(avg-r.MaxTh)/r.MaxTh
+	default:
+		r.count = 0
+		return true
+	}
+	r.count++
+	// Uniformize inter-drop spacing (RED's pa correction).
+	pa := pb / (1 - float64(r.count)*pb)
+	if pa < 0 || pa > 1 {
+		pa = 1
+	}
+	if rng.Float64() < pa {
+		r.count = 0
+		return true
+	}
+	return false
+}
+
+// Dequeue implements Queue.
+func (r *RED) Dequeue(now Time) *Packet { return r.q.pop() }
+
+// Len implements Queue.
+func (r *RED) Len() int { return r.q.len() }
+
+// Bytes implements Queue.
+func (r *RED) Bytes() int { return r.q.size() }
+
+// AvgQueue returns the current EWMA queue estimate (for tests/traces).
+func (r *RED) AvgQueue() float64 { return r.avg }

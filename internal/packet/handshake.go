@@ -1,0 +1,133 @@
+package packet
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Handshake option types. Options are TLVs so future micro-protocols can
+// add capabilities without breaking old peers: unknown options received
+// in a Connect are simply not echoed in the Accept, which is exactly the
+// "intersection" semantics capability negotiation needs.
+const (
+	optReliability  uint8 = 1
+	optFeedbackMode uint8 = 2
+	optTargetRate   uint8 = 3
+	optMSS          uint8 = 4
+)
+
+// ReliabilityMode selects the reliability micro-protocol.
+type ReliabilityMode uint8
+
+// Reliability modes, in increasing order of service.
+const (
+	ReliabilityNone    ReliabilityMode = 0 // pure stream, no retransmission
+	ReliabilityPartial ReliabilityMode = 1 // retransmit until the deadline
+	ReliabilityFull    ReliabilityMode = 2 // retransmit until delivered
+)
+
+func (m ReliabilityMode) String() string {
+	switch m {
+	case ReliabilityNone:
+		return "none"
+	case ReliabilityPartial:
+		return "partial"
+	case ReliabilityFull:
+		return "full"
+	}
+	return fmt.Sprintf("reliability(%d)", uint8(m))
+}
+
+// FeedbackMode selects where the TFRC loss event rate is computed.
+type FeedbackMode uint8
+
+// Feedback modes.
+const (
+	// FeedbackReceiverLoss is classic RFC 3448: the receiver maintains the
+	// loss interval history and reports p in Feedback frames.
+	FeedbackReceiverLoss FeedbackMode = 0
+	// FeedbackSenderLoss is QTPlight: the receiver emits bare SACK frames
+	// and the sender reconstructs the loss history itself.
+	FeedbackSenderLoss FeedbackMode = 1
+)
+
+func (m FeedbackMode) String() string {
+	switch m {
+	case FeedbackReceiverLoss:
+		return "receiver-loss"
+	case FeedbackSenderLoss:
+		return "sender-loss"
+	}
+	return fmt.Sprintf("feedback(%d)", uint8(m))
+}
+
+// Handshake is the payload of Connect and Accept frames. A Connect
+// carries the client's proposal; the Accept carries the server's final
+// choice (a subset/intersection of the proposal).
+type Handshake struct {
+	Reliability      ReliabilityMode
+	ReliabilityParam uint32 // deadline in ms (partial) or 0
+	FeedbackMode     FeedbackMode
+	TargetRate       uint64 // negotiated QoS rate g, bytes/s; 0 = best effort
+	MSS              uint16 // maximum segment (payload) size in bytes
+}
+
+// AppendTo appends the encoded handshake to dst and returns the result.
+func (h *Handshake) AppendTo(dst []byte) ([]byte, error) {
+	dst = append(dst, 4) // option count
+	dst = append(dst, optReliability, 5, uint8(h.Reliability))
+	dst = binary.BigEndian.AppendUint32(dst, h.ReliabilityParam)
+	dst = append(dst, optFeedbackMode, 1, uint8(h.FeedbackMode))
+	dst = append(dst, optTargetRate, 8)
+	dst = binary.BigEndian.AppendUint64(dst, h.TargetRate)
+	dst = append(dst, optMSS, 2)
+	dst = binary.BigEndian.AppendUint16(dst, h.MSS)
+	return dst, nil
+}
+
+// Parse decodes a handshake payload. Unknown options are skipped, which
+// lets older builds interoperate with peers offering newer capabilities.
+func (h *Handshake) Parse(b []byte) error {
+	if len(b) < 1 {
+		return ErrShort
+	}
+	n := int(b[0])
+	b = b[1:]
+	for i := 0; i < n; i++ {
+		if len(b) < 2 {
+			return ErrOption
+		}
+		typ, ln := b[0], int(b[1])
+		if len(b) < 2+ln {
+			return ErrOption
+		}
+		v := b[2 : 2+ln]
+		switch typ {
+		case optReliability:
+			if ln != 5 {
+				return fmt.Errorf("%w: reliability length %d", ErrOption, ln)
+			}
+			h.Reliability = ReliabilityMode(v[0])
+			h.ReliabilityParam = binary.BigEndian.Uint32(v[1:5])
+		case optFeedbackMode:
+			if ln != 1 {
+				return fmt.Errorf("%w: feedback length %d", ErrOption, ln)
+			}
+			h.FeedbackMode = FeedbackMode(v[0])
+		case optTargetRate:
+			if ln != 8 {
+				return fmt.Errorf("%w: target rate length %d", ErrOption, ln)
+			}
+			h.TargetRate = binary.BigEndian.Uint64(v)
+		case optMSS:
+			if ln != 2 {
+				return fmt.Errorf("%w: mss length %d", ErrOption, ln)
+			}
+			h.MSS = binary.BigEndian.Uint16(v)
+		default:
+			// Unknown option: skip.
+		}
+		b = b[2+ln:]
+	}
+	return nil
+}

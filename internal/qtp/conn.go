@@ -1,0 +1,379 @@
+// Package qtp implements the versatile transport protocol endpoint: a
+// sans-IO connection state machine assembled from the negotiated
+// micro-protocols (TFRC or gTFRC rate control, SACK reliability, classic
+// or QTPlight feedback).
+//
+// A Conn consumes absolute times and inbound frames (HandleFrame) and
+// produces outbound frames on request (PollFrame) plus the next instant
+// it needs the clock (NextWake). Drivers supply the I/O:
+// internal/qtp.Flow runs Conns inside the deterministic simulator, and
+// internal/qtpnet runs the same Conns over real UDP sockets.
+package qtp
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/gtfrc"
+	"repro/internal/packet"
+	"repro/internal/sack"
+	"repro/internal/seqspace"
+	"repro/internal/tfrc"
+)
+
+// State is the connection lifecycle state.
+type State int
+
+// Connection states.
+const (
+	StateIdle State = iota
+	StateConnecting
+	StateEstablished
+	StateClosing
+	StateClosed
+)
+
+var stateNames = [...]string{"idle", "connecting", "established", "closing", "closed"}
+
+func (s State) String() string {
+	if int(s) < len(stateNames) {
+		return stateNames[s]
+	}
+	return fmt.Sprintf("state(%d)", int(s))
+}
+
+// Config configures a connection endpoint.
+//
+// The connection initiator is also the data sender: it proposes a
+// profile in its Connect frame and streams data once the handshake
+// completes. The responder enforces Constraints and is the data
+// receiver. (Receiver-initiated fetches are an application concern.)
+type Config struct {
+	// Initiator marks the connecting/sending side.
+	Initiator bool
+	// Profile is the initiator's proposal. Ignored by the responder.
+	Profile core.Profile
+	// Constraints bound what the responder grants. Ignored by the
+	// initiator.
+	Constraints core.Constraints
+	// ConnID identifies the connection in every frame.
+	ConnID uint32
+	// StartSeq is the first data sequence number (default 1).
+	StartSeq seqspace.Seq
+	// MaxBacklog caps bytes queued in Write before the transport pushes
+	// back (default 1 MiB).
+	MaxBacklog int
+	// UnreliableSkip is how long an unreliable-mode receiver holds a
+	// reordering gap before delivering around it (default 250 ms).
+	UnreliableSkip time.Duration
+	// SelfishLie, when > 1, makes a classic (receiver-loss) receiver
+	// misreport its feedback: the reported loss event rate is divided by
+	// this factor and X_recv multiplied by it. This models the selfish
+	// receiver attack of Georg & Gorinsky that QTPlight is immune to —
+	// with sender-side estimation there are no numbers to lie about.
+	// Test/experiment instrumentation only.
+	SelfishLie float64
+}
+
+// Stats accumulates endpoint counters for experiments and monitoring.
+type Stats struct {
+	DataFramesSent int
+	DataBytesSent  int // payload bytes, first transmissions
+	RetransFrames  int
+	RetransBytes   int
+	FeedbackFrames int // classic receiver reports sent
+	FeedbackBytes  int // wire bytes of those reports
+	SACKFrames     int // light acknowledgment frames sent
+	SACKBytes      int // wire bytes of those frames
+	FramesReceived int
+	DeliveredBytes int
+	DecodeErrors   int
+}
+
+// Conn is one endpoint of a QTP connection. It is not safe for
+// concurrent use; drivers serialize access (the simulator is single
+// threaded, the UDP driver uses one goroutine per connection).
+type Conn struct {
+	cfg     Config
+	profile core.Profile
+	state   State
+
+	// Control-plane state.
+	ctrlPending packet.Type   // control frame owed to the peer (0 = none)
+	ctrlDue     time.Duration // when to (re)send it
+	ctrlTries   int
+	ctrlSentAt  time.Duration // for handshake RTT measurement
+	peerSeen    bool
+
+	// Timestamp echo state.
+	lastPeerTS   uint32
+	lastPeerTSAt time.Duration
+	havePeerTS   bool
+
+	// Sender-side machines (nil on the receiving side).
+	rc         core.RateController
+	tfrcSnd    *tfrc.Sender
+	sendBuf    *sack.SendBuffer
+	est        *tfrc.SenderEstimator
+	backlog    []byte
+	nextSeq    seqspace.Seq
+	sendOpen   bool // Write still allowed (no CloseSend yet)
+	finSeq     seqspace.Seq
+	finSet     bool
+	nextSendAt time.Duration
+	lastReport time.Duration // light mode: last rate-machine update
+	started    bool
+
+	// Receiver-side machines (nil on the sending side).
+	reasm        *sack.Reassembler
+	tfrcRecv     *tfrc.Receiver
+	ackCountdown int
+	urgentFB     bool
+	sackPending  bool
+	nextFBAt     time.Duration
+
+	// Scratch state for frame building/parsing.
+	scratch  []byte
+	fbBuf    packet.Feedback
+	sackBuf  packet.SACK
+	blockBuf []seqspace.Range
+
+	stats Stats
+}
+
+// Frame-type errors surfaced by HandleFrame.
+var (
+	ErrClosed    = errors.New("qtp: connection closed")
+	ErrNotSender = errors.New("qtp: not the sending side")
+	ErrBadState  = errors.New("qtp: frame invalid in this state")
+)
+
+// NewConn creates an endpoint. Call Start on the initiator to begin the
+// handshake; the responder just feeds inbound frames to HandleFrame.
+func NewConn(cfg Config) *Conn {
+	if cfg.StartSeq == 0 {
+		cfg.StartSeq = 1
+	}
+	if cfg.MaxBacklog == 0 {
+		cfg.MaxBacklog = 1 << 20
+	}
+	if cfg.UnreliableSkip == 0 {
+		cfg.UnreliableSkip = 250 * time.Millisecond
+	}
+	c := &Conn{cfg: cfg, state: StateIdle, nextSeq: cfg.StartSeq, sendOpen: true}
+	if cfg.Initiator {
+		c.profile = cfg.Profile.Normalize()
+	}
+	return c
+}
+
+// Start begins the handshake (initiator only).
+func (c *Conn) Start(now time.Duration) {
+	if !c.cfg.Initiator || c.state != StateIdle {
+		return
+	}
+	c.state = StateConnecting
+	c.ctrlPending = packet.TypeConnect
+	c.ctrlDue = now
+}
+
+// StartDirect skips the handshake and establishes the connection
+// immediately with the given profile and RTT estimate. Both sides of a
+// simulated flow use this when the experiment pre-agrees the profile;
+// rtt may be 0 if unknown.
+func (c *Conn) StartDirect(now time.Duration, profile core.Profile, rtt time.Duration) {
+	c.profile = profile.Normalize()
+	c.buildMachines(now)
+	c.state = StateEstablished
+	if c.isSender() {
+		c.rc.Start(now)
+		if rtt > 0 {
+			c.rc.SeedRTT(now, rtt)
+		}
+		c.nextSendAt = now
+		c.started = true
+	}
+}
+
+func (c *Conn) isSender() bool { return c.cfg.Initiator }
+
+// buildMachines instantiates the negotiated micro-protocol composition.
+// This function *is* the paper's protocol reconfigurability: every
+// combination of the three roles is assembled from the same parts.
+func (c *Conn) buildMachines(now time.Duration) {
+	p := c.profile
+	if c.isSender() {
+		c.tfrcSnd = tfrc.NewSender(tfrc.SenderConfig{SegmentSize: p.MSS})
+		if p.TargetRate > 0 {
+			c.rc = gtfrc.New(c.tfrcSnd, p.TargetRate)
+		} else {
+			c.rc = c.tfrcSnd
+		}
+		switch p.Reliability {
+		case packet.ReliabilityFull:
+			c.sendBuf = sack.NewSendBuffer(0)
+		case packet.ReliabilityPartial:
+			c.sendBuf = sack.NewSendBuffer(p.Deadline)
+		}
+		if p.Feedback == packet.FeedbackSenderLoss {
+			c.est = tfrc.NewSenderEstimator(tfrc.EstimatorConfig{
+				SegmentSize: p.MSS,
+				WALIDepth:   p.WALIDepth,
+			})
+		}
+		return
+	}
+	// Receiving side.
+	skip := time.Duration(0)
+	switch p.Reliability {
+	case packet.ReliabilityNone:
+		skip = c.cfg.UnreliableSkip
+	case packet.ReliabilityPartial:
+		// Hold holes a bit past the sender's retransmission deadline so
+		// a last retransmission still has time to arrive.
+		skip = p.Deadline + p.Deadline/2
+	}
+	c.reasm = sack.NewReassembler(c.cfg.StartSeq, skip)
+	if p.Feedback == packet.FeedbackReceiverLoss {
+		c.tfrcRecv = tfrc.NewReceiver(tfrc.ReceiverConfig{
+			SegmentSize: p.MSS,
+			WALIDepth:   p.WALIDepth,
+		})
+	}
+	c.ackCountdown = p.AckEvery
+}
+
+// Profile returns the (proposed or agreed) composition.
+func (c *Conn) Profile() core.Profile { return c.profile }
+
+// State returns the lifecycle state.
+func (c *Conn) State() State { return c.state }
+
+// Stats returns a snapshot of the endpoint counters.
+func (c *Conn) Stats() Stats { return c.stats }
+
+// RTT returns the sender's smoothed RTT (0 on the receiver side).
+func (c *Conn) RTT() time.Duration {
+	if c.rc == nil {
+		return 0
+	}
+	return c.rc.RTT()
+}
+
+// Rate returns the allowed sending rate in bytes/s (0 on the receiver).
+func (c *Conn) Rate() float64 {
+	if c.rc == nil {
+		return 0
+	}
+	return c.rc.Rate()
+}
+
+// LossRate returns the current loss-event-rate estimate in use: the
+// sender-side estimate under QTPlight, the last received report
+// otherwise; 0 on the receiving side of classic flows.
+func (c *Conn) LossRate() float64 {
+	switch {
+	case c.est != nil:
+		return c.est.P()
+	case c.tfrcSnd != nil:
+		return c.tfrcSnd.P()
+	case c.tfrcRecv != nil:
+		return c.tfrcRecv.P()
+	}
+	return 0
+}
+
+// Write queues application data for transmission, returning how many
+// bytes were accepted (bounded by the backlog cap).
+func (c *Conn) Write(p []byte) int {
+	if !c.isSender() || !c.sendOpen || c.state == StateClosed {
+		return 0
+	}
+	room := c.cfg.MaxBacklog - len(c.backlog)
+	if room <= 0 {
+		return 0
+	}
+	if len(p) > room {
+		p = p[:room]
+	}
+	c.backlog = append(c.backlog, p...)
+	return len(p)
+}
+
+// BacklogLen returns the bytes queued but not yet transmitted.
+func (c *Conn) BacklogLen() int { return len(c.backlog) }
+
+// CloseSend marks the end of the data stream: the final segment carries
+// FIN and, once reliability resolves everything, the connection closes.
+func (c *Conn) CloseSend() { c.sendOpen = false }
+
+// Read returns the next in-order chunk delivered to the application.
+func (c *Conn) Read() ([]byte, bool) {
+	if c.reasm == nil {
+		return nil, false
+	}
+	p, ok := c.reasm.Pop()
+	if ok {
+		c.stats.DeliveredBytes += len(p)
+	}
+	return p, ok
+}
+
+// Finished reports whether the receive stream has delivered everything
+// through FIN.
+func (c *Conn) Finished() bool {
+	return c.reasm != nil && c.reasm.Finished()
+}
+
+// EstimatorOps returns the QTPlight sender estimator's operation count
+// (0 when sender-side estimation is not in use). E4 metric.
+func (c *Conn) EstimatorOps() int {
+	if c.est == nil {
+		return 0
+	}
+	return c.est.Ops
+}
+
+// EstimatorStateBytes returns the sender estimator's memory footprint.
+func (c *Conn) EstimatorStateBytes() int {
+	if c.est == nil {
+		return 0
+	}
+	return c.est.StateBytes()
+}
+
+// TFRCReceiverOps returns the classic receiver's TFRC operation count
+// (loss detection + WALI), 0 when not in use. E4 metric.
+func (c *Conn) TFRCReceiverOps() int {
+	if c.tfrcRecv == nil {
+		return 0
+	}
+	return c.tfrcRecv.Ops + c.tfrcRecv.WALIOps()
+}
+
+// TFRCReceiverStateBytes returns the classic receiver's TFRC state size.
+func (c *Conn) TFRCReceiverStateBytes() int {
+	if c.tfrcRecv == nil {
+		return 0
+	}
+	return c.tfrcRecv.StateBytes()
+}
+
+// nowUS converts an absolute time to the 32-bit microsecond wire clock.
+func nowUS(now time.Duration) uint32 {
+	return uint32(now / time.Microsecond)
+}
+
+// rttSample recovers an RTT measurement from an echoed timestamp and the
+// peer's reported holding delay, using wrap-safe 32-bit arithmetic.
+func rttSample(now time.Duration, tsEcho, elapsedUS uint32) time.Duration {
+	delta := nowUS(now) - tsEcho - elapsedUS
+	// Reject absurd samples (> 1 hour ≈ wrap artefacts, or negative
+	// turned huge by wrap).
+	if delta > 3_600_000_000 {
+		return 0
+	}
+	return time.Duration(delta) * time.Microsecond
+}

@@ -1,0 +1,222 @@
+package qtp
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/packet"
+	"repro/internal/seqspace"
+	"repro/internal/tfrc"
+)
+
+// HandleFrame processes one inbound datagram. Decode errors are counted
+// and returned; state-machine violations return an error but leave the
+// connection usable (a robust endpoint ignores stray frames).
+func (c *Conn) HandleFrame(now time.Duration, frame []byte) error {
+	if c.state == StateClosed {
+		return ErrClosed
+	}
+	var hdr packet.Header
+	payload, err := hdr.Parse(frame)
+	if err != nil {
+		c.stats.DecodeErrors++
+		return err
+	}
+	if hdr.ConnID != c.cfg.ConnID {
+		c.stats.DecodeErrors++
+		return fmt.Errorf("qtp: conn id %d, want %d", hdr.ConnID, c.cfg.ConnID)
+	}
+	c.stats.FramesReceived++
+	// Record the peer timestamp for echoing.
+	c.lastPeerTS = hdr.Timestamp
+	c.lastPeerTSAt = now
+	c.havePeerTS = true
+
+	switch hdr.Type {
+	case packet.TypeConnect:
+		return c.onConnect(now, payload)
+	case packet.TypeAccept:
+		return c.onAccept(now, &hdr, payload)
+	case packet.TypeConfirm:
+		return c.onConfirm(now, &hdr)
+	case packet.TypeData:
+		return c.onData(now, &hdr, payload)
+	case packet.TypeFeedback:
+		return c.onFeedback(now, &hdr, payload)
+	case packet.TypeSACK:
+		return c.onSACK(now, &hdr, payload)
+	case packet.TypeClose:
+		return c.onClose(now)
+	case packet.TypeCloseAck:
+		return c.onCloseAck()
+	}
+	return fmt.Errorf("qtp: unhandled frame type %v", hdr.Type)
+}
+
+func (c *Conn) onConnect(now time.Duration, payload []byte) error {
+	if c.cfg.Initiator {
+		return ErrBadState
+	}
+	var hs packet.Handshake
+	if err := hs.Parse(payload); err != nil {
+		return err
+	}
+	if c.state == StateIdle {
+		proposal := core.ProfileFromHandshake(hs)
+		c.profile = core.Negotiate(c.cfg.Constraints, proposal)
+		c.buildMachines(now)
+		c.state = StateEstablished
+	}
+	// (Re)send the Accept — handles a lost Accept too.
+	c.ctrlPending = packet.TypeAccept
+	c.ctrlDue = now
+	return nil
+}
+
+func (c *Conn) onAccept(now time.Duration, hdr *packet.Header, payload []byte) error {
+	if !c.cfg.Initiator {
+		return ErrBadState
+	}
+	var hs packet.Handshake
+	if err := hs.Parse(payload); err != nil {
+		return err
+	}
+	if c.state == StateConnecting {
+		c.profile = core.ProfileFromHandshake(hs)
+		c.buildMachines(now)
+		c.state = StateEstablished
+		c.rc.Start(now)
+		if sample := rttSample(now, hdr.TSEcho, 0); sample > 0 {
+			c.rc.SeedRTT(now, sample)
+		}
+		c.nextSendAt = now
+		c.started = true
+	}
+	// Confirm (again, if the previous one was lost).
+	c.ctrlPending = packet.TypeConfirm
+	c.ctrlDue = now
+	return nil
+}
+
+func (c *Conn) onConfirm(now time.Duration, hdr *packet.Header) error {
+	if c.cfg.Initiator {
+		return ErrBadState
+	}
+	c.peerSeen = true
+	return nil
+}
+
+func (c *Conn) onData(now time.Duration, hdr *packet.Header, payload []byte) error {
+	if c.reasm == nil {
+		return ErrBadState
+	}
+	c.peerSeen = true
+	fin := hdr.Flags&packet.FlagFIN != 0
+	retx := hdr.Flags&packet.FlagRetransmit != 0
+	c.reasm.OnData(now, hdr.Seq, payload, fin)
+
+	if c.tfrcRecv != nil {
+		if retx {
+			// Retransmissions count toward X_recv and keep feedback
+			// flowing, but are invisible to loss detection.
+			c.tfrcRecv.OnRetransmit(now, len(payload)+packet.HeaderLen)
+		} else {
+			urgent := c.tfrcRecv.OnData(now, hdr.Seq, len(payload)+packet.HeaderLen,
+				time.Duration(hdr.RTTUS)*time.Microsecond)
+			if urgent {
+				c.urgentFB = true
+			}
+		}
+		if c.nextFBAt == 0 {
+			c.nextFBAt = now + c.tfrcRecv.FeedbackInterval()
+		}
+	}
+	if c.profile.Feedback == packet.FeedbackSenderLoss {
+		c.ackCountdown--
+		if c.ackCountdown <= 0 {
+			c.ackCountdown = c.profile.AckEvery
+			c.sackPending = true
+		}
+	}
+	return nil
+}
+
+func (c *Conn) onFeedback(now time.Duration, hdr *packet.Header, payload []byte) error {
+	if c.rc == nil {
+		return ErrBadState
+	}
+	if err := c.fbBuf.Parse(payload); err != nil {
+		return err
+	}
+	f := &c.fbBuf
+	sample := rttSample(now, hdr.TSEcho, f.ElapsedUS)
+	c.rc.OnFeedback(now, tfrc.FeedbackInfo{
+		XRecv: float64(f.XRecv), P: f.LossRate, RTTSample: sample,
+	})
+	if c.sendBuf != nil {
+		c.sendBuf.OnSACK(now, f.CumAck, blocksToRanges(f.Blocks, &c.blockBuf))
+	}
+	return nil
+}
+
+func (c *Conn) onSACK(now time.Duration, hdr *packet.Header, payload []byte) error {
+	if c.rc == nil || c.est == nil {
+		return ErrBadState
+	}
+	if err := c.sackBuf.Parse(payload); err != nil {
+		return err
+	}
+	s := &c.sackBuf
+	sample := rttSample(now, hdr.TSEcho, s.ElapsedUS)
+	ranges := blocksToRanges(s.Blocks, &c.blockBuf)
+
+	rtt := c.rc.RTT()
+	if rtt == 0 {
+		rtt = sample
+	}
+	c.est.OnAckVector(now, s.CumAck, ranges, rtt)
+	if c.sendBuf != nil {
+		c.sendBuf.OnSACK(now, s.CumAck, ranges)
+	}
+	// Update the rate machine once per RTT, like classic feedback — but
+	// never from an empty window (duplicate SACKs carry no new bytes and
+	// would report X_recv = 0, freezing the rate at the floor).
+	cadence := rtt
+	if cadence <= 0 {
+		cadence = 10 * time.Millisecond
+	}
+	if c.est.PendingBytes() > 0 &&
+		(c.lastReport == 0 || now-c.lastReport >= cadence) {
+		xRecv, p := c.est.MakeReport(now)
+		c.rc.OnFeedback(now, tfrc.FeedbackInfo{XRecv: xRecv, P: p, RTTSample: sample})
+		c.lastReport = now
+	}
+	return nil
+}
+
+func (c *Conn) onClose(now time.Duration) error {
+	if c.state != StateClosed {
+		c.ctrlPending = packet.TypeCloseAck
+		c.ctrlDue = now
+		c.state = StateClosing
+	}
+	return nil
+}
+
+func (c *Conn) onCloseAck() error {
+	c.state = StateClosed
+	c.ctrlPending = 0
+	return nil
+}
+
+// blocksToRanges converts wire SACK blocks to sequence ranges, reusing
+// the provided buffer.
+func blocksToRanges(blocks []packet.SACKBlock, buf *[]seqspace.Range) []seqspace.Range {
+	out := (*buf)[:0]
+	for _, b := range blocks {
+		out = append(out, seqspace.Range{Lo: b.Lo, Hi: b.Hi})
+	}
+	*buf = out
+	return out
+}

@@ -1,0 +1,344 @@
+package qtp
+
+import (
+	"time"
+
+	"repro/internal/packet"
+	"repro/internal/seqspace"
+)
+
+// ctrlRetryInterval paces handshake/close retransmissions.
+const ctrlRetryInterval = time.Second
+
+// ctrlMaxTries bounds control retransmissions before giving up.
+const ctrlMaxTries = 8
+
+// PollFrame returns the next frame the endpoint wants on the wire at
+// time now, or ok=false if nothing is due yet. Drivers call it in a loop
+// after any event (inbound frame, timer, application write) until it
+// returns false, transmitting each frame. The returned slice is reused
+// by the next call.
+func (c *Conn) PollFrame(now time.Duration) (frame []byte, ok bool) {
+	c.advance(now)
+
+	// 1. Control plane (handshake, close) has priority.
+	if c.ctrlPending != 0 && now >= c.ctrlDue {
+		return c.buildControl(now), true
+	}
+	// 2. Receiver side: acknowledgments.
+	if c.urgentFB {
+		return c.buildFeedback(now), true
+	}
+	if c.nextFBAt != 0 && now >= c.nextFBAt {
+		if c.tfrcRecv.PendingBytes() > 0 {
+			return c.buildFeedback(now), true
+		}
+		// Nothing arrived since the last report: stay silent and re-arm
+		// (RFC 3448 §6.2).
+		c.nextFBAt = now + c.tfrcRecv.FeedbackInterval()
+	}
+	if c.sackPending {
+		return c.buildSACK(now), true
+	}
+	// 3. Sender side: paced data.
+	if c.started && c.state == StateEstablished && now >= c.nextSendAt {
+		if f, ok := c.buildData(now); ok {
+			return f, true
+		}
+	}
+	return nil, false
+}
+
+// advance applies time-based transitions due at or before now.
+func (c *Conn) advance(now time.Duration) {
+	if c.rc != nil && c.started && c.state == StateEstablished {
+		for now >= c.rc.NoFeedbackDeadline() {
+			c.rc.OnNoFeedback(now)
+		}
+	}
+	if c.reasm != nil {
+		c.reasm.OnDeadline(now)
+	}
+	// Stream completion: queue Close once everything is resolved. A
+	// stream closed before any data was written closes without a FIN.
+	if c.closeReady() {
+		c.state = StateClosing
+		c.ctrlPending = packet.TypeClose
+		c.ctrlDue = now
+	}
+}
+
+// closeReady reports whether the sender has nothing left to deliver and
+// should initiate teardown.
+func (c *Conn) closeReady() bool {
+	if !c.isSender() || c.state != StateEstablished || !c.started ||
+		c.sendOpen || len(c.backlog) != 0 || c.ctrlPending != 0 {
+		return false
+	}
+	if c.sendBuf != nil && c.sendBuf.Unresolved() {
+		return false
+	}
+	// Either the FIN went out, or no data was ever queued.
+	return c.finSet || c.stats.DataFramesSent == 0
+}
+
+// buildControl encodes the pending control frame.
+func (c *Conn) buildControl(now time.Duration) []byte {
+	typ := c.ctrlPending
+	hdr := packet.Header{
+		Type:      typ,
+		ConnID:    c.cfg.ConnID,
+		Timestamp: nowUS(now),
+	}
+	if c.havePeerTS {
+		hdr.TSEcho = c.lastPeerTS
+	}
+	var payload []byte
+	switch typ {
+	case packet.TypeConnect, packet.TypeAccept:
+		hs := c.profile.Handshake()
+		payload, _ = hs.AppendTo(c.scratch[:0])
+	}
+	hdr.PayloadLen = uint16(len(payload))
+
+	frame := hdr.AppendTo(nil)
+	frame = append(frame, payload...)
+
+	c.ctrlTries++
+	switch typ {
+	case packet.TypeConfirm, packet.TypeCloseAck:
+		// Fire-and-forget; data (or silence) serves as the retry signal.
+		c.ctrlPending = 0
+		c.ctrlTries = 0
+		if typ == packet.TypeCloseAck {
+			c.state = StateClosed
+		}
+	default:
+		if c.ctrlTries >= ctrlMaxTries {
+			c.ctrlPending = 0
+			c.ctrlTries = 0
+			if c.state == StateConnecting || c.state == StateClosing {
+				c.state = StateClosed
+			}
+		} else {
+			c.ctrlDue = now + ctrlRetryInterval
+			if typ == packet.TypeConnect {
+				c.ctrlSentAt = now
+			}
+		}
+	}
+	return frame
+}
+
+// buildFeedback encodes a classic TFRC receiver report, including SACK
+// blocks when reliability is negotiated.
+func (c *Conn) buildFeedback(now time.Duration) []byte {
+	c.urgentFB = false
+	c.nextFBAt = now + c.tfrcRecv.FeedbackInterval()
+	xRecv, p := c.tfrcRecv.MakeReport(now)
+	if lie := c.cfg.SelfishLie; lie > 1 {
+		xRecv *= lie
+		p /= lie
+	}
+
+	fb := packet.Feedback{
+		XRecv:    uint64(xRecv),
+		LossRate: p,
+		CumAck:   c.reasm.CumAck(),
+	}
+	if c.havePeerTS {
+		fb.ElapsedUS = uint32((now - c.lastPeerTSAt) / time.Microsecond)
+	}
+	if c.profile.Reliability != packet.ReliabilityNone {
+		c.blockBuf = c.reasm.Blocks(c.blockBuf[:0], c.profile.SACKBlockBudget)
+		for _, r := range c.blockBuf {
+			fb.Blocks = append(fb.Blocks, packet.SACKBlock{Lo: r.Lo, Hi: r.Hi})
+		}
+	}
+	payload, _ := fb.AppendTo(c.scratch[:0])
+	c.scratch = payload
+
+	hdr := packet.Header{
+		Type:       packet.TypeFeedback,
+		ConnID:     c.cfg.ConnID,
+		Timestamp:  nowUS(now),
+		PayloadLen: uint16(len(payload)),
+	}
+	if c.havePeerTS {
+		hdr.TSEcho = c.lastPeerTS
+	}
+	frame := hdr.AppendTo(nil)
+	frame = append(frame, payload...)
+	c.stats.FeedbackFrames++
+	c.stats.FeedbackBytes += len(frame)
+	return frame
+}
+
+// buildSACK encodes a QTPlight acknowledgment vector. Note what is NOT
+// here: no loss history, no rate measurement, no equation — the
+// receiver's entire contribution is two interval-set lookups.
+func (c *Conn) buildSACK(now time.Duration) []byte {
+	c.sackPending = false
+	s := packet.SACK{CumAck: c.reasm.CumAck()}
+	if c.havePeerTS {
+		s.ElapsedUS = uint32((now - c.lastPeerTSAt) / time.Microsecond)
+	}
+	c.blockBuf = c.reasm.Blocks(c.blockBuf[:0], c.profile.SACKBlockBudget)
+	for _, r := range c.blockBuf {
+		s.Blocks = append(s.Blocks, packet.SACKBlock{Lo: r.Lo, Hi: r.Hi})
+	}
+	payload, _ := s.AppendTo(c.scratch[:0])
+	c.scratch = payload
+
+	hdr := packet.Header{
+		Type:       packet.TypeSACK,
+		ConnID:     c.cfg.ConnID,
+		Timestamp:  nowUS(now),
+		PayloadLen: uint16(len(payload)),
+	}
+	if c.havePeerTS {
+		hdr.TSEcho = c.lastPeerTS
+	}
+	frame := hdr.AppendTo(nil)
+	frame = append(frame, payload...)
+	c.stats.SACKFrames++
+	c.stats.SACKBytes += len(frame)
+	return frame
+}
+
+// buildData emits one paced data frame: a due retransmission first,
+// otherwise a fresh segment from the backlog.
+func (c *Conn) buildData(now time.Duration) ([]byte, bool) {
+	rto := c.retxTimeout()
+	if c.sendBuf != nil {
+		if seq, payload, ok := c.sendBuf.NextRetransmit(now, rto); ok {
+			fin := c.finSet && seq == c.finSeq
+			frame := c.dataFrame(now, seq, payload, true, fin)
+			c.stats.RetransFrames++
+			c.stats.RetransBytes += len(payload)
+			c.pace(now, len(frame))
+			return frame, true
+		}
+	}
+	if len(c.backlog) == 0 {
+		return nil, false
+	}
+	n := c.profile.MSS
+	if n > len(c.backlog) {
+		n = len(c.backlog)
+	}
+	payload := append([]byte(nil), c.backlog[:n]...)
+	c.backlog = c.backlog[:copy(c.backlog, c.backlog[n:])]
+
+	seq := c.nextSeq
+	c.nextSeq = seq.Next()
+	fin := !c.sendOpen && len(c.backlog) == 0
+	if fin {
+		c.finSeq = seq
+		c.finSet = true
+	}
+	if c.sendBuf != nil {
+		c.sendBuf.Add(now, seq, payload)
+	}
+	if c.est != nil {
+		c.est.OnSent(now, seq, len(payload)+packet.HeaderLen)
+	}
+	frame := c.dataFrame(now, seq, payload, false, fin)
+	c.stats.DataFramesSent++
+	c.stats.DataBytesSent += len(payload)
+	c.pace(now, len(frame))
+	return frame, true
+}
+
+func (c *Conn) dataFrame(now time.Duration, seq seqspace.Seq, payload []byte, retx, fin bool) []byte {
+	hdr := packet.Header{
+		Type:       packet.TypeData,
+		ConnID:     c.cfg.ConnID,
+		Seq:        seq,
+		Timestamp:  nowUS(now),
+		RTTUS:      uint32(c.rc.RTT() / time.Microsecond),
+		PayloadLen: uint16(len(payload)),
+	}
+	if c.havePeerTS {
+		hdr.TSEcho = c.lastPeerTS
+	}
+	if retx {
+		hdr.Flags |= packet.FlagRetransmit
+	}
+	if fin {
+		hdr.Flags |= packet.FlagFIN
+	}
+	frame := hdr.AppendTo(nil)
+	return append(frame, payload...)
+}
+
+func (c *Conn) pace(now time.Duration, wireSize int) {
+	c.nextSendAt = now + c.rc.InterPacketInterval(wireSize)
+}
+
+// retxTimeout is the retransmission timer: generous relative to RTT so
+// the dup-threshold SACK path does almost all the work.
+func (c *Conn) retxTimeout() time.Duration {
+	rtt := c.rc.RTT()
+	if rtt == 0 {
+		return time.Second
+	}
+	rto := 4 * rtt
+	if rto < 10*time.Millisecond {
+		rto = 10 * time.Millisecond
+	}
+	return rto
+}
+
+// NextWake returns the earliest future instant at which PollFrame could
+// produce a frame or a timer must run; ok=false means the connection is
+// fully idle (nothing pending at any time).
+func (c *Conn) NextWake(now time.Duration) (at time.Duration, ok bool) {
+	merge := func(t time.Duration) {
+		if t <= now {
+			t = now
+		}
+		if !ok || t < at {
+			at, ok = t, true
+		}
+	}
+	if c.state == StateClosed {
+		return 0, false
+	}
+	if c.ctrlPending != 0 {
+		merge(c.ctrlDue)
+	}
+	if c.urgentFB || c.sackPending {
+		merge(now)
+	}
+	if c.nextFBAt != 0 {
+		merge(c.nextFBAt)
+	}
+	if c.reasm != nil {
+		if t, dok := c.reasm.NextDeadline(); dok {
+			merge(t)
+		}
+	}
+	if c.started && c.state == StateEstablished {
+		if len(c.backlog) > 0 {
+			merge(c.nextSendAt)
+		}
+		if c.rc != nil {
+			merge(c.rc.NoFeedbackDeadline())
+		}
+		if c.sendBuf != nil {
+			if t, bok := c.sendBuf.NextTimeout(c.retxTimeout()); bok {
+				// Retransmissions are paced like data: due no earlier
+				// than the pacing boundary.
+				if t < c.nextSendAt {
+					t = c.nextSendAt
+				}
+				merge(t)
+			}
+		}
+		if c.closeReady() {
+			merge(now)
+		}
+	}
+	return at, ok
+}

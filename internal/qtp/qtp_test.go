@@ -1,0 +1,379 @@
+package qtp
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/netsim"
+	"repro/internal/packet"
+	"repro/internal/workload"
+)
+
+// testPath is a symmetric two-way path with the given forward-direction
+// characteristics; the reverse (feedback) direction is a clean 1 Gb/s
+// link with the same delay.
+type testPath struct {
+	sim      *netsim.Sim
+	fwd, rev *netsim.Link
+	toRecv   *netsim.Indirect
+	toSend   *netsim.Indirect
+}
+
+func newTestPath(seed int64, rate float64, delay time.Duration, queue netsim.Queue, loss netsim.LossModel) *testPath {
+	sim := netsim.New(seed)
+	p := &testPath{sim: sim, toRecv: &netsim.Indirect{}, toSend: &netsim.Indirect{}}
+	p.fwd = netsim.NewLink(sim, netsim.LinkConfig{
+		Name: "fwd", Rate: rate, Delay: delay, Queue: queue, Loss: loss, Dst: p.toRecv,
+	})
+	p.rev = netsim.NewLink(sim, netsim.LinkConfig{
+		Name: "rev", Rate: 125e6, Delay: delay, Queue: &netsim.DropTail{}, Dst: p.toSend,
+	})
+	return p
+}
+
+func (p *testPath) attach(f *Flow) {
+	p.toRecv.Target = f.ReceiverEntry()
+	p.toSend.Target = f.SenderEntry()
+}
+
+// startFlow builds a flow over the path with common defaults.
+func (p *testPath) startFlow(cfg FlowConfig) *Flow {
+	cfg.ID = 1
+	cfg.Fwd = p.fwd
+	cfg.Rev = p.rev
+	f := StartFlow(p.sim, cfg)
+	p.attach(f)
+	return f
+}
+
+func TestHandshakeAndTransferCompletes(t *testing.T) {
+	p := newTestPath(1, 125_000, 10*time.Millisecond, netsim.NewDropTail(64), nil)
+	const total = 200_000
+	f := p.startFlow(FlowConfig{
+		Profile:     core.QTPAF(50_000),
+		Handshake:   true,
+		Constraints: core.Permissive(1e6),
+		Source:      workload.NewBulk(total, 10_000),
+	})
+	p.sim.Run(60 * time.Second)
+
+	if f.Sender.State() != StateClosed && f.Sender.State() != StateClosing {
+		t.Fatalf("sender state = %v", f.Sender.State())
+	}
+	if !f.Receiver.Finished() {
+		t.Fatal("receiver did not finish the stream")
+	}
+	if f.DeliveredBytes != total {
+		t.Fatalf("delivered %d bytes, want %d", f.DeliveredBytes, total)
+	}
+	// Negotiation: receiver granted the QoS rate within constraints.
+	if got := f.Receiver.Profile().TargetRate; got != 50_000 {
+		t.Fatalf("negotiated g = %v, want 50000", got)
+	}
+	if f.Sender.Profile().TargetRate != 50_000 {
+		t.Fatal("sender did not adopt the granted profile")
+	}
+}
+
+func TestNegotiationCapsTarget(t *testing.T) {
+	p := newTestPath(2, 1e6, 5*time.Millisecond, netsim.NewDropTail(64), nil)
+	f := p.startFlow(FlowConfig{
+		Profile:     core.QTPAF(800_000),
+		Handshake:   true,
+		Constraints: core.Permissive(100_000), // server only grants 100 kB/s
+		Source:      workload.NewBulk(50_000, 10_000),
+	})
+	p.sim.Run(30 * time.Second)
+	if got := f.Sender.Profile().TargetRate; got != 100_000 {
+		t.Fatalf("sender target = %v, want capped 100000", got)
+	}
+	if !f.Receiver.Finished() {
+		t.Fatal("transfer did not complete")
+	}
+}
+
+func TestFullReliabilityUnderLoss(t *testing.T) {
+	p := newTestPath(3, 125_000, 20*time.Millisecond, &netsim.DropTail{},
+		netsim.Bernoulli{P: 0.05})
+	const total = 150_000
+	f := p.startFlow(FlowConfig{
+		Profile: core.Profile{
+			Reliability: packet.ReliabilityFull,
+			Feedback:    packet.FeedbackReceiverLoss,
+			MSS:         1000,
+		},
+		RTTHint: 40 * time.Millisecond,
+		Source:  workload.NewBulk(total, 10_000),
+	})
+	p.sim.Run(120 * time.Second)
+	if f.DeliveredBytes != total {
+		t.Fatalf("delivered %d, want %d (full reliability)", f.DeliveredBytes, total)
+	}
+	if !f.Receiver.Finished() {
+		t.Fatal("stream did not finish")
+	}
+	if f.Sender.Stats().RetransFrames == 0 {
+		t.Fatal("5% loss but no retransmissions — reliability path untested")
+	}
+}
+
+func TestQTPLightFullReliabilityUnderLoss(t *testing.T) {
+	p := newTestPath(4, 125_000, 20*time.Millisecond, &netsim.DropTail{},
+		netsim.Bernoulli{P: 0.05})
+	const total = 150_000
+	f := p.startFlow(FlowConfig{
+		Profile: core.QTPLightReliable(0),
+		RTTHint: 40 * time.Millisecond,
+		Source:  workload.NewBulk(total, 10_000),
+	})
+	p.sim.Run(120 * time.Second)
+	if f.DeliveredBytes != total {
+		t.Fatalf("delivered %d, want %d", f.DeliveredBytes, total)
+	}
+	// The sender-side estimator must have seen the loss.
+	if f.Sender.LossRate() <= 0 {
+		t.Fatal("QTPlight sender estimator never seeded")
+	}
+	// No classic feedback frames should exist, only SACKs.
+	if f.Receiver.Stats().FeedbackFrames != 0 {
+		t.Fatal("QTPlight receiver sent classic feedback")
+	}
+	if f.Receiver.Stats().SACKFrames == 0 {
+		t.Fatal("QTPlight receiver sent no SACKs")
+	}
+}
+
+func TestPartialReliabilityDeliversOnTimeSubset(t *testing.T) {
+	p := newTestPath(5, 125_000, 20*time.Millisecond, &netsim.DropTail{},
+		netsim.Bernoulli{P: 0.08})
+	f := p.startFlow(FlowConfig{
+		Profile: core.Profile{
+			Reliability: packet.ReliabilityPartial,
+			Deadline:    150 * time.Millisecond,
+			Feedback:    packet.FeedbackSenderLoss,
+			MSS:         1000,
+			AckEvery:    1,
+		},
+		RTTHint: 40 * time.Millisecond,
+		Source:  workload.NewCBR(40_000, 1000, 20*time.Second),
+	})
+	p.sim.Run(60 * time.Second)
+	sent := f.Sender.Stats().DataBytesSent
+	if f.DeliveredBytes == 0 {
+		t.Fatal("nothing delivered")
+	}
+	ratio := float64(f.DeliveredBytes) / float64(sent)
+	if ratio < 0.80 {
+		t.Fatalf("delivery ratio %v too low — partial reliability broken", ratio)
+	}
+	// The stream keeps moving: the receiver's reassembler must not stall
+	// on abandoned segments.
+	if f.Receiver.reasm.Buffered() > 100 {
+		t.Fatalf("reassembler stalled with %d buffered segments", f.Receiver.reasm.Buffered())
+	}
+}
+
+func TestUnreliableStreamSkipsHoles(t *testing.T) {
+	p := newTestPath(6, 125_000, 10*time.Millisecond, &netsim.DropTail{},
+		netsim.Bernoulli{P: 0.05})
+	f := p.startFlow(FlowConfig{
+		Profile: core.QTPLight(),
+		RTTHint: 20 * time.Millisecond,
+		Source:  workload.NewCBR(50_000, 1000, 10*time.Second),
+	})
+	p.sim.Run(30 * time.Second)
+	sent := f.Sender.Stats().DataBytesSent
+	if f.Sender.Stats().RetransFrames != 0 {
+		t.Fatal("unreliable flow retransmitted")
+	}
+	// Roughly (1-p) of the data should be delivered despite the holes.
+	ratio := float64(f.DeliveredBytes) / float64(sent)
+	if ratio < 0.85 || ratio > 1.0 {
+		t.Fatalf("delivery ratio = %v, want ~0.95", ratio)
+	}
+}
+
+func TestGTFRCHoldsTargetUnderLoss(t *testing.T) {
+	// 1 Mb/s path with significant loss: plain TFRC would collapse, the
+	// gTFRC flow must keep sending at >= g.
+	p := newTestPath(7, 125_000, 20*time.Millisecond, &netsim.DropTail{},
+		netsim.Bernoulli{P: 0.03})
+	f := p.startFlow(FlowConfig{
+		Profile: core.QTPAF(60_000),
+		RTTHint: 40 * time.Millisecond,
+		Bulk:    true,
+	})
+	p.sim.Run(30 * time.Second)
+	if rate := f.Sender.Rate(); rate < 60_000 {
+		t.Fatalf("gTFRC rate %v below target 60000", rate)
+	}
+	// And the delivered goodput is near g despite the loss: g*(1-p).
+	good := float64(f.DeliveredBytes) / 30.0
+	if good < 50_000 {
+		t.Fatalf("goodput %v, want >= ~g(1-p)", good)
+	}
+}
+
+func TestRateAdaptsToBottleneck(t *testing.T) {
+	// Classic TFRC over a 40 kB/s bottleneck with a small queue: the
+	// long-run send rate must settle near the bottleneck, not above.
+	p := newTestPath(8, 40_000, 30*time.Millisecond, netsim.NewDropTail(20), nil)
+	f := p.startFlow(FlowConfig{
+		Profile: core.ClassicTFRC(),
+		RTTHint: 60 * time.Millisecond,
+		Bulk:    true,
+	})
+	p.sim.Run(60 * time.Second)
+	good := float64(f.DeliveredBytes) / 60.0
+	if good < 20_000 || good > 44_000 {
+		t.Fatalf("goodput %v, want near bottleneck 40000", good)
+	}
+	// Loss must have been detected (queue overflow drives the control).
+	if f.Sender.LossRate() <= 0 {
+		t.Fatal("no congestion signal over a saturated bottleneck")
+	}
+}
+
+func TestRTTEstimateConverges(t *testing.T) {
+	p := newTestPath(9, 125_000, 25*time.Millisecond, netsim.NewDropTail(64), nil)
+	f := p.startFlow(FlowConfig{
+		Profile: core.ClassicTFRC(),
+		RTTHint: 50 * time.Millisecond,
+		Bulk:    true,
+	})
+	p.sim.Run(20 * time.Second)
+	rtt := f.Sender.RTT()
+	// Propagation is 50 ms round trip; a saturated 64-packet DropTail
+	// queue at 125 kB/s can add up to ~730 ms of queueing delay.
+	if rtt < 45*time.Millisecond || rtt > 900*time.Millisecond {
+		t.Fatalf("rtt = %v, want 50ms..900ms (propagation+queueing)", rtt)
+	}
+}
+
+func TestDeterministicReplay(t *testing.T) {
+	run := func() (int, Stats) {
+		p := newTestPath(42, 100_000, 15*time.Millisecond, netsim.NewDropTail(30),
+			netsim.Bernoulli{P: 0.02})
+		f := p.startFlow(FlowConfig{
+			Profile: core.QTPLightReliable(0),
+			RTTHint: 30 * time.Millisecond,
+			Bulk:    true,
+		})
+		p.sim.Run(20 * time.Second)
+		return f.DeliveredBytes, f.Sender.Stats()
+	}
+	d1, s1 := run()
+	d2, s2 := run()
+	if d1 != d2 || s1 != s2 {
+		t.Fatalf("non-deterministic: %d/%+v vs %d/%+v", d1, s1, d2, s2)
+	}
+}
+
+func TestSelfishReceiverGainsUnderClassicTFRC(t *testing.T) {
+	// A lying classic receiver (reports p/8, 8*X_recv) must extract more
+	// bandwidth than an honest one on the same lossy path; this is the
+	// vulnerability QTPlight closes (compared in experiment E6).
+	run := func(lie float64) float64 {
+		sim := netsim.New(11)
+		toRecv, toSend := &netsim.Indirect{}, &netsim.Indirect{}
+		fwd := netsim.NewLink(sim, netsim.LinkConfig{
+			Name: "fwd", Rate: 2e6, Delay: 20 * time.Millisecond,
+			Queue: &netsim.DropTail{}, Loss: netsim.Bernoulli{P: 0.02}, Dst: toRecv,
+		})
+		rev := netsim.NewLink(sim, netsim.LinkConfig{
+			Name: "rev", Rate: 125e6, Delay: 20 * time.Millisecond,
+			Queue: &netsim.DropTail{}, Dst: toSend,
+		})
+		f := StartFlow(sim, FlowConfig{
+			ID: 1, Profile: core.ClassicTFRC(), RTTHint: 40 * time.Millisecond,
+			Fwd: fwd, Rev: rev, Bulk: true, SelfishLie: lie,
+		})
+		toRecv.Target = f.ReceiverEntry()
+		toSend.Target = f.SenderEntry()
+		sim.Run(30 * time.Second)
+		return float64(f.Sender.Stats().DataBytesSent) / 30.0
+	}
+	honest := run(0)
+	liar := run(8)
+	if liar < 1.5*honest {
+		t.Fatalf("selfish receiver gained nothing: honest %v vs liar %v", honest, liar)
+	}
+}
+
+func TestQTPLightImmuneToSelfishReceiver(t *testing.T) {
+	// Under QTPlight the lie knob does nothing: feedback carries no
+	// receiver-computed numbers.
+	run := func(lie float64) float64 {
+		sim := netsim.New(13)
+		toRecv, toSend := &netsim.Indirect{}, &netsim.Indirect{}
+		fwd := netsim.NewLink(sim, netsim.LinkConfig{
+			Name: "fwd", Rate: 2e6, Delay: 20 * time.Millisecond,
+			Queue: &netsim.DropTail{}, Loss: netsim.Bernoulli{P: 0.02}, Dst: toRecv,
+		})
+		rev := netsim.NewLink(sim, netsim.LinkConfig{
+			Name: "rev", Rate: 125e6, Delay: 20 * time.Millisecond,
+			Queue: &netsim.DropTail{}, Dst: toSend,
+		})
+		f := StartFlow(sim, FlowConfig{
+			ID: 1, Profile: core.QTPLight(), RTTHint: 40 * time.Millisecond,
+			Fwd: fwd, Rev: rev, Bulk: true, SelfishLie: lie,
+		})
+		toRecv.Target = f.ReceiverEntry()
+		toSend.Target = f.SenderEntry()
+		sim.Run(30 * time.Second)
+		return float64(f.Sender.Stats().DataBytesSent) / 30.0
+	}
+	honest := run(0)
+	liar := run(8)
+	diff := liar/honest - 1
+	if diff > 0.01 || diff < -0.01 {
+		t.Fatalf("QTPlight affected by lie knob: honest %v vs liar %v", honest, liar)
+	}
+}
+
+func TestStatsAccounting(t *testing.T) {
+	p := newTestPath(14, 125_000, 10*time.Millisecond, netsim.NewDropTail(64), nil)
+	f := p.startFlow(FlowConfig{
+		Profile: core.ClassicTFRC(),
+		RTTHint: 20 * time.Millisecond,
+		Source:  workload.NewBulk(50_000, 5_000),
+	})
+	p.sim.Run(30 * time.Second)
+	st := f.Sender.Stats()
+	if st.DataBytesSent != 50_000 {
+		t.Fatalf("DataBytesSent = %d", st.DataBytesSent)
+	}
+	rst := f.Receiver.Stats()
+	if rst.FramesReceived == 0 || rst.FeedbackFrames == 0 {
+		t.Fatalf("receiver stats empty: %+v", rst)
+	}
+}
+
+func TestWriteBackpressure(t *testing.T) {
+	c := NewConn(Config{Initiator: true, Profile: core.ClassicTFRC(), ConnID: 1, MaxBacklog: 1000})
+	c.StartDirect(0, core.ClassicTFRC(), 10*time.Millisecond)
+	n := c.Write(make([]byte, 1500))
+	if n != 1000 {
+		t.Fatalf("accepted %d, want 1000 (cap)", n)
+	}
+	if c.Write([]byte{1}) != 0 {
+		t.Fatal("accepted past the cap")
+	}
+}
+
+func TestHandleFrameRejectsGarbage(t *testing.T) {
+	c := NewConn(Config{Initiator: true, Profile: core.ClassicTFRC(), ConnID: 1})
+	c.StartDirect(0, core.ClassicTFRC(), 0)
+	if err := c.HandleFrame(0, []byte{1, 2, 3}); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	// Wrong connection ID.
+	hdr := packet.Header{Type: packet.TypeData, ConnID: 99}
+	if err := c.HandleFrame(0, hdr.AppendTo(nil)); err == nil {
+		t.Fatal("foreign conn id accepted")
+	}
+	if c.Stats().DecodeErrors != 2 {
+		t.Fatalf("DecodeErrors = %d", c.Stats().DecodeErrors)
+	}
+}

@@ -1,0 +1,102 @@
+package qtpnet
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/packet"
+)
+
+// TestLoopbackTransfer runs a real UDP transfer on loopback: handshake,
+// negotiation, reliable delivery, teardown — the same state machines the
+// simulator tests, now over actual sockets and wall-clock timers.
+func TestLoopbackTransfer(t *testing.T) {
+	l, err := Listen("127.0.0.1:0", core.Permissive(1e6))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const total = 200 << 10
+	data := make([]byte, total)
+	for i := range data {
+		data[i] = byte(i * 7)
+	}
+
+	type result struct {
+		buf      bytes.Buffer
+		profile  core.Profile
+		finished bool
+		err      error
+	}
+	done := make(chan *result, 1)
+	go func() {
+		r := &result{}
+		defer func() { done <- r }()
+		conn, err := l.Accept()
+		if err != nil {
+			r.err = err
+			return
+		}
+		defer conn.Close()
+		r.profile = conn.Profile()
+		deadline := time.After(30 * time.Second)
+		for !conn.Finished() {
+			select {
+			case <-deadline:
+				return
+			default:
+			}
+			chunk, ok := conn.Read(time.Second)
+			if ok {
+				r.buf.Write(chunk)
+			}
+		}
+		// Drain whatever is still queued.
+		for {
+			chunk, ok := conn.Read(50 * time.Millisecond)
+			if !ok {
+				break
+			}
+			r.buf.Write(chunk)
+		}
+		r.finished = true
+	}()
+
+	conn, err := Dial(l.Addr().String(), core.QTPAF(500_000), 10*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	if got := conn.Profile().TargetRate; got != 500_000 {
+		t.Fatalf("negotiated g = %v, want 500000", got)
+	}
+	if conn.Profile().Reliability != packet.ReliabilityFull {
+		t.Fatalf("negotiated reliability %v", conn.Profile().Reliability)
+	}
+	if _, err := conn.Write(data); err != nil {
+		t.Fatal(err)
+	}
+	conn.CloseSend()
+
+	r := <-done
+	if r.err != nil {
+		t.Fatal(r.err)
+	}
+	if !r.finished {
+		t.Fatalf("receiver did not finish (got %d of %d bytes)", r.buf.Len(), total)
+	}
+	if !bytes.Equal(r.buf.Bytes(), data) {
+		t.Fatalf("data corrupted: got %d bytes, want %d", r.buf.Len(), total)
+	}
+}
+
+func TestDialTimeout(t *testing.T) {
+	// Nothing listening on this port: Dial must time out, not hang.
+	_, err := Dial("127.0.0.1:1", core.QTPLight(), 300*time.Millisecond)
+	if err == nil {
+		t.Fatal("expected timeout error")
+	}
+}

@@ -1,0 +1,154 @@
+package sack
+
+import (
+	"time"
+
+	"repro/internal/seqspace"
+)
+
+// Reassembler is the receiver side of the reliability micro-protocol:
+// it buffers out-of-order segments, delivers in-order data, emits SACK
+// blocks, and — under partial reliability — skips holes older than the
+// configured deadline so delivery (and the cumulative ack) keeps moving
+// without retransmission.
+//
+// The cumulative ack is authoritative release: once it passes a hole,
+// the sender abandons the corresponding data, so partial reliability
+// needs no extra wire signalling.
+type Reassembler struct {
+	// SkipAfter, when non-zero, abandons the frontier hole once it has
+	// been open this long (partial reliability). Zero never skips (full
+	// reliability).
+	SkipAfter time.Duration
+
+	cumAck   seqspace.Seq // next in-order sequence expected by the app
+	received seqspace.IntervalSet
+	buf      map[seqspace.Seq][]byte
+	ready    [][]byte // delivered, waiting for the application to Pop
+
+	holeSince time.Duration // when the current frontier hole was first seen
+	holeOpen  bool
+
+	finSeq  seqspace.Seq
+	haveFin bool
+
+	// Counters.
+	DeliveredBytes int
+	SkippedSegs    int
+	DuplicateSegs  int
+}
+
+// NewReassembler returns a reassembler expecting the stream to begin at
+// sequence number start (known from the connection handshake — it must
+// not be inferred from arrivals, since the first packet may be lost).
+// skipAfter == 0 selects full reliability (never skip a hole).
+func NewReassembler(start seqspace.Seq, skipAfter time.Duration) *Reassembler {
+	return &Reassembler{
+		SkipAfter: skipAfter,
+		cumAck:    start,
+		buf:       make(map[seqspace.Seq][]byte),
+	}
+}
+
+// OnData processes a data segment. fin marks the final segment of the
+// stream. It returns true if the segment was new (not a duplicate or
+// stale arrival). The payload is copied if it must be buffered.
+func (r *Reassembler) OnData(now time.Duration, seq seqspace.Seq, payload []byte, fin bool) bool {
+	if fin {
+		r.finSeq = seq
+		r.haveFin = true
+	}
+	if seq.Less(r.cumAck) || r.received.Contains(seq) {
+		r.DuplicateSegs++
+		return false
+	}
+	r.received.AddSeq(seq)
+	r.buf[seq] = append([]byte(nil), payload...)
+	r.advance(now)
+	return true
+}
+
+// advance delivers contiguous data at the frontier and maintains the
+// frontier-hole timer.
+func (r *Reassembler) advance(now time.Duration) {
+	for r.received.Contains(r.cumAck) {
+		p := r.buf[r.cumAck]
+		delete(r.buf, r.cumAck)
+		r.ready = append(r.ready, p)
+		r.DeliveredBytes += len(p)
+		r.cumAck = r.cumAck.Next()
+	}
+	r.received.RemoveBefore(r.cumAck)
+	// A hole exists if anything is buffered beyond the frontier.
+	if r.received.Len() > 0 {
+		if !r.holeOpen {
+			r.holeOpen = true
+			r.holeSince = now
+		}
+	} else {
+		r.holeOpen = false
+	}
+}
+
+// Pop returns the next in-order payload, if any.
+func (r *Reassembler) Pop() ([]byte, bool) {
+	if len(r.ready) == 0 {
+		return nil, false
+	}
+	p := r.ready[0]
+	r.ready = r.ready[1:]
+	return p, true
+}
+
+// CumAck returns the receiver's cumulative acknowledgment point: all
+// data below it has been delivered or abandoned.
+func (r *Reassembler) CumAck() seqspace.Seq { return r.cumAck }
+
+// Blocks appends up to max SACK blocks describing buffered data above
+// the cumulative ack, nearest-first, and returns the extended slice.
+func (r *Reassembler) Blocks(dst []seqspace.Range, max int) []seqspace.Range {
+	for _, rg := range r.received.Ranges() {
+		if len(dst) >= max {
+			break
+		}
+		dst = append(dst, rg)
+	}
+	return dst
+}
+
+// NextDeadline returns the instant at which the frontier hole will be
+// skipped, or ok false if no skip is pending (no hole, or full
+// reliability).
+func (r *Reassembler) NextDeadline() (at time.Duration, ok bool) {
+	if r.SkipAfter == 0 || !r.holeOpen {
+		return 0, false
+	}
+	return r.holeSince + r.SkipAfter, true
+}
+
+// OnDeadline skips the frontier hole if its deadline has passed,
+// delivering whatever buffered data follows it. Safe to call at any
+// time.
+func (r *Reassembler) OnDeadline(now time.Duration) {
+	for {
+		at, ok := r.NextDeadline()
+		if !ok || now < at {
+			return
+		}
+		// Skip to the first buffered byte beyond the frontier.
+		next := r.received.Min()
+		r.SkippedSegs += r.cumAck.Distance(next)
+		r.cumAck = next
+		r.holeOpen = false
+		r.advance(now)
+	}
+}
+
+// Finished reports whether a FIN has been seen and everything up to and
+// including it has been delivered (or skipped).
+func (r *Reassembler) Finished() bool {
+	return r.haveFin && r.finSeq.Less(r.cumAck)
+}
+
+// Buffered returns the number of segments held for reassembly.
+func (r *Reassembler) Buffered() int { return len(r.buf) }

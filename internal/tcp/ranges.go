@@ -1,0 +1,153 @@
+package tcp
+
+// span is a half-open byte range [Lo, Hi). TCP state in this package
+// uses plain int64 stream offsets: simulation runs are far too short for
+// 2^63 bytes, so no wrap handling is needed (unlike QTP's 32-bit
+// sequence space in internal/seqspace).
+type span struct {
+	Lo, Hi int64
+}
+
+func (s span) empty() bool { return s.Lo >= s.Hi }
+
+// spanSet is an ordered set of disjoint, non-adjacent byte ranges.
+type spanSet struct {
+	spans []span
+}
+
+// add inserts r, merging overlapping or adjacent spans. It reports the
+// number of bytes newly covered.
+func (ss *spanSet) add(r span) int64 {
+	if r.empty() {
+		return 0
+	}
+	before := ss.count()
+	i := 0
+	for i < len(ss.spans) && ss.spans[i].Hi < r.Lo {
+		i++
+	}
+	j := i
+	for j < len(ss.spans) && ss.spans[j].Lo <= r.Hi {
+		if ss.spans[j].Lo < r.Lo {
+			r.Lo = ss.spans[j].Lo
+		}
+		if ss.spans[j].Hi > r.Hi {
+			r.Hi = ss.spans[j].Hi
+		}
+		j++
+	}
+	if i == j {
+		ss.spans = append(ss.spans, span{})
+		copy(ss.spans[i+1:], ss.spans[i:])
+		ss.spans[i] = r
+	} else {
+		ss.spans[i] = r
+		ss.spans = append(ss.spans[:i+1], ss.spans[j:]...)
+	}
+	return ss.count() - before
+}
+
+// removeBefore drops coverage below x.
+func (ss *spanSet) removeBefore(x int64) {
+	out := ss.spans[:0]
+	for _, s := range ss.spans {
+		if s.Hi <= x {
+			continue
+		}
+		if s.Lo < x {
+			s.Lo = x
+		}
+		out = append(out, s)
+	}
+	ss.spans = out
+}
+
+// contains reports whether byte x is covered.
+func (ss *spanSet) contains(x int64) bool {
+	for _, s := range ss.spans {
+		if x < s.Lo {
+			return false
+		}
+		if x < s.Hi {
+			return true
+		}
+	}
+	return false
+}
+
+// coveredIn returns how many bytes of [lo, hi) are covered.
+func (ss *spanSet) coveredIn(lo, hi int64) int64 {
+	var n int64
+	for _, s := range ss.spans {
+		l, h := s.Lo, s.Hi
+		if l < lo {
+			l = lo
+		}
+		if h > hi {
+			h = hi
+		}
+		if l < h {
+			n += h - l
+		}
+	}
+	return n
+}
+
+// firstGapAfter returns the start of the first uncovered byte >= x.
+func (ss *spanSet) firstGapAfter(x int64) int64 {
+	for _, s := range ss.spans {
+		if x < s.Lo {
+			return x
+		}
+		if x < s.Hi {
+			x = s.Hi
+		}
+	}
+	return x
+}
+
+// nextCoveredAfter returns the start of the first covered span at or
+// after x, or a very large value if none exists.
+func (ss *spanSet) nextCoveredAfter(x int64) int64 {
+	for _, s := range ss.spans {
+		if s.Hi <= x {
+			continue
+		}
+		if s.Lo >= x {
+			return s.Lo
+		}
+		return x // x itself is covered
+	}
+	return 1 << 62
+}
+
+// count returns the total covered bytes.
+func (ss *spanSet) count() int64 {
+	var n int64
+	for _, s := range ss.spans {
+		n += s.Hi - s.Lo
+	}
+	return n
+}
+
+// max returns the highest covered offset (exclusive), or 0 if empty.
+func (ss *spanSet) max() int64 {
+	if len(ss.spans) == 0 {
+		return 0
+	}
+	return ss.spans[len(ss.spans)-1].Hi
+}
+
+// blocks copies up to max spans above lo into dst (nearest first).
+func (ss *spanSet) blocks(dst []span, lo int64, maxN int) []span {
+	for _, s := range ss.spans {
+		if s.Hi <= lo {
+			continue
+		}
+		if len(dst) >= maxN {
+			break
+		}
+		dst = append(dst, s)
+	}
+	return dst
+}

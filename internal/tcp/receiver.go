@@ -1,0 +1,51 @@
+package tcp
+
+import "repro/internal/netsim"
+
+// receiver acknowledges every data segment immediately (no delayed
+// ACKs, matching ns-2's default TCP sink) and reports up to three SACK
+// blocks for out-of-order data.
+type receiver struct {
+	f *Flow
+
+	rcvNxt    int64 // next in-order byte expected
+	received  spanSet
+	delivered int64 // in-order bytes handed to the "application"
+	finSeen   bool
+}
+
+func newReceiver(f *Flow) *receiver { return &receiver{f: f} }
+
+// Recv implements netsim.Handler: data segments arrive here.
+func (r *receiver) Recv(p *netsim.Packet) {
+	seg, ok := p.Payload.(*Segment)
+	if !ok || seg.IsAck {
+		return
+	}
+	if seg.Len > 0 {
+		r.received.add(span{Lo: seg.Seq, Hi: seg.Seq + int64(seg.Len)})
+		// Advance the in-order point.
+		next := r.received.firstGapAfter(r.rcvNxt)
+		if next > r.rcvNxt {
+			r.delivered += next - r.rcvNxt
+			r.rcvNxt = next
+			r.received.removeBefore(r.rcvNxt)
+		}
+	}
+	if seg.Fin {
+		r.finSeen = true
+	}
+
+	ack := &Segment{
+		IsAck:  true,
+		Ack:    r.rcvNxt,
+		TS:     r.f.sim.Now(),
+		TSEcho: seg.TS,
+	}
+	ack.SACKs = r.received.blocks(nil, r.rcvNxt, maxSACKBlocks)
+	r.f.cfg.Rev.Recv(&netsim.Packet{
+		Flow:    r.f.cfg.ID,
+		Size:    HeaderBytes + 10*len(ack.SACKs) + 12, // options: SACK + TS
+		Payload: ack,
+	})
+}

@@ -1,0 +1,67 @@
+// Package tfrc implements TCP-Friendly Rate Control per RFC 3448: the
+// TCP throughput equation, the WALI loss-interval history, the sender
+// rate machine, the classic receiver (receiver-side loss estimation),
+// and the QTPlight sender-side loss estimator the paper proposes in §3.
+//
+// Everything here is sans-IO: state machines consume (time, event) pairs
+// and expose rates/reports; drivers in internal/qtp wire them to the
+// simulator or to real sockets.
+package tfrc
+
+import (
+	"math"
+	"time"
+)
+
+// TMBI is t_mbi from RFC 3448 §4.3: the maximum back-off interval. The
+// sender never reduces its rate below one segment per TMBI.
+const TMBI = 64 * time.Second
+
+// Throughput evaluates the TCP throughput equation of RFC 3448 §3.1:
+//
+//	X = s / (R*sqrt(2bp/3) + t_RTO * (3*sqrt(3bp/8)) * p * (1+32p²))
+//
+// with b = 1 (no delayed-ACK factor, as TFRC recommends) and
+// t_RTO = 4R. s is the segment size in bytes, rtt the round-trip time,
+// and p the loss event rate in (0, 1]. The result is in bytes/second.
+// A non-positive p yields +Inf (the equation imposes no limit).
+func Throughput(s int, rtt time.Duration, p float64) float64 {
+	if p <= 0 {
+		return math.Inf(1)
+	}
+	if p > 1 {
+		p = 1
+	}
+	r := rtt.Seconds()
+	if r <= 0 {
+		return math.Inf(1)
+	}
+	tRTO := 4 * r
+	denom := r*math.Sqrt(2*p/3) + tRTO*(3*math.Sqrt(3*p/8))*p*(1+32*p*p)
+	return float64(s) / denom
+}
+
+// InvertThroughput returns the loss event rate p at which the equation
+// yields rate x bytes/s for the given segment size and RTT. It is the
+// RFC 3448 §6.3.1 bootstrap: after the first loss event the receiver
+// seeds its history with the interval 1/p that matches the observed
+// receive rate. The result is clamped to [1e-8, 1].
+func InvertThroughput(x float64, s int, rtt time.Duration) float64 {
+	if x <= 0 {
+		return 1
+	}
+	if Throughput(s, rtt, 1e-8) <= x {
+		return 1e-8
+	}
+	lo, hi := 1e-8, 1.0
+	// Throughput is strictly decreasing in p: bisect.
+	for i := 0; i < 60; i++ {
+		mid := (lo + hi) / 2
+		if Throughput(s, rtt, mid) > x {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return hi
+}

@@ -1,0 +1,105 @@
+package tfrc
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestThroughputKnownValues(t *testing.T) {
+	// Sanity anchor: s=1000 B, R=100 ms, p=0.01.
+	// Simplified TCP model sqrt(3/2)/ (R*sqrt(p)) ≈ 12247 pkt... full
+	// model with RTO term is lower; check against an independently
+	// hand-computed value of the same formula.
+	s, rtt, p := 1000, 100*time.Millisecond, 0.01
+	r := rtt.Seconds()
+	tRTO := 4 * r
+	want := float64(s) / (r*math.Sqrt(2*p/3) + tRTO*(3*math.Sqrt(3*p/8))*p*(1+32*p*p))
+	if got := Throughput(s, rtt, p); math.Abs(got-want)/want > 1e-12 {
+		t.Fatalf("Throughput = %v, want %v", got, want)
+	}
+	// Order of magnitude: ~90-125 kB/s for these parameters.
+	if got := Throughput(s, rtt, p); got < 50_000 || got > 200_000 {
+		t.Fatalf("Throughput = %v, outside plausible band", got)
+	}
+}
+
+func TestThroughputLimits(t *testing.T) {
+	if !math.IsInf(Throughput(1000, 100*time.Millisecond, 0), 1) {
+		t.Error("p=0 must be unlimited")
+	}
+	if !math.IsInf(Throughput(1000, 0, 0.01), 1) {
+		t.Error("rtt=0 must be unlimited")
+	}
+	// p > 1 clamps to 1 rather than exploding.
+	a := Throughput(1000, 100*time.Millisecond, 1)
+	b := Throughput(1000, 100*time.Millisecond, 5)
+	if a != b {
+		t.Error("p>1 should clamp to p=1")
+	}
+}
+
+func TestThroughputMonotonicity(t *testing.T) {
+	f := func(rawP, rawP2 uint16) bool {
+		p1 := float64(rawP)/65536 + 1e-6
+		p2 := float64(rawP2)/65536 + 1e-6
+		if p1 > p2 {
+			p1, p2 = p2, p1
+		}
+		x1 := Throughput(1000, 80*time.Millisecond, p1)
+		x2 := Throughput(1000, 80*time.Millisecond, p2)
+		return x1 >= x2 // more loss never increases the rate
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestThroughputScalesWithSegment(t *testing.T) {
+	x1 := Throughput(500, 100*time.Millisecond, 0.02)
+	x2 := Throughput(1000, 100*time.Millisecond, 0.02)
+	if math.Abs(x2-2*x1)/x2 > 1e-12 {
+		t.Error("throughput must be linear in segment size")
+	}
+}
+
+func TestThroughputDecreasesWithRTT(t *testing.T) {
+	x1 := Throughput(1000, 50*time.Millisecond, 0.02)
+	x2 := Throughput(1000, 200*time.Millisecond, 0.02)
+	if x2 >= x1 {
+		t.Error("longer RTT must lower the rate")
+	}
+}
+
+func TestInvertThroughputRoundTrip(t *testing.T) {
+	for _, p := range []float64{1e-6, 1e-4, 0.001, 0.01, 0.05, 0.2, 0.5} {
+		x := Throughput(1000, 80*time.Millisecond, p)
+		got := InvertThroughput(x, 1000, 80*time.Millisecond)
+		if math.Abs(got-p)/p > 1e-6 {
+			t.Errorf("invert(%v): p = %v, want %v", x, got, p)
+		}
+	}
+}
+
+func TestInvertThroughputEdges(t *testing.T) {
+	if got := InvertThroughput(0, 1000, 100*time.Millisecond); got != 1 {
+		t.Errorf("x=0 -> p=%v, want 1", got)
+	}
+	// Absurdly high rate: p pegged at the minimum.
+	if got := InvertThroughput(1e15, 1000, 100*time.Millisecond); got > 1e-7 {
+		t.Errorf("huge x -> p=%v, want ~1e-8", got)
+	}
+}
+
+func BenchmarkThroughput(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		Throughput(1460, 100*time.Millisecond, 0.01)
+	}
+}
+
+func BenchmarkInvertThroughput(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		InvertThroughput(1e6, 1460, 100*time.Millisecond)
+	}
+}

@@ -1,0 +1,71 @@
+package tfrc
+
+import "repro/internal/seqspace"
+
+// holeScanner finds sequence-number holes that have become declarable as
+// lost under the RFC 3448 §5.1 rule: a packet is considered lost once at
+// least dupThresh packets with higher sequence numbers are covered
+// (received at the receiver, or SACKed at the sender). Both loss
+// estimators share this logic — where it runs is the only difference
+// between classic TFRC and QTPlight, which is the paper's point.
+type holeScanner struct {
+	dupThresh int
+	cursor    seqspace.Seq // everything below is resolved
+	started   bool
+	buf       []seqspace.Range
+}
+
+func newHoleScanner(dupThresh int) *holeScanner {
+	if dupThresh <= 0 {
+		dupThresh = 3
+	}
+	return &holeScanner{dupThresh: dupThresh}
+}
+
+// start initialises the cursor at the first sequence number of interest.
+func (h *holeScanner) start(at seqspace.Seq) {
+	if !h.started {
+		h.cursor = at
+		h.started = true
+	}
+}
+
+// scan walks the unresolved region [cursor, max] of covered and reports
+// each newly declarable hole to emit, in order. It stops at the first
+// hole that is not yet declarable (too few covered packets above it) and
+// leaves the cursor there, so each hole is emitted exactly once.
+// max must be a covered sequence number (the highest one).
+func (h *holeScanner) scan(covered *seqspace.IntervalSet, max seqspace.Seq, emit func(hole seqspace.Range)) {
+	if !h.started {
+		return
+	}
+	h.buf = covered.Gaps(h.buf[:0], h.cursor, max)
+	for _, hole := range h.buf {
+		if countAtOrAfter(covered, hole.Hi) < h.dupThresh {
+			h.cursor = hole.Lo
+			return
+		}
+		emit(hole)
+		h.cursor = hole.Hi
+	}
+	// No unresolved holes remain below max.
+	h.cursor = max
+}
+
+// countAtOrAfter counts covered sequence numbers at or above s.
+func countAtOrAfter(set *seqspace.IntervalSet, s seqspace.Seq) int {
+	n := 0
+	ranges := set.Ranges()
+	for i := len(ranges) - 1; i >= 0; i-- {
+		r := ranges[i]
+		if r.Hi.LessEq(s) {
+			break
+		}
+		lo := r.Lo
+		if lo.Less(s) {
+			lo = s
+		}
+		n += lo.Distance(r.Hi)
+	}
+	return n
+}

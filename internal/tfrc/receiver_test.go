@@ -1,0 +1,183 @@
+package tfrc
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/seqspace"
+)
+
+const msRTT = 100 * time.Millisecond
+
+// feed delivers sequence numbers to r at 1 ms spacing, skipping those in
+// the lost set, and returns the number of urgent-feedback signals.
+func feed(r *Receiver, from, to int, lost map[int]bool, size int) int {
+	urgent := 0
+	for i := from; i < to; i++ {
+		if lost[i] {
+			continue
+		}
+		now := time.Duration(i) * time.Millisecond
+		if r.OnData(now, seqspace.Seq(i), size, msRTT) {
+			urgent++
+		}
+	}
+	return urgent
+}
+
+func TestReceiverFirstPacketFeedback(t *testing.T) {
+	r := NewReceiver(ReceiverConfig{SegmentSize: 1000})
+	if !r.OnData(0, 0, 1000, msRTT) {
+		t.Fatal("first packet must request immediate feedback")
+	}
+	if r.OnData(time.Millisecond, 1, 1000, msRTT) {
+		t.Fatal("ordinary packet must not request immediate feedback")
+	}
+}
+
+func TestReceiverNoLossKeepsPZero(t *testing.T) {
+	r := NewReceiver(ReceiverConfig{SegmentSize: 1000})
+	feed(r, 0, 500, nil, 1000)
+	if r.P() != 0 {
+		t.Fatalf("p = %v without loss", r.P())
+	}
+}
+
+func TestReceiverDetectsSingleLoss(t *testing.T) {
+	r := NewReceiver(ReceiverConfig{SegmentSize: 1000})
+	urgent := feed(r, 0, 100, map[int]bool{50: true}, 1000)
+	// First packet + the loss event = 2 urgent signals.
+	if urgent != 2 {
+		t.Fatalf("urgent = %d, want 2", urgent)
+	}
+	if r.P() <= 0 {
+		t.Fatal("loss not reflected in p")
+	}
+}
+
+func TestReceiverDupThresh(t *testing.T) {
+	r := NewReceiver(ReceiverConfig{SegmentSize: 1000})
+	r.OnData(0, 0, 1000, msRTT)
+	r.OnData(1*time.Millisecond, 1, 1000, msRTT)
+	// Skip 2; deliver 3 and 4: only 2 packets above the hole.
+	r.OnData(3*time.Millisecond, 3, 1000, msRTT)
+	r.OnData(4*time.Millisecond, 4, 1000, msRTT)
+	if r.P() != 0 {
+		t.Fatal("hole declared lost with only 2 packets above it")
+	}
+	// Third higher packet: now the hole is lost.
+	if !r.OnData(5*time.Millisecond, 5, 1000, msRTT) {
+		t.Fatal("loss event not signalled at dupthresh")
+	}
+	if r.P() <= 0 {
+		t.Fatal("p still zero after declared loss")
+	}
+}
+
+func TestReceiverReorderingIsNotLoss(t *testing.T) {
+	r := NewReceiver(ReceiverConfig{SegmentSize: 1000})
+	order := []int{0, 1, 3, 2, 4, 6, 5, 7}
+	for i, s := range order {
+		r.OnData(time.Duration(i)*time.Millisecond, seqspace.Seq(s), 1000, msRTT)
+	}
+	if r.P() != 0 {
+		t.Fatalf("reordering produced p = %v", r.P())
+	}
+}
+
+func TestReceiverBurstIsOneEvent(t *testing.T) {
+	// Losses within one RTT coalesce into a single loss event, so a
+	// 5-packet burst must yield the same interval count as one loss.
+	burst := NewReceiver(ReceiverConfig{SegmentSize: 1000})
+	lost := map[int]bool{50: true, 51: true, 52: true, 53: true, 54: true}
+	feed(burst, 0, 200, lost, 1000)
+
+	single := NewReceiver(ReceiverConfig{SegmentSize: 1000})
+	feed(single, 0, 200, map[int]bool{50: true}, 1000)
+
+	if burst.wali.Seeded() != single.wali.Seeded() {
+		t.Fatal("seeding mismatch")
+	}
+	if lb, ls := len(burst.wali.intervals), len(single.wali.intervals); lb != ls {
+		t.Fatalf("burst created %d intervals, single loss %d", lb, ls)
+	}
+}
+
+func TestReceiverSeparatedLossesAreTwoEvents(t *testing.T) {
+	r := NewReceiver(ReceiverConfig{SegmentSize: 1000})
+	// Losses 200 ms apart (2 RTTs at 1 ms per packet).
+	feed(r, 0, 500, map[int]bool{100: true, 300: true}, 1000)
+	// Seed interval + one closed interval from the second event.
+	if got := len(r.wali.intervals); got != 3 {
+		t.Fatalf("intervals = %d, want 3 (open + seed + closed)", got)
+	}
+}
+
+func TestReceiverSteadyLossRate(t *testing.T) {
+	// 1 loss every 100 packets, spaced well beyond the RTT in time:
+	// p must converge near 0.01.
+	r := NewReceiver(ReceiverConfig{SegmentSize: 1000})
+	lost := map[int]bool{}
+	for i := 50; i < 5000; i += 100 {
+		lost[i] = true
+	}
+	feed(r, 0, 5000, lost, 1000)
+	p := r.P()
+	if p < 0.005 || p > 0.02 {
+		t.Fatalf("p = %v, want ~0.01", p)
+	}
+}
+
+func TestReceiverXRecvMeasurement(t *testing.T) {
+	r := NewReceiver(ReceiverConfig{SegmentSize: 1000})
+	// 100 packets of 1000 B over 100 ms = 1 MB/s.
+	feed(r, 0, 100, nil, 1000)
+	x, p := r.MakeReport(100 * time.Millisecond)
+	if math.Abs(x-1e6)/1e6 > 0.05 {
+		t.Fatalf("X_recv = %v, want ~1e6", x)
+	}
+	if p != 0 {
+		t.Fatalf("p = %v", p)
+	}
+	// Window resets: an immediate second report sees no new bytes.
+	x2, _ := r.MakeReport(200 * time.Millisecond)
+	if x2 != 0 {
+		t.Fatalf("window not reset: %v", x2)
+	}
+}
+
+func TestReceiverDuplicateIgnored(t *testing.T) {
+	r := NewReceiver(ReceiverConfig{SegmentSize: 1000})
+	r.OnData(0, 0, 1000, msRTT)
+	r.OnData(time.Millisecond, 1, 1000, msRTT)
+	before := r.windowBytes
+	r.OnData(2*time.Millisecond, 1, 1000, msRTT) // duplicate
+	if r.windowBytes != before {
+		t.Fatal("duplicate counted towards X_recv")
+	}
+}
+
+func TestReceiverFeedbackInterval(t *testing.T) {
+	r := NewReceiver(ReceiverConfig{SegmentSize: 1000})
+	if r.FeedbackInterval() != 100*time.Millisecond {
+		t.Fatal("default feedback interval")
+	}
+	r.OnData(0, 0, 1000, 40*time.Millisecond)
+	if r.FeedbackInterval() != 40*time.Millisecond {
+		t.Fatal("feedback interval must track sender RTT")
+	}
+}
+
+func TestReceiverSeedMatchesXRecv(t *testing.T) {
+	// After the first loss, p should be seeded so the equation yields
+	// roughly the pre-loss receive rate.
+	r := NewReceiver(ReceiverConfig{SegmentSize: 1000})
+	feed(r, 0, 200, map[int]bool{150: true}, 1000)
+	p := r.P()
+	x := Throughput(1000, msRTT, p)
+	// The rate was ~1 MB/s (1000 B per ms).
+	if x < 2e5 || x > 5e6 {
+		t.Fatalf("seeded equation rate = %v, want near 1e6", x)
+	}
+}

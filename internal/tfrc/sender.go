@@ -1,0 +1,197 @@
+package tfrc
+
+import (
+	"math"
+	"time"
+)
+
+// FeedbackInfo is the digested content of one receiver report, as handed
+// to the sender rate machine. In the classic composition the receiver
+// computed P itself; in QTPlight the sender-side estimator produced both
+// numbers from a bare SACK. Either way the rate machine is identical —
+// that interchangeability is the paper's composition claim.
+type FeedbackInfo struct {
+	XRecv     float64       // receiver rate over the last window, bytes/s
+	P         float64       // loss event rate
+	RTTSample time.Duration // fresh RTT measurement, 0 if none
+}
+
+// SenderConfig configures a TFRC sender.
+type SenderConfig struct {
+	// SegmentSize s in bytes. Required.
+	SegmentSize int
+	// RTTWeight is q in R = q·R + (1−q)·sample (RFC 3448 §4.3),
+	// default 0.9.
+	RTTWeight float64
+	// MinRate floors the sending rate, in bytes/s. Defaults to one
+	// segment per TMBI, the RFC minimum.
+	MinRate float64
+}
+
+// Sender is the RFC 3448 §4 sender: it turns receiver reports into an
+// allowed transmit rate X, handles slow start, the nofeedback timer and
+// rate limits. It does not own packets or timers; the endpoint driver
+// asks for Rate / interpacket interval and schedules the nofeedback
+// timer at NoFeedbackDeadline.
+type Sender struct {
+	cfg SenderConfig
+
+	rtt      time.Duration
+	rttValid bool
+
+	x        float64       // allowed rate, bytes/s
+	xRecv    float64       // most recent receive rate report
+	p        float64       // most recent loss event rate
+	tld      time.Duration // time last doubled (slow start pacing)
+	deadline time.Duration // nofeedback deadline (absolute)
+
+	// xRecvSet holds the most recent receive-rate reports; the
+	// X <= 2·max(set) limit uses the maximum (RFC 5348 §4.3) so that a
+	// single burst-emptied report cannot ratchet the rate down to a
+	// level it can only escape one doubling per round trip.
+	xRecvSet [3]float64
+
+	started bool
+}
+
+// NewSender returns a sender in its initial state: one segment per
+// second until the first RTT sample arrives (RFC 3448 §4.2).
+func NewSender(cfg SenderConfig) *Sender {
+	if cfg.SegmentSize <= 0 {
+		panic("tfrc: SegmentSize required")
+	}
+	if cfg.RTTWeight == 0 {
+		cfg.RTTWeight = 0.9
+	}
+	if cfg.MinRate == 0 {
+		cfg.MinRate = float64(cfg.SegmentSize) / TMBI.Seconds()
+	}
+	return &Sender{
+		cfg: cfg,
+		x:   float64(cfg.SegmentSize), // 1 segment/second
+	}
+}
+
+// Start records the transmission start; the first nofeedback deadline is
+// 2 seconds out (RFC 3448 §4.2).
+func (s *Sender) Start(now time.Duration) {
+	s.started = true
+	s.tld = now
+	s.deadline = now + 2*time.Second
+}
+
+// SeedRTT installs an RTT measured during connection setup (e.g. the
+// handshake exchange) and sets the RFC 3390-style initial rate of up to
+// four segments per RTT.
+func (s *Sender) SeedRTT(now time.Duration, sample time.Duration) {
+	if sample <= 0 {
+		return
+	}
+	s.rtt = sample
+	s.rttValid = true
+	iw := math.Min(4*float64(s.cfg.SegmentSize),
+		math.Max(2*float64(s.cfg.SegmentSize), 4380))
+	s.x = math.Max(s.x, iw/sample.Seconds())
+	s.deadline = now + s.noFeedbackInterval()
+}
+
+// OnFeedback folds a receiver report into the rate (RFC 3448 §4.3).
+func (s *Sender) OnFeedback(now time.Duration, fb FeedbackInfo) {
+	if fb.RTTSample > 0 {
+		if !s.rttValid {
+			s.rtt = fb.RTTSample
+			s.rttValid = true
+			if s.tld == 0 {
+				s.tld = now
+			}
+		} else {
+			q := s.cfg.RTTWeight
+			s.rtt = time.Duration(q*float64(s.rtt) + (1-q)*float64(fb.RTTSample))
+		}
+	}
+	s.xRecv = fb.XRecv
+	s.p = fb.P
+	s.xRecvSet[0], s.xRecvSet[1], s.xRecvSet[2] =
+		s.xRecvSet[1], s.xRecvSet[2], fb.XRecv
+
+	seg := float64(s.cfg.SegmentSize)
+	if s.p > 0 {
+		xCalc := Throughput(s.cfg.SegmentSize, s.rtt, s.p)
+		cap2 := 2 * math.Max(s.xRecvSet[0], math.Max(s.xRecvSet[1], s.xRecvSet[2]))
+		s.x = math.Max(math.Min(xCalc, cap2), s.cfg.MinRate)
+	} else if s.rttValid && now-s.tld >= s.rtt {
+		// Slow start: double at most once per RTT, limited to twice the
+		// rate the receiver reports actually arriving.
+		s.x = math.Max(math.Min(2*s.x, 2*fb.XRecv), seg/s.rtt.Seconds())
+		s.tld = now
+	}
+	s.deadline = now + s.noFeedbackInterval()
+}
+
+// OnNoFeedback implements the §4.4 nofeedback-timer expiry: halve the
+// sending rate (via the X_recv limit) and re-arm.
+func (s *Sender) OnNoFeedback(now time.Duration) {
+	if s.p > 0 && s.rttValid {
+		xCalc := Throughput(s.cfg.SegmentSize, s.rtt, s.p)
+		// Halving the receive-rate history halves the cap.
+		for i := range s.xRecvSet {
+			s.xRecvSet[i] = math.Max(s.xRecvSet[i]/2, s.cfg.MinRate/2)
+		}
+		s.xRecv = math.Max(s.xRecv/2, s.cfg.MinRate/2)
+		cap2 := 2 * math.Max(s.xRecvSet[0], math.Max(s.xRecvSet[1], s.xRecvSet[2]))
+		s.x = math.Max(math.Min(xCalc, cap2), s.cfg.MinRate)
+	} else {
+		s.x = math.Max(s.x/2, s.cfg.MinRate)
+	}
+	s.deadline = now + s.noFeedbackInterval()
+}
+
+func (s *Sender) noFeedbackInterval() time.Duration {
+	if !s.rttValid {
+		return 2 * time.Second
+	}
+	tx := time.Duration(2 * float64(s.cfg.SegmentSize) / s.x * float64(time.Second))
+	iv := 4 * s.rtt
+	if tx > iv {
+		iv = tx
+	}
+	return iv
+}
+
+// Rate returns the allowed sending rate in bytes/second.
+func (s *Sender) Rate() float64 { return s.x }
+
+// SetRate overrides the allowed rate; used by rate controllers layered
+// on top of TFRC (gTFRC clamps X to the negotiated minimum).
+func (s *Sender) SetRate(x float64) {
+	if x < s.cfg.MinRate {
+		x = s.cfg.MinRate
+	}
+	s.x = x
+}
+
+// InterPacketInterval returns t_ipi = s/X for the given packet size.
+func (s *Sender) InterPacketInterval(size int) time.Duration {
+	return time.Duration(float64(size) / s.x * float64(time.Second))
+}
+
+// RTT returns the smoothed round-trip estimate (0 until measured).
+func (s *Sender) RTT() time.Duration {
+	if !s.rttValid {
+		return 0
+	}
+	return s.rtt
+}
+
+// P returns the most recent loss event rate the rate is based on.
+func (s *Sender) P() float64 { return s.p }
+
+// XRecv returns the most recent receive-rate report.
+func (s *Sender) XRecv() float64 { return s.xRecv }
+
+// NoFeedbackDeadline returns the absolute time at which OnNoFeedback
+// should be invoked unless feedback arrives first.
+func (s *Sender) NoFeedbackDeadline() time.Duration { return s.deadline }
+
+// InSlowStart reports whether no loss has been reported yet.
+func (s *Sender) InSlowStart() bool { return s.p == 0 }

@@ -1,0 +1,157 @@
+package tfrc
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestSenderInitialRate(t *testing.T) {
+	s := NewSender(SenderConfig{SegmentSize: 1000})
+	if s.Rate() != 1000 {
+		t.Fatalf("initial rate = %v, want 1 segment/s", s.Rate())
+	}
+	if !s.InSlowStart() {
+		t.Error("new sender must be in slow start")
+	}
+}
+
+func TestSenderSeedRTT(t *testing.T) {
+	s := NewSender(SenderConfig{SegmentSize: 1000})
+	s.Start(0)
+	s.SeedRTT(0, 100*time.Millisecond)
+	// RFC 3390 initial window: min(4s, max(2s, 4380)) = 4000 B per RTT.
+	if got := s.Rate(); math.Abs(got-40_000) > 1 {
+		t.Fatalf("seeded rate = %v, want 40000", got)
+	}
+	if s.RTT() != 100*time.Millisecond {
+		t.Fatalf("rtt = %v", s.RTT())
+	}
+}
+
+func TestSenderSlowStartDoubling(t *testing.T) {
+	s := NewSender(SenderConfig{SegmentSize: 1000})
+	s.Start(0)
+	s.SeedRTT(0, 100*time.Millisecond)
+	r0 := s.Rate()
+	// Feedback with no loss and plentiful receive rate, one RTT later.
+	s.OnFeedback(100*time.Millisecond, FeedbackInfo{XRecv: 1e9, RTTSample: 100 * time.Millisecond})
+	if got := s.Rate(); math.Abs(got-2*r0) > 1 {
+		t.Fatalf("rate after loss-free feedback = %v, want doubled %v", got, 2*r0)
+	}
+	// A second feedback within the same RTT must not double again.
+	r1 := s.Rate()
+	s.OnFeedback(150*time.Millisecond, FeedbackInfo{XRecv: 1e9, RTTSample: 100 * time.Millisecond})
+	if s.Rate() != r1 {
+		t.Fatalf("doubled twice in one RTT: %v -> %v", r1, s.Rate())
+	}
+}
+
+func TestSenderSlowStartLimitedByXRecv(t *testing.T) {
+	s := NewSender(SenderConfig{SegmentSize: 1000})
+	s.Start(0)
+	s.SeedRTT(0, 100*time.Millisecond)
+	s.OnFeedback(100*time.Millisecond, FeedbackInfo{XRecv: 30_000, RTTSample: 100 * time.Millisecond})
+	if got := s.Rate(); math.Abs(got-60_000) > 1 {
+		t.Fatalf("rate = %v, want 2*X_recv = 60000", got)
+	}
+}
+
+func TestSenderEquationModeAfterLoss(t *testing.T) {
+	s := NewSender(SenderConfig{SegmentSize: 1000})
+	s.Start(0)
+	s.SeedRTT(0, 100*time.Millisecond)
+	fb := FeedbackInfo{XRecv: 1e9, P: 0.01, RTTSample: 100 * time.Millisecond}
+	s.OnFeedback(100*time.Millisecond, fb)
+	want := Throughput(1000, s.RTT(), 0.01)
+	if math.Abs(s.Rate()-want)/want > 1e-9 {
+		t.Fatalf("rate = %v, want equation value %v", s.Rate(), want)
+	}
+	if s.InSlowStart() {
+		t.Error("loss must leave slow start")
+	}
+}
+
+func TestSenderEquationLimitedByXRecv(t *testing.T) {
+	s := NewSender(SenderConfig{SegmentSize: 1000})
+	s.Start(0)
+	s.SeedRTT(0, 100*time.Millisecond)
+	// Tiny loss -> huge equation rate, but X_recv caps it at 2*X_recv.
+	s.OnFeedback(100*time.Millisecond, FeedbackInfo{XRecv: 10_000, P: 1e-9, RTTSample: 100 * time.Millisecond})
+	if got := s.Rate(); math.Abs(got-20_000) > 1 {
+		t.Fatalf("rate = %v, want 20000 (2*X_recv)", got)
+	}
+}
+
+func TestSenderRTTSmoothing(t *testing.T) {
+	s := NewSender(SenderConfig{SegmentSize: 1000})
+	s.Start(0)
+	s.OnFeedback(0, FeedbackInfo{XRecv: 1e6, RTTSample: 100 * time.Millisecond})
+	s.OnFeedback(time.Second, FeedbackInfo{XRecv: 1e6, RTTSample: 200 * time.Millisecond})
+	// R = 0.9*100ms + 0.1*200ms = 110ms.
+	if got := s.RTT(); math.Abs(float64(got-110*time.Millisecond)) > 1e6 {
+		t.Fatalf("rtt = %v, want 110ms", got)
+	}
+}
+
+func TestSenderNoFeedbackHalving(t *testing.T) {
+	s := NewSender(SenderConfig{SegmentSize: 1000})
+	s.Start(0)
+	s.SeedRTT(0, 100*time.Millisecond)
+	s.OnFeedback(100*time.Millisecond, FeedbackInfo{XRecv: 100_000, P: 0.001, RTTSample: 100 * time.Millisecond})
+	r0 := s.Rate()
+	s.OnNoFeedback(500 * time.Millisecond)
+	r1 := s.Rate()
+	if r1 > r0/2+1 {
+		t.Fatalf("no-feedback did not halve: %v -> %v", r0, r1)
+	}
+	// Repeated expiries keep halving down to the floor.
+	for i := 0; i < 40; i++ {
+		s.OnNoFeedback(time.Duration(i) * time.Second)
+	}
+	floor := float64(1000) / TMBI.Seconds()
+	if s.Rate() < floor-1e-9 {
+		t.Fatalf("rate %v fell below floor %v", s.Rate(), floor)
+	}
+}
+
+func TestSenderNoFeedbackDeadline(t *testing.T) {
+	s := NewSender(SenderConfig{SegmentSize: 1000})
+	s.Start(0)
+	if got := s.NoFeedbackDeadline(); got != 2*time.Second {
+		t.Fatalf("initial deadline = %v, want 2s", got)
+	}
+	s.SeedRTT(0, 100*time.Millisecond)
+	s.OnFeedback(time.Second, FeedbackInfo{XRecv: 1e6, RTTSample: 100 * time.Millisecond})
+	// Deadline = now + max(4*RTT, 2s/X); 4*RTT = 400ms here.
+	want := time.Second + 400*time.Millisecond
+	if got := s.NoFeedbackDeadline(); got != want {
+		t.Fatalf("deadline = %v, want %v", got, want)
+	}
+}
+
+func TestSenderInterPacketInterval(t *testing.T) {
+	s := NewSender(SenderConfig{SegmentSize: 1000})
+	s.SetRate(100_000)
+	if got := s.InterPacketInterval(1000); got != 10*time.Millisecond {
+		t.Fatalf("t_ipi = %v, want 10ms", got)
+	}
+}
+
+func TestSenderSetRateFloor(t *testing.T) {
+	s := NewSender(SenderConfig{SegmentSize: 1000})
+	s.SetRate(0.0001)
+	floor := float64(1000) / TMBI.Seconds()
+	if s.Rate() < floor-1e-9 {
+		t.Fatalf("SetRate ignored floor: %v", s.Rate())
+	}
+}
+
+func TestSenderPanicsWithoutSegment(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("want panic")
+		}
+	}()
+	NewSender(SenderConfig{})
+}

@@ -1,0 +1,277 @@
+package tfrc
+
+import (
+	"time"
+
+	"repro/internal/seqspace"
+)
+
+// EstimatorConfig configures the QTPlight sender-side loss estimator.
+type EstimatorConfig struct {
+	// SegmentSize s in bytes, for history seeding. Required.
+	SegmentSize int
+	// WALIDepth is the loss-interval history depth (default 8).
+	WALIDepth int
+	// DupThresh is the number of higher-sequence SACKed packets that
+	// declare a hole lost (default 3).
+	DupThresh int
+}
+
+// SenderEstimator reconstructs the TFRC loss event rate and receive rate
+// at the *sender* from bare SACK feedback — the paper's §3 proposal.
+// The receiver keeps no loss history at all; because the sender also
+// knows the exact transmission time of every packet, loss-event
+// coalescing uses true send times instead of the receiver-side
+// interpolation RFC 3448 needs.
+//
+// It also makes the transport robust against selfish receivers: p and
+// X_recv are computed from which packets the receiver acknowledges, not
+// from numbers the receiver claims (cf. Georg & Gorinsky [3]). A
+// receiver can still lie by acknowledging packets it never got, but then
+// it must reconstruct data it does not have — lying is no longer free.
+type SenderEstimator struct {
+	cfg EstimatorConfig
+
+	acked   seqspace.IntervalSet // first-transmission seqs acknowledged
+	scanner *holeScanner
+	wali    *LossIntervals
+
+	sendTimes timeRing
+	started   bool
+	nextSeq   seqspace.Seq // next first-transmission sequence number
+
+	haveEvent     bool
+	eventStart    seqspace.Seq
+	eventSendTime time.Duration
+
+	// Receive-rate window: bytes newly acknowledged since last report.
+	windowBytes int
+	windowStart time.Duration
+	gapBuf      []seqspace.Range
+
+	// Ops counts processing operations (E4 metric, sender side).
+	Ops int
+}
+
+// NewSenderEstimator returns a QTPlight estimator.
+func NewSenderEstimator(cfg EstimatorConfig) *SenderEstimator {
+	if cfg.SegmentSize <= 0 {
+		panic("tfrc: SegmentSize required")
+	}
+	if cfg.WALIDepth == 0 {
+		cfg.WALIDepth = DefaultWALIDepth
+	}
+	if cfg.DupThresh == 0 {
+		cfg.DupThresh = 3
+	}
+	return &SenderEstimator{
+		cfg:     cfg,
+		scanner: newHoleScanner(cfg.DupThresh),
+		wali:    NewLossIntervals(cfg.WALIDepth),
+	}
+}
+
+// OnSent records the first transmission of seq at time now with the
+// given payload size. First transmissions must be reported in sequence
+// order; retransmissions must not be reported (loss estimation operates
+// on the original packet stream).
+func (e *SenderEstimator) OnSent(now time.Duration, seq seqspace.Seq, size int) {
+	e.Ops++
+	if !e.started {
+		e.started = true
+		e.nextSeq = seq
+		e.scanner.start(seq)
+		e.windowStart = now
+	}
+	if seq != e.nextSeq {
+		panic("tfrc: OnSent out of order")
+	}
+	e.sendTimes.put(seq, now, size)
+	e.nextSeq = seq.Next()
+}
+
+// OnAckVector folds one SACK frame into the estimator. cumAck
+// acknowledges everything below it; blocks acknowledge ranges above.
+// rtt is the sender's current RTT estimate (for loss-event coalescing).
+func (e *SenderEstimator) OnAckVector(now time.Duration, cumAck seqspace.Seq, blocks []seqspace.Range, rtt time.Duration) {
+	if !e.started {
+		return
+	}
+	e.Ops++
+	if base := e.sendTimes.baseSeq(); base.Less(cumAck) {
+		e.ackRange(seqspace.Range{Lo: base, Hi: seqspace.Min(cumAck, e.nextSeq)})
+	}
+	for _, b := range blocks {
+		lo, hi := b.Lo, seqspace.Min(b.Hi, e.nextSeq)
+		if lo.Less(hi) {
+			e.ackRange(seqspace.Range{Lo: lo, Hi: hi})
+		}
+	}
+	if e.acked.Len() == 0 {
+		return
+	}
+	maxAcked := e.acked.Max().Prev()
+	e.scanner.scan(&e.acked, maxAcked, func(hole seqspace.Range) {
+		e.Ops += 2
+		e.onHole(now, hole, rtt)
+	})
+	if e.haveEvent {
+		e.wali.SetOpen(float64(e.eventStart.Distance(maxAcked)))
+	}
+	// Entries below the scanner cursor are resolved; their send times can
+	// be dropped.
+	e.sendTimes.advance(e.scanner.cursor)
+}
+
+func (e *SenderEstimator) ackRange(r seqspace.Range) {
+	// Count only newly acknowledged bytes for the receive-rate estimate:
+	// walk the parts of r not yet in the acked set.
+	e.gapBuf = e.acked.Gaps(e.gapBuf[:0], r.Lo, r.Hi)
+	if len(e.gapBuf) == 0 {
+		return
+	}
+	e.Ops++
+	for _, g := range e.gapBuf {
+		for s := g.Lo; s != g.Hi; s = s.Next() {
+			if size, ok := e.sendTimes.size(s); ok {
+				e.windowBytes += size
+			} else {
+				e.windowBytes += e.cfg.SegmentSize
+			}
+		}
+	}
+	e.acked.Add(r)
+}
+
+func (e *SenderEstimator) onHole(now time.Duration, hole seqspace.Range, rtt time.Duration) {
+	sent, ok := e.sendTimes.at(hole.Lo)
+	if !ok {
+		sent = now - rtt // conservative fallback; should not happen
+	}
+	if !e.haveEvent {
+		xRecv := e.currentRate(now)
+		if rtt <= 0 {
+			rtt = 100 * time.Millisecond
+		}
+		p := InvertThroughput(xRecv, e.cfg.SegmentSize, rtt)
+		e.wali.Seed(1 / p)
+		e.haveEvent = true
+		e.eventStart = hole.Lo
+		e.eventSendTime = sent
+		return
+	}
+	// Exact send-time coalescing: packets sent within one RTT of the
+	// event start belong to the same congestion event.
+	if sent-e.eventSendTime <= rtt {
+		return
+	}
+	e.wali.SetOpen(float64(e.eventStart.Distance(hole.Lo)))
+	e.wali.Close()
+	e.eventStart = hole.Lo
+	e.eventSendTime = sent
+}
+
+func (e *SenderEstimator) currentRate(now time.Duration) float64 {
+	el := now - e.windowStart
+	if el <= 0 {
+		return float64(e.windowBytes)
+	}
+	return float64(e.windowBytes) / el.Seconds()
+}
+
+// P returns the sender-side loss event rate estimate.
+func (e *SenderEstimator) P() float64 { return e.wali.P() }
+
+// PendingBytes returns the bytes newly acknowledged since the last
+// report. As with RFC 3448 receiver reports, an empty window must not
+// drive a rate update: it would report X_recv = 0 and freeze the sender
+// at the minimum rate.
+func (e *SenderEstimator) PendingBytes() int { return e.windowBytes }
+
+// MakeReport produces the (X_recv, p) pair the rate machine consumes,
+// resetting the rate window — the sender-side equivalent of the
+// receiver's feedback packet.
+func (e *SenderEstimator) MakeReport(now time.Duration) (xRecv float64, p float64) {
+	xRecv = e.currentRate(now)
+	e.windowBytes = 0
+	e.windowStart = now
+	return xRecv, e.wali.P()
+}
+
+// StateBytes estimates the estimator's memory footprint — state that
+// QTPlight moves from the receiver to the sender (E4 metric).
+func (e *SenderEstimator) StateBytes() int {
+	return e.wali.StateBytes() + 8*2*cap(e.acked.Ranges()) + e.sendTimes.stateBytes() + 96
+}
+
+// timeRing stores (send time, size) per sequence number for the live
+// window [base, next), indexed modulo capacity. Capacity grows to cover
+// the largest in-flight span seen.
+type timeRing struct {
+	base  seqspace.Seq
+	next  seqspace.Seq
+	times []time.Duration
+	sizes []uint32
+	init  bool
+}
+
+func (tr *timeRing) put(seq seqspace.Seq, t time.Duration, size int) {
+	if !tr.init {
+		tr.init = true
+		tr.base = seq
+		tr.next = seq
+	}
+	need := tr.base.Distance(seq) + 1
+	if need > len(tr.times) {
+		tr.grow(need)
+	}
+	i := int(uint32(seq)) % len(tr.times)
+	tr.times[i] = t
+	tr.sizes[i] = uint32(size)
+	if tr.next.LessEq(seq) {
+		tr.next = seq.Next()
+	}
+}
+
+func (tr *timeRing) grow(need int) {
+	capNew := 64
+	for capNew < 2*need {
+		capNew *= 2
+	}
+	times := make([]time.Duration, capNew)
+	sizes := make([]uint32, capNew)
+	for s := tr.base; s != tr.next; s = s.Next() {
+		if len(tr.times) > 0 {
+			old := int(uint32(s)) % len(tr.times)
+			j := int(uint32(s)) % capNew
+			times[j] = tr.times[old]
+			sizes[j] = tr.sizes[old]
+		}
+	}
+	tr.times = times
+	tr.sizes = sizes
+}
+
+func (tr *timeRing) at(seq seqspace.Seq) (time.Duration, bool) {
+	if !tr.init || seq.Less(tr.base) || !seq.Less(tr.next) {
+		return 0, false
+	}
+	return tr.times[int(uint32(seq))%len(tr.times)], true
+}
+
+func (tr *timeRing) size(seq seqspace.Seq) (int, bool) {
+	if !tr.init || seq.Less(tr.base) || !seq.Less(tr.next) {
+		return 0, false
+	}
+	return int(tr.sizes[int(uint32(seq))%len(tr.times)]), true
+}
+
+func (tr *timeRing) baseSeq() seqspace.Seq { return tr.base }
+
+func (tr *timeRing) advance(to seqspace.Seq) {
+	if tr.init && tr.base.Less(to) && to.LessEq(tr.next) {
+		tr.base = to
+	}
+}
+
+func (tr *timeRing) stateBytes() int { return 12 * len(tr.times) }

@@ -1,0 +1,205 @@
+package tfrc
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/seqspace"
+)
+
+// driveEstimator simulates sending `count` packets at 1 ms spacing with
+// the given lost set, acknowledging each arrival with an immediate SACK
+// vector (as the QTPlight receiver would).
+func driveEstimator(e *SenderEstimator, count int, lost map[int]bool, size int) {
+	var received seqspace.IntervalSet
+	cum := seqspace.Seq(0)
+	for i := 0; i < count; i++ {
+		now := time.Duration(i) * time.Millisecond
+		e.OnSent(now, seqspace.Seq(i), size)
+		if lost[i] {
+			continue
+		}
+		received.AddSeq(seqspace.Seq(i))
+		cum = received.FirstMissingAfter(cum)
+		// Build SACK blocks above cum.
+		var blocks []seqspace.Range
+		for _, r := range received.Ranges() {
+			if cum.Less(r.Hi) && cum.LessEq(r.Lo) {
+				blocks = append(blocks, r)
+			}
+		}
+		// Feedback arrives half an RTT later than the send; use the send
+		// clock for simplicity (constant offsets cancel in coalescing).
+		e.OnAckVector(now, cum, blocks, msRTT)
+	}
+}
+
+func TestEstimatorNoLoss(t *testing.T) {
+	e := NewSenderEstimator(EstimatorConfig{SegmentSize: 1000})
+	driveEstimator(e, 300, nil, 1000)
+	if e.P() != 0 {
+		t.Fatalf("p = %v without loss", e.P())
+	}
+}
+
+func TestEstimatorSingleLoss(t *testing.T) {
+	e := NewSenderEstimator(EstimatorConfig{SegmentSize: 1000})
+	driveEstimator(e, 200, map[int]bool{100: true}, 1000)
+	if e.P() <= 0 {
+		t.Fatal("loss not detected")
+	}
+}
+
+func TestEstimatorDupThresh(t *testing.T) {
+	e := NewSenderEstimator(EstimatorConfig{SegmentSize: 1000})
+	e.OnSent(0, 0, 1000)
+	e.OnSent(time.Millisecond, 1, 1000)
+	e.OnSent(2*time.Millisecond, 2, 1000)
+	e.OnSent(3*time.Millisecond, 3, 1000)
+	// ACK 0, then 2 and 3 (1 missing, only 2 above): not yet lost.
+	e.OnAckVector(4*time.Millisecond, 1, []seqspace.Range{{Lo: 2, Hi: 4}}, msRTT)
+	if e.P() != 0 {
+		t.Fatal("declared with 2 SACKed above")
+	}
+	e.OnSent(4*time.Millisecond, 4, 1000)
+	e.OnAckVector(5*time.Millisecond, 1, []seqspace.Range{{Lo: 2, Hi: 5}}, msRTT)
+	if e.P() <= 0 {
+		t.Fatal("not declared with 3 SACKed above")
+	}
+}
+
+func TestEstimatorBurstCoalescing(t *testing.T) {
+	mk := func(lost map[int]bool) int {
+		e := NewSenderEstimator(EstimatorConfig{SegmentSize: 1000})
+		driveEstimator(e, 400, lost, 1000)
+		return len(e.wali.intervals)
+	}
+	burst := mk(map[int]bool{200: true, 201: true, 202: true})
+	single := mk(map[int]bool{200: true})
+	if burst != single {
+		t.Fatalf("burst intervals %d != single-loss intervals %d", burst, single)
+	}
+}
+
+func TestEstimatorSeparatedEvents(t *testing.T) {
+	e := NewSenderEstimator(EstimatorConfig{SegmentSize: 1000})
+	// 1 ms spacing, RTT 100 ms: losses 200 packets apart are separate
+	// congestion events.
+	driveEstimator(e, 600, map[int]bool{100: true, 300: true, 500: true}, 1000)
+	// Seed + two closed = 3 closed intervals + open.
+	if got := len(e.wali.intervals); got != 4 {
+		t.Fatalf("intervals = %d, want 4", got)
+	}
+}
+
+func TestEstimatorSteadyLossRate(t *testing.T) {
+	e := NewSenderEstimator(EstimatorConfig{SegmentSize: 1000})
+	lost := map[int]bool{}
+	for i := 50; i < 5000; i += 100 {
+		lost[i] = true
+	}
+	driveEstimator(e, 5000, lost, 1000)
+	p := e.P()
+	if p < 0.005 || p > 0.02 {
+		t.Fatalf("p = %v, want ~0.01", p)
+	}
+}
+
+// The headline parity claim (experiment E5): the sender-side estimator
+// must agree with the classic receiver on the same loss pattern.
+func TestEstimatorMatchesReceiver(t *testing.T) {
+	lost := map[int]bool{}
+	for i := 97; i < 4000; i += 97 { // slightly irregular pattern
+		lost[i] = true
+	}
+	r := NewReceiver(ReceiverConfig{SegmentSize: 1000})
+	feed(r, 0, 4000, lost, 1000)
+
+	e := NewSenderEstimator(EstimatorConfig{SegmentSize: 1000})
+	driveEstimator(e, 4000, lost, 1000)
+
+	pr, pe := r.P(), e.P()
+	if pr <= 0 || pe <= 0 {
+		t.Fatalf("estimators not seeded: receiver %v sender %v", pr, pe)
+	}
+	if math.Abs(pr-pe)/pr > 0.15 {
+		t.Fatalf("sender-side p = %v diverges from receiver-side p = %v", pe, pr)
+	}
+}
+
+func TestEstimatorXRecv(t *testing.T) {
+	e := NewSenderEstimator(EstimatorConfig{SegmentSize: 1000})
+	driveEstimator(e, 100, nil, 1000)
+	x, _ := e.MakeReport(100 * time.Millisecond)
+	// 100 kB acked over 100 ms = ~1 MB/s.
+	if math.Abs(x-1e6)/1e6 > 0.1 {
+		t.Fatalf("X_recv = %v, want ~1e6", x)
+	}
+	x2, _ := e.MakeReport(200 * time.Millisecond)
+	if x2 != 0 {
+		t.Fatalf("window not reset: %v", x2)
+	}
+}
+
+func TestEstimatorDuplicateSACKs(t *testing.T) {
+	e := NewSenderEstimator(EstimatorConfig{SegmentSize: 1000})
+	for i := 0; i < 10; i++ {
+		e.OnSent(time.Duration(i)*time.Millisecond, seqspace.Seq(i), 1000)
+	}
+	e.OnAckVector(11*time.Millisecond, 10, nil, msRTT)
+	e.OnAckVector(12*time.Millisecond, 10, nil, msRTT) // duplicate
+	x, _ := e.MakeReport(20 * time.Millisecond)
+	if math.Abs(x-10_000/0.020) > 1 {
+		t.Fatalf("duplicate SACK inflated X_recv: %v", x)
+	}
+}
+
+func TestEstimatorOutOfOrderSentPanics(t *testing.T) {
+	e := NewSenderEstimator(EstimatorConfig{SegmentSize: 1000})
+	e.OnSent(0, 5, 1000)
+	defer func() {
+		if recover() == nil {
+			t.Error("want panic for out-of-order OnSent")
+		}
+	}()
+	e.OnSent(time.Millisecond, 7, 1000)
+}
+
+func TestTimeRingGrowthAndEviction(t *testing.T) {
+	var tr timeRing
+	const n = 500
+	for i := 0; i < n; i++ {
+		tr.put(seqspace.Seq(i), time.Duration(i), 100+i)
+	}
+	for i := 0; i < n; i++ {
+		got, ok := tr.at(seqspace.Seq(i))
+		if !ok || got != time.Duration(i) {
+			t.Fatalf("at(%d) = %v %v", i, got, ok)
+		}
+		size, ok := tr.size(seqspace.Seq(i))
+		if !ok || size != 100+i {
+			t.Fatalf("size(%d) = %v %v", i, size, ok)
+		}
+	}
+	tr.advance(400)
+	if _, ok := tr.at(399); ok {
+		t.Error("evicted entry still visible")
+	}
+	if _, ok := tr.at(400); !ok {
+		t.Error("live entry lost after advance")
+	}
+	// Out-of-window queries.
+	if _, ok := tr.at(10_000); ok {
+		t.Error("future seq visible")
+	}
+}
+
+func TestEstimatorStateBytesBounded(t *testing.T) {
+	e := NewSenderEstimator(EstimatorConfig{SegmentSize: 1000})
+	driveEstimator(e, 20000, map[int]bool{500: true, 9000: true}, 1000)
+	// With prompt acking the ring stays small; allow generous slack.
+	if sb := e.StateBytes(); sb > 1<<20 {
+		t.Fatalf("estimator state grew to %d bytes", sb)
+	}
+}

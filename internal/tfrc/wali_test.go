@@ -1,0 +1,138 @@
+package tfrc
+
+import (
+	"math"
+	"testing"
+)
+
+func TestWALIWeights(t *testing.T) {
+	li := NewLossIntervals(8)
+	want := []float64{1, 1, 1, 1, 0.8, 0.6, 0.4, 0.2}
+	for i, w := range li.weights {
+		if math.Abs(w-want[i]) > 1e-12 {
+			t.Fatalf("weights = %v, want %v", li.weights, want)
+		}
+	}
+}
+
+func TestWALIUnseeded(t *testing.T) {
+	li := NewLossIntervals(8)
+	if li.P() != 0 {
+		t.Error("P must be 0 before any loss")
+	}
+	li.OnPackets(500)
+	if li.P() != 0 || li.Seeded() {
+		t.Error("packets alone must not seed the estimator")
+	}
+}
+
+func TestWALISteadyState(t *testing.T) {
+	// Loss every 100 packets: p should converge to ~1/100.
+	li := NewLossIntervals(8)
+	for i := 0; i < 50; i++ {
+		li.SetOpen(100)
+		li.Close()
+	}
+	p := li.P()
+	if math.Abs(p-0.01)/0.01 > 1e-9 {
+		t.Fatalf("p = %v, want 0.01", p)
+	}
+}
+
+func TestWALIOpenIntervalOnlyHelps(t *testing.T) {
+	li := NewLossIntervals(8)
+	for i := 0; i < 10; i++ {
+		li.SetOpen(100)
+		li.Close()
+	}
+	base := li.P()
+	// A short open interval (fresh loss) must not raise p.
+	li.SetOpen(3)
+	if li.P() > base+1e-12 {
+		t.Fatalf("short open interval raised p: %v > %v", li.P(), base)
+	}
+	// A long loss-free run must lower p immediately.
+	li.SetOpen(10_000)
+	if li.P() >= base {
+		t.Fatalf("long open interval did not lower p: %v >= %v", li.P(), base)
+	}
+}
+
+func TestWALISeed(t *testing.T) {
+	li := NewLossIntervals(8)
+	li.Seed(250)
+	if !li.Seeded() {
+		t.Fatal("Seed must mark the estimator seeded")
+	}
+	if p := li.P(); math.Abs(p-1.0/250) > 1e-9 {
+		t.Fatalf("p after seed = %v, want %v", p, 1.0/250)
+	}
+	// Seed clamps tiny intervals to 1.
+	li2 := NewLossIntervals(8)
+	li2.Seed(0.001)
+	if p := li2.P(); p > 1 {
+		t.Fatalf("p = %v, want <= 1", p)
+	}
+}
+
+func TestWALIHistoryEviction(t *testing.T) {
+	li := NewLossIntervals(4)
+	// Old huge intervals must age out of a depth-4 history.
+	li.SetOpen(1_000_000)
+	li.Close()
+	for i := 0; i < 6; i++ {
+		li.SetOpen(10)
+		li.Close()
+	}
+	p := li.P()
+	if math.Abs(p-0.1)/0.1 > 1e-9 {
+		t.Fatalf("p = %v, want 0.1 after eviction", p)
+	}
+	if len(li.intervals) > 5 {
+		t.Fatalf("history grew to %d, cap is depth+1", len(li.intervals))
+	}
+}
+
+func TestWALIRecentIntervalsWeighMore(t *testing.T) {
+	// Recent short intervals (high loss) vs the same intervals reversed:
+	// recency weighting means recent-short must give higher p.
+	mk := func(intervals []float64) float64 {
+		li := NewLossIntervals(8)
+		for _, iv := range intervals {
+			li.SetOpen(iv)
+			li.Close()
+		}
+		li.SetOpen(1) // negligible open interval
+		return li.P()
+	}
+	recentShort := mk([]float64{1000, 1000, 1000, 1000, 10, 10, 10, 10})
+	recentLong := mk([]float64{10, 10, 10, 10, 1000, 1000, 1000, 1000})
+	if recentShort <= recentLong {
+		t.Fatalf("recency weighting broken: %v <= %v", recentShort, recentLong)
+	}
+}
+
+func TestWALIDepthValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("depth < 2 should panic")
+		}
+	}()
+	NewLossIntervals(1)
+}
+
+func TestWALIMinIntervalClamp(t *testing.T) {
+	li := NewLossIntervals(8)
+	li.SetOpen(0)
+	li.Close()
+	if p := li.P(); p > 1 {
+		t.Fatalf("p = %v, must never exceed 1", p)
+	}
+}
+
+func TestWALIStateBytes(t *testing.T) {
+	li := NewLossIntervals(8)
+	if li.StateBytes() <= 0 {
+		t.Error("StateBytes must be positive")
+	}
+}
