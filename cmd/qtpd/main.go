@@ -1,10 +1,11 @@
-// Command qtpd is the QTP responder daemon: it accepts one connection,
-// receives a stream, and reports what was negotiated and delivered.
-// Pair it with qtpcat.
+// Command qtpd is the QTP responder daemon: a multi-client server that
+// accepts any number of concurrent connections on one UDP socket,
+// receives their streams, and reports what was negotiated and
+// delivered. Pair it with qtpcat.
 //
 // Usage:
 //
-//	qtpd [-listen :9000] [-qos-budget bytesPerSec] [-o file]
+//	qtpd [-listen :9000] [-qos-budget bytesPerSec] [-o prefix] [-max n]
 package main
 
 import (
@@ -13,6 +14,7 @@ import (
 	"io"
 	"log"
 	"os"
+	"sync"
 	"time"
 
 	"repro/internal/core"
@@ -21,8 +23,9 @@ import (
 
 func main() {
 	listen := flag.String("listen", ":9000", "UDP address to listen on")
-	budget := flag.Float64("qos-budget", 0, "max QoS reservation to grant, bytes/s (0 = refuse QoS)")
-	out := flag.String("o", "", "write received data to this file (default: discard)")
+	budget := flag.Float64("qos-budget", 0, "max QoS reservation to grant per connection, bytes/s (0 = refuse QoS)")
+	out := flag.String("o", "", "write each stream to <prefix>.<connID> (default: discard)")
+	maxConns := flag.Int("max", 0, "exit after serving this many connections (0 = serve forever)")
 	flag.Parse()
 
 	cons := core.Constraints{
@@ -34,20 +37,36 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	log.Printf("qtpd: listening on %s (QoS budget %.0f B/s)", l.Addr(), *budget)
+	defer l.Close()
+	log.Printf("qtpd: listening on %s (QoS budget %.0f B/s per conn)", l.Addr(), *budget)
 
-	conn, err := l.Accept()
-	if err != nil {
-		log.Fatal(err)
+	var wg sync.WaitGroup
+	for served := 0; *maxConns == 0 || served < *maxConns; served++ {
+		conn, err := l.Accept()
+		if err != nil {
+			log.Printf("qtpd: accept: %v", err)
+			break
+		}
+		log.Printf("qtpd: conn %d accepted, negotiated %v", conn.ID(), conn.Profile())
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			serve(conn, *out)
+		}()
 	}
+	wg.Wait()
+}
+
+// serve drains one connection's stream and reports its outcome.
+func serve(conn *qtpnet.Conn, prefix string) {
 	defer conn.Close()
-	log.Printf("qtpd: accepted, negotiated %v", conn.Profile())
 
 	var w io.Writer = io.Discard
-	if *out != "" {
-		f, err := os.Create(*out)
+	if prefix != "" {
+		f, err := os.Create(fmt.Sprintf("%s.%d", prefix, conn.ID()))
 		if err != nil {
-			log.Fatal(err)
+			log.Printf("qtpd: conn %d: %v", conn.ID(), err)
+			return
 		}
 		defer f.Close()
 		w = f
@@ -61,6 +80,12 @@ func main() {
 			if conn.Finished() {
 				break
 			}
+			select {
+			case <-conn.Done():
+				log.Printf("qtpd: conn %d closed before finishing", conn.ID())
+				return
+			default:
+			}
 			st := conn.Stats()
 			if st.FramesReceived > 0 && time.Since(start) > 30*time.Second {
 				break
@@ -69,10 +94,11 @@ func main() {
 		}
 		total += len(chunk)
 		if _, err := w.Write(chunk); err != nil {
-			log.Fatal(err)
+			log.Printf("qtpd: conn %d: %v", conn.ID(), err)
+			return
 		}
 	}
 	el := time.Since(start).Seconds()
-	fmt.Printf("qtpd: received %d bytes in %.2fs (%.1f kB/s), finished=%v\n",
-		total, el, float64(total)/el/1000, conn.Finished())
+	fmt.Printf("qtpd: conn %d received %d bytes in %.2fs (%.1f kB/s), finished=%v\n",
+		conn.ID(), total, el, float64(total)/el/1000, conn.Finished())
 }

@@ -1,0 +1,37 @@
+// Package bufpool provides a process-wide pool of datagram-sized byte
+// buffers. Receive paths that previously allocated (and often copied
+// into) a fresh slice per frame — the UDP endpoint's read loop, the
+// simulator drivers' workload writes — draw from this pool instead, so
+// steady-state frame handling stays off the garbage collector entirely.
+//
+// Ownership is strict: a buffer obtained from Get belongs to the caller
+// until it is handed back with Put, and must not be referenced after.
+// The protocol core cooperates by never retaining inbound frame memory
+// (reassembly copies what it buffers), so a driver can recycle a buffer
+// as soon as HandleFrame returns.
+package bufpool
+
+import "sync"
+
+// Size is the capacity of every pooled buffer: the largest datagram a
+// QTP driver will read in one call (64 KiB covers any UDP payload).
+const Size = 65536
+
+var pool = sync.Pool{
+	New: func() any { return make([]byte, Size) },
+}
+
+// Get returns a buffer of length Size. Contents are arbitrary.
+func Get() []byte {
+	return pool.Get().([]byte)
+}
+
+// Put returns a buffer to the pool. Buffers that did not come from Get
+// (wrong capacity) are dropped rather than pooled, so accidental reuse
+// of a short slice can never poison later reads.
+func Put(b []byte) {
+	if cap(b) != Size {
+		return
+	}
+	pool.Put(b[:Size]) //nolint:staticcheck // slice header, not pointer: fine for pooling
+}

@@ -1,0 +1,31 @@
+package bufpool
+
+import "testing"
+
+func TestGetPut(t *testing.T) {
+	b := Get()
+	if len(b) != Size || cap(b) != Size {
+		t.Fatalf("Get: len %d cap %d, want %d", len(b), cap(b), Size)
+	}
+	Put(b)
+	// A short or foreign slice must be rejected, not pooled.
+	Put(make([]byte, 10))
+	if b2 := Get(); len(b2) != Size {
+		t.Fatalf("pool handed back a short buffer: len %d", len(b2))
+	}
+}
+
+func TestPutRestoresLength(t *testing.T) {
+	b := Get()
+	Put(b[:7]) // callers often hold buf[:n]
+	if b2 := Get(); len(b2) != Size {
+		t.Fatalf("recycled buffer has len %d, want %d", len(b2), Size)
+	}
+}
+
+func BenchmarkGetPut(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Put(Get())
+	}
+}

@@ -1,0 +1,152 @@
+package packet
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/seqspace"
+)
+
+// FuzzHeaderParse feeds arbitrary bytes to Header.Parse and, whenever a
+// buffer decodes, re-encodes it and requires the fixed header bytes to
+// match — a parse/encode fixpoint that catches field-offset drift (the
+// connection-ID field in particular must survive both directions, since
+// endpoint demultiplexing peeks it before full parsing).
+func FuzzHeaderParse(f *testing.F) {
+	seed := Header{Type: TypeData, ConnID: 0xdeadbeef, Seq: 42, PayloadLen: 3}
+	f.Add(append(seed.AppendTo(nil), 'a', 'b', 'c'))
+	noCID := Header{Type: TypeConnect}
+	f.Add(noCID.AppendTo(nil))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var h Header
+		payload, err := h.Parse(data)
+		if err != nil {
+			return
+		}
+		if got := binary.BigEndian.Uint32(data[4:8]); got != h.ConnID {
+			t.Fatalf("ConnID = %#x, header bytes say %#x", h.ConnID, got)
+		}
+		if int(h.PayloadLen) != len(payload) {
+			t.Fatalf("payload length %d, got %d bytes", h.PayloadLen, len(payload))
+		}
+		re := h.AppendTo(nil)
+		if !bytes.Equal(re, data[:HeaderLen]) {
+			t.Fatalf("re-encode mismatch:\n in=%x\nout=%x", data[:HeaderLen], re)
+		}
+	})
+}
+
+// FuzzHandshakeParse checks that no input crashes the TLV walker and
+// that any payload that parses also round-trips through AppendTo.
+func FuzzHandshakeParse(f *testing.F) {
+	withCID := Handshake{Reliability: ReliabilityFull, MSS: 1400, ConnID: 7}
+	b, _ := withCID.AppendTo(nil)
+	f.Add(b)
+	withoutCID := Handshake{FeedbackMode: FeedbackSenderLoss, MSS: 1000}
+	b, _ = withoutCID.AppendTo(nil)
+	f.Add(b)
+	f.Add([]byte{1, 99, 0}) // single unknown option
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var h Handshake
+		if err := h.Parse(data); err != nil {
+			return
+		}
+		enc, err := h.AppendTo(nil)
+		if err != nil {
+			t.Fatalf("re-encode of parsed handshake failed: %v", err)
+		}
+		var h2 Handshake
+		if err := h2.Parse(enc); err != nil {
+			t.Fatalf("parse of re-encoded handshake failed: %v", err)
+		}
+		if h2 != h {
+			t.Fatalf("round trip mismatch:\n in=%+v\nout=%+v", h, h2)
+		}
+	})
+}
+
+// TestHandshakeConnIDRoundTrip pins the connection-ID TLV: carried and
+// recovered when set, absent from the wire when zero (so pre-CID frames
+// keep their exact byte encoding).
+func TestHandshakeConnIDRoundTrip(t *testing.T) {
+	in := Handshake{Reliability: ReliabilityPartial, ReliabilityParam: 500,
+		FeedbackMode: FeedbackSenderLoss, TargetRate: 1 << 20, MSS: 1400, ConnID: 0xabcd1234}
+	enc, err := in.AppendTo(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out Handshake
+	if err := out.Parse(enc); err != nil {
+		t.Fatal(err)
+	}
+	if out != in {
+		t.Fatalf("round trip mismatch:\n in=%+v\nout=%+v", in, out)
+	}
+
+	in.ConnID = 0
+	withID := enc
+	enc, err = in.AppendTo(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(enc) != len(withID)-6 {
+		t.Fatalf("zero ConnID should drop the 6-byte TLV: len %d vs %d", len(enc), len(withID))
+	}
+	out = Handshake{}
+	if err := out.Parse(enc); err != nil {
+		t.Fatal(err)
+	}
+	if out.ConnID != 0 {
+		t.Fatalf("ConnID = %#x, want absent (0)", out.ConnID)
+	}
+}
+
+// TestHandshakeConnIDProperty round-trips handshakes with and without
+// connection IDs across the whole uint32 space.
+func TestHandshakeConnIDProperty(t *testing.T) {
+	f := func(rel, fb uint8, param uint32, rate uint64, mss uint16, cid uint32) bool {
+		in := Handshake{
+			Reliability:      ReliabilityMode(rel % 3),
+			ReliabilityParam: param,
+			FeedbackMode:     FeedbackMode(fb % 2),
+			TargetRate:       rate,
+			MSS:              mss,
+			ConnID:           cid,
+		}
+		enc, err := in.AppendTo(nil)
+		if err != nil {
+			return false
+		}
+		var out Handshake
+		return out.Parse(enc) == nil && out == in
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestHeaderConnIDProperty round-trips headers with and without
+// connection IDs and checks the demux peek offset (bytes 4..8) that
+// qtpnet relies on before full parsing.
+func TestHeaderConnIDProperty(t *testing.T) {
+	f := func(typ uint8, cid uint32, seq uint32) bool {
+		in := Header{
+			Type:   Type(typ%uint8(typeMax-1)) + 1,
+			ConnID: cid,
+			Seq:    seqspace.Seq(seq),
+		}
+		buf := in.AppendTo(nil)
+		if binary.BigEndian.Uint32(buf[4:8]) != cid {
+			return false
+		}
+		var out Header
+		_, err := out.Parse(buf)
+		return err == nil && out == in
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

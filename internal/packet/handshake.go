@@ -14,6 +14,7 @@ const (
 	optFeedbackMode uint8 = 2
 	optTargetRate   uint8 = 3
 	optMSS          uint8 = 4
+	optConnID       uint8 = 5
 )
 
 // ReliabilityMode selects the reliability micro-protocol.
@@ -70,11 +71,23 @@ type Handshake struct {
 	FeedbackMode     FeedbackMode
 	TargetRate       uint64 // negotiated QoS rate g, bytes/s; 0 = best effort
 	MSS              uint16 // maximum segment (payload) size in bytes
+
+	// ConnID is the sender's local connection identifier: the value the
+	// peer must stamp in the header of every subsequent frame it sends,
+	// so a multiplexed endpoint can demultiplex many connections sharing
+	// one socket. Zero means "not carried" — the peer keeps addressing
+	// frames with whatever ID the header already used, which is the
+	// pre-multiplexing symmetric behaviour.
+	ConnID uint32
 }
 
 // AppendTo appends the encoded handshake to dst and returns the result.
 func (h *Handshake) AppendTo(dst []byte) ([]byte, error) {
-	dst = append(dst, 4) // option count
+	count := byte(4)
+	if h.ConnID != 0 {
+		count = 5
+	}
+	dst = append(dst, count)
 	dst = append(dst, optReliability, 5, uint8(h.Reliability))
 	dst = binary.BigEndian.AppendUint32(dst, h.ReliabilityParam)
 	dst = append(dst, optFeedbackMode, 1, uint8(h.FeedbackMode))
@@ -82,6 +95,10 @@ func (h *Handshake) AppendTo(dst []byte) ([]byte, error) {
 	dst = binary.BigEndian.AppendUint64(dst, h.TargetRate)
 	dst = append(dst, optMSS, 2)
 	dst = binary.BigEndian.AppendUint16(dst, h.MSS)
+	if h.ConnID != 0 {
+		dst = append(dst, optConnID, 4)
+		dst = binary.BigEndian.AppendUint32(dst, h.ConnID)
+	}
 	return dst, nil
 }
 
@@ -124,6 +141,11 @@ func (h *Handshake) Parse(b []byte) error {
 				return fmt.Errorf("%w: mss length %d", ErrOption, ln)
 			}
 			h.MSS = binary.BigEndian.Uint16(v)
+		case optConnID:
+			if ln != 4 {
+				return fmt.Errorf("%w: conn id length %d", ErrOption, ln)
+			}
+			h.ConnID = binary.BigEndian.Uint32(v)
 		default:
 			// Unknown option: skip.
 		}

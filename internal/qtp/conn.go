@@ -58,8 +58,17 @@ type Config struct {
 	// Constraints bound what the responder grants. Ignored by the
 	// initiator.
 	Constraints core.Constraints
-	// ConnID identifies the connection in every frame.
+	// ConnID identifies the connection in every frame. It doubles as the
+	// default for LocalID and as the initial outbound stamp, which keeps
+	// the pre-multiplexing symmetric behaviour: both sides configured
+	// with the same ConnID interoperate exactly as before.
 	ConnID uint32
+	// LocalID, when non-zero, is the identifier this endpoint expects in
+	// the header of inbound frames. A multiplexed driver assigns each
+	// connection a socket-unique LocalID and demultiplexes on it; the
+	// value is carried to the peer in the Connect/Accept handshake TLV
+	// so the peer stamps it on everything it sends afterwards.
+	LocalID uint32
 	// StartSeq is the first data sequence number (default 1).
 	StartSeq seqspace.Seq
 	// MaxBacklog caps bytes queued in Write before the transport pushes
@@ -99,6 +108,12 @@ type Conn struct {
 	cfg     Config
 	profile core.Profile
 	state   State
+
+	// Connection identifiers. localID is what we require on inbound
+	// frames; remoteID is what we stamp on outbound frames (the peer's
+	// local ID once its handshake TLV has been seen).
+	localID  uint32
+	remoteID uint32
 
 	// Control-plane state.
 	ctrlPending packet.Type   // control frame owed to the peer (0 = none)
@@ -163,11 +178,25 @@ func NewConn(cfg Config) *Conn {
 		cfg.UnreliableSkip = 250 * time.Millisecond
 	}
 	c := &Conn{cfg: cfg, state: StateIdle, nextSeq: cfg.StartSeq, sendOpen: true}
+	c.localID = cfg.LocalID
+	if c.localID == 0 {
+		c.localID = cfg.ConnID
+	}
+	c.remoteID = cfg.ConnID
 	if cfg.Initiator {
 		c.profile = cfg.Profile.Normalize()
 	}
 	return c
 }
+
+// LocalID returns the identifier this endpoint expects on inbound
+// frames; drivers key their demultiplexing tables on it.
+func (c *Conn) LocalID() uint32 { return c.localID }
+
+// RemoteID returns the identifier stamped on outbound frames — the
+// peer's local ID once learned from its handshake TLV, until then the
+// legacy symmetric ConnID.
+func (c *Conn) RemoteID() uint32 { return c.remoteID }
 
 // Start begins the handshake (initiator only).
 func (c *Conn) Start(now time.Duration) {

@@ -3,6 +3,7 @@ package qtp
 import (
 	"time"
 
+	"repro/internal/bufpool"
 	"repro/internal/core"
 	"repro/internal/netsim"
 	"repro/internal/workload"
@@ -136,14 +137,17 @@ func (f *Flow) drainReads() {
 	}
 }
 
-// topUp keeps a bulk sender's backlog full.
+// topUp keeps a bulk sender's backlog full. Write copies into the
+// backlog, so the scratch buffer is pooled, not allocated per refill.
 func (f *Flow) topUp() {
 	if !f.cfg.Bulk {
 		return
 	}
 	const window = 64 << 10
 	if f.Sender.BacklogLen() < window/2 {
-		f.Sender.Write(make([]byte, window))
+		buf := bufpool.Get()
+		f.Sender.Write(buf[:window])
+		bufpool.Put(buf)
 	}
 }
 
@@ -159,7 +163,13 @@ func (f *Flow) scheduleSource() {
 		return
 	}
 	f.sim.At(f.cfg.Start+at, func() {
-		f.Sender.Write(make([]byte, size))
+		if size <= bufpool.Size {
+			buf := bufpool.Get()
+			f.Sender.Write(buf[:size])
+			bufpool.Put(buf)
+		} else {
+			f.Sender.Write(make([]byte, size))
+		}
 		f.pumpSender()
 		f.scheduleSource()
 	})

@@ -23,9 +23,14 @@ func (c *Conn) HandleFrame(now time.Duration, frame []byte) error {
 		c.stats.DecodeErrors++
 		return err
 	}
-	if hdr.ConnID != c.cfg.ConnID {
-		c.stats.DecodeErrors++
-		return fmt.Errorf("qtp: conn id %d, want %d", hdr.ConnID, c.cfg.ConnID)
+	if hdr.ConnID != c.localID {
+		// A Connect reaches the responder before the initiator can know
+		// our local ID, stamped with the initiator's own ID instead; the
+		// driver has already routed it to us by peer address.
+		if c.cfg.Initiator || hdr.Type != packet.TypeConnect {
+			c.stats.DecodeErrors++
+			return fmt.Errorf("qtp: conn id %d, want %d", hdr.ConnID, c.localID)
+		}
 	}
 	c.stats.FramesReceived++
 	// Record the peer timestamp for echoing.
@@ -35,7 +40,7 @@ func (c *Conn) HandleFrame(now time.Duration, frame []byte) error {
 
 	switch hdr.Type {
 	case packet.TypeConnect:
-		return c.onConnect(now, payload)
+		return c.onConnect(now, &hdr, payload)
 	case packet.TypeAccept:
 		return c.onAccept(now, &hdr, payload)
 	case packet.TypeConfirm:
@@ -54,13 +59,20 @@ func (c *Conn) HandleFrame(now time.Duration, frame []byte) error {
 	return fmt.Errorf("qtp: unhandled frame type %v", hdr.Type)
 }
 
-func (c *Conn) onConnect(now time.Duration, payload []byte) error {
+func (c *Conn) onConnect(now time.Duration, hdr *packet.Header, payload []byte) error {
 	if c.cfg.Initiator {
 		return ErrBadState
 	}
 	var hs packet.Handshake
 	if err := hs.Parse(payload); err != nil {
 		return err
+	}
+	// Address the initiator by the ID it asked for, falling back to the
+	// header stamp for peers that predate the connection-ID TLV.
+	if hs.ConnID != 0 {
+		c.remoteID = hs.ConnID
+	} else if c.remoteID == 0 {
+		c.remoteID = hdr.ConnID
 	}
 	if c.state == StateIdle {
 		proposal := core.ProfileFromHandshake(hs)
@@ -81,6 +93,10 @@ func (c *Conn) onAccept(now time.Duration, hdr *packet.Header, payload []byte) e
 	var hs packet.Handshake
 	if err := hs.Parse(payload); err != nil {
 		return err
+	}
+	// Adopt the responder's local ID for everything we send from now on.
+	if hs.ConnID != 0 {
+		c.remoteID = hs.ConnID
 	}
 	if c.state == StateConnecting {
 		c.profile = core.ProfileFromHandshake(hs)

@@ -87,7 +87,7 @@ func (c *Conn) buildControl(now time.Duration) []byte {
 	typ := c.ctrlPending
 	hdr := packet.Header{
 		Type:      typ,
-		ConnID:    c.cfg.ConnID,
+		ConnID:    c.remoteID,
 		Timestamp: nowUS(now),
 	}
 	if c.havePeerTS {
@@ -97,6 +97,11 @@ func (c *Conn) buildControl(now time.Duration) []byte {
 	switch typ {
 	case packet.TypeConnect, packet.TypeAccept:
 		hs := c.profile.Handshake()
+		// Tell the peer which ID to stamp on frames it sends us, unless
+		// it is the ID it is already using (symmetric legacy framing).
+		if c.localID != c.remoteID {
+			hs.ConnID = c.localID
+		}
 		payload, _ = hs.AppendTo(c.scratch[:0])
 	}
 	hdr.PayloadLen = uint16(len(payload))
@@ -160,7 +165,7 @@ func (c *Conn) buildFeedback(now time.Duration) []byte {
 
 	hdr := packet.Header{
 		Type:       packet.TypeFeedback,
-		ConnID:     c.cfg.ConnID,
+		ConnID:     c.remoteID,
 		Timestamp:  nowUS(now),
 		PayloadLen: uint16(len(payload)),
 	}
@@ -192,7 +197,7 @@ func (c *Conn) buildSACK(now time.Duration) []byte {
 
 	hdr := packet.Header{
 		Type:       packet.TypeSACK,
-		ConnID:     c.cfg.ConnID,
+		ConnID:     c.remoteID,
 		Timestamp:  nowUS(now),
 		PayloadLen: uint16(len(payload)),
 	}
@@ -253,7 +258,7 @@ func (c *Conn) buildData(now time.Duration) ([]byte, bool) {
 func (c *Conn) dataFrame(now time.Duration, seq seqspace.Seq, payload []byte, retx, fin bool) []byte {
 	hdr := packet.Header{
 		Type:       packet.TypeData,
-		ConnID:     c.cfg.ConnID,
+		ConnID:     c.remoteID,
 		Seq:        seq,
 		Timestamp:  nowUS(now),
 		RTTUS:      uint32(c.rc.RTT() / time.Microsecond),

@@ -1,0 +1,166 @@
+package qtpnet
+
+import (
+	"errors"
+	"net/netip"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/qtp"
+)
+
+// Conn is one QTP connection multiplexed onto an Endpoint's UDP socket.
+// Its Write/Read/Close methods are safe for concurrent use with the
+// endpoint's internal loops.
+type Conn struct {
+	ep   *Endpoint
+	peer netip.AddrPort
+
+	// localID keys the endpoint's demux table: the peer stamps it on
+	// every post-handshake frame it sends us. remoteID is the peer-side
+	// ID recorded for handshake-route cleanup.
+	localID  uint32
+	remoteID uint32
+
+	// mu guards the sans-IO state machine.
+	mu    sync.Mutex
+	inner *qtp.Conn
+
+	readCh      chan []byte
+	established chan struct{}
+	estOnce     sync.Once
+	closedCh    chan struct{}
+	closeOnce   sync.Once
+
+	// ownsEndpoint marks a connection created by the package-level Dial,
+	// whose implicit single-connection endpoint dies with it.
+	ownsEndpoint bool
+
+	// Scheduler state, guarded by ep.mu.
+	wakeAt  time.Duration
+	heapIdx int
+	gone    bool
+}
+
+func newConn(e *Endpoint, peer netip.AddrPort, id uint32) *Conn {
+	return &Conn{
+		ep:          e,
+		peer:        peer,
+		localID:     id,
+		remoteID:    id,
+		readCh:      make(chan []byte, 64),
+		established: make(chan struct{}),
+		closedCh:    make(chan struct{}),
+		heapIdx:     -1,
+	}
+}
+
+// ID returns the connection's endpoint-local identifier: the value the
+// peer stamps in the header of every frame it sends us.
+func (c *Conn) ID() uint32 { return c.localID }
+
+// RemoteID returns the identifier stamped on outbound frames — the
+// peer's local ID once its handshake TLV has been seen.
+func (c *Conn) RemoteID() uint32 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.inner.RemoteID()
+}
+
+// Profile returns the (negotiated) composition.
+func (c *Conn) Profile() core.Profile {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.inner.Profile()
+}
+
+// Stats snapshots the endpoint counters.
+func (c *Conn) Stats() qtp.Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.inner.Stats()
+}
+
+// Write queues application data, blocking while the transport applies
+// backpressure. It returns early if the connection dies.
+func (c *Conn) Write(p []byte) (int, error) {
+	total := 0
+	for len(p) > 0 {
+		c.mu.Lock()
+		n := c.inner.Write(p)
+		c.mu.Unlock()
+		total += n
+		p = p[n:]
+		if n > 0 {
+			c.ep.service(c)
+		}
+		if len(p) == 0 {
+			break
+		}
+		select {
+		case <-c.closedCh:
+			return total, errors.New("qtpnet: connection closed")
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+	return total, nil
+}
+
+// CloseSend signals end of stream; the FIN is delivered reliably under
+// full reliability.
+func (c *Conn) CloseSend() {
+	c.mu.Lock()
+	c.inner.CloseSend()
+	c.mu.Unlock()
+	c.ep.service(c)
+}
+
+// Read returns the next in-order chunk, blocking until data arrives,
+// the connection dies (nil, false), or the timeout passes.
+func (c *Conn) Read(timeout time.Duration) ([]byte, bool) {
+	select {
+	case p := <-c.readCh:
+		return p, true
+	case <-c.closedCh:
+		// Drain anything already queued.
+		select {
+		case p := <-c.readCh:
+			return p, true
+		default:
+			return nil, false
+		}
+	case <-time.After(timeout):
+		return nil, false
+	}
+}
+
+// Done returns a channel that is closed once the connection has been
+// torn down (locally or by protocol teardown). Data already delivered
+// may still be drained with Read.
+func (c *Conn) Done() <-chan struct{} { return c.closedCh }
+
+// Finished reports whether the receive stream completed through FIN.
+func (c *Conn) Finished() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.inner.Finished()
+}
+
+// Close removes the connection from its endpoint. A connection created
+// by the package-level Dial also releases its implicit endpoint.
+func (c *Conn) Close() error {
+	c.teardown()
+	if c.ownsEndpoint {
+		c.ep.Close()
+	}
+	return nil
+}
+
+// teardown unlinks the connection; idempotent.
+func (c *Conn) teardown() {
+	c.closeOnce.Do(func() {
+		close(c.closedCh)
+		c.ep.removeConn(c)
+	})
+}

@@ -1,0 +1,467 @@
+package qtpnet
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"net"
+	"net/netip"
+	"sync"
+	"time"
+
+	"repro/internal/bufpool"
+	"repro/internal/core"
+	"repro/internal/packet"
+	"repro/internal/qtp"
+)
+
+// maxDatagram bounds receive buffers; QTP frames are MSS + header.
+const maxDatagram = bufpool.Size
+
+// ErrEndpointClosed is returned by calls on a closed endpoint.
+var ErrEndpointClosed = errors.New("qtpnet: endpoint closed")
+
+// EndpointConfig configures a multiplexed UDP endpoint.
+type EndpointConfig struct {
+	// AcceptInbound makes the endpoint create responder connections for
+	// inbound Connect frames (server role). When false, unsolicited
+	// Connects are dropped and the endpoint only dials out.
+	AcceptInbound bool
+	// Constraints bound what inbound connections are granted.
+	Constraints core.Constraints
+	// AcceptBacklog caps connections awaiting Accept (default 64).
+	// Beyond it, new Connects are abandoned; the peer's handshake
+	// retransmission gives Accept time to catch up.
+	AcceptBacklog int
+}
+
+// peerKey routes handshake frames, which arrive before the peer can
+// know the local connection ID our demux table is keyed on: a Connect
+// is identified by where it came from plus the initiator's own ID, so
+// many initiators behind one remote socket stay distinct.
+type peerKey struct {
+	addr netip.AddrPort
+	id   uint32
+}
+
+// Endpoint runs many QTP connections over one UDP socket. Inbound
+// datagrams are demultiplexed by the connection-ID field every QTP
+// header carries (negotiated into the peer during the handshake);
+// protocol timers across all connections are driven by a single shared
+// deadline heap, and receive buffers come from a pool, so per-frame
+// work allocates nothing.
+type Endpoint struct {
+	pc    *net.UDPConn
+	epoch time.Time
+	cfg   EndpointConfig
+
+	mu         sync.Mutex
+	byID       map[uint32]*Conn  // local conn ID -> conn (data-plane route)
+	byPeer     map[peerKey]*Conn // (peer addr, peer conn ID) -> conn (handshake route)
+	timers     connHeap
+	nextID     uint32
+	sleepUntil time.Duration // scheduler's current sleep deadline
+	closed     bool
+	readErr    error
+
+	acceptCh  chan *Conn
+	done      chan struct{}
+	wake      chan struct{}
+	closeOnce sync.Once
+}
+
+// NewEndpoint opens a UDP socket on addr and starts the endpoint's read
+// and timer loops. Use addr ":0" for an ephemeral dial-side port.
+func NewEndpoint(addr string, cfg EndpointConfig) (*Endpoint, error) {
+	ua, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("qtpnet: resolve %s: %w", addr, err)
+	}
+	pc, err := net.ListenUDP("udp", ua)
+	if err != nil {
+		return nil, fmt.Errorf("qtpnet: listen %s: %w", addr, err)
+	}
+	if cfg.AcceptBacklog <= 0 {
+		cfg.AcceptBacklog = 64
+	}
+	e := &Endpoint{
+		pc:       pc,
+		epoch:    time.Now(),
+		cfg:      cfg,
+		byID:     make(map[uint32]*Conn),
+		byPeer:   make(map[peerKey]*Conn),
+		nextID:   1,
+		acceptCh: make(chan *Conn, cfg.AcceptBacklog),
+		done:     make(chan struct{}),
+		wake:     make(chan struct{}, 1),
+	}
+	go e.readLoop()
+	go e.timerLoop()
+	return e, nil
+}
+
+// Addr returns the endpoint's bound UDP address.
+func (e *Endpoint) Addr() net.Addr { return e.pc.LocalAddr() }
+
+// ConnCount returns the number of live connections on the endpoint.
+func (e *Endpoint) ConnCount() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return len(e.byID)
+}
+
+// now maps wall time to the endpoint's monotonic protocol clock, shared
+// by every connection it serves.
+func (e *Endpoint) now() time.Duration { return time.Since(e.epoch) }
+
+// Dial opens a new initiator connection to addr over the shared socket,
+// proposing the profile, and blocks until the handshake completes or
+// the timeout elapses. Many concurrent Dials may share one endpoint.
+func (e *Endpoint) Dial(addr string, profile core.Profile, timeout time.Duration) (*Conn, error) {
+	ua, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("qtpnet: resolve %s: %w", addr, err)
+	}
+	peer := normalize(ua.AddrPort())
+
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return nil, ErrEndpointClosed
+	}
+	id := e.allocIDLocked()
+	c := newConn(e, peer, id)
+	// The initiator stamps its own ID until the Accept TLV delivers the
+	// responder's; a symmetric legacy responder just keeps echoing it.
+	c.inner = qtp.NewConn(qtp.Config{
+		Initiator: true,
+		Profile:   profile,
+		ConnID:    id,
+	})
+	e.byID[id] = c
+	e.mu.Unlock()
+
+	c.mu.Lock()
+	c.inner.Start(e.now())
+	c.mu.Unlock()
+	e.service(c)
+
+	select {
+	case <-c.established:
+		return c, nil
+	case <-c.closedCh:
+		return nil, errors.New("qtpnet: connection closed during handshake")
+	case <-e.done:
+		c.Close()
+		return nil, ErrEndpointClosed
+	case <-time.After(timeout):
+		c.Close()
+		return nil, errors.New("qtpnet: handshake timeout")
+	}
+}
+
+// Accept blocks until an inbound connection completes its side of the
+// handshake (server role; requires AcceptInbound).
+func (e *Endpoint) Accept() (*Conn, error) {
+	select {
+	case c := <-e.acceptCh:
+		return c, nil
+	default:
+	}
+	select {
+	case c := <-e.acceptCh:
+		return c, nil
+	case <-e.done:
+		return nil, ErrEndpointClosed
+	}
+}
+
+// Close tears down every connection and releases the socket.
+func (e *Endpoint) Close() error {
+	e.closeOnce.Do(func() {
+		e.mu.Lock()
+		e.closed = true
+		conns := make([]*Conn, 0, len(e.byID))
+		for _, c := range e.byID {
+			conns = append(conns, c)
+		}
+		e.mu.Unlock()
+		close(e.done)
+		for _, c := range conns {
+			c.teardown()
+		}
+		e.pc.Close()
+	})
+	return nil
+}
+
+// readLoop moves datagrams from the socket into the demultiplexer.
+// Buffers are pooled and recycled as soon as the frame is handled — the
+// protocol core never retains inbound frame memory — so the steady
+// state receive path performs no per-frame allocation.
+func (e *Endpoint) readLoop() {
+	for {
+		buf := bufpool.Get()
+		n, from, err := e.pc.ReadFromUDPAddrPort(buf)
+		if err != nil {
+			bufpool.Put(buf)
+			select {
+			case <-e.done:
+			default:
+				// A dead socket outside shutdown leaves the endpoint
+				// deaf; close it so Accept returns and every connection
+				// is torn down rather than stalling silently.
+				e.mu.Lock()
+				if e.readErr == nil {
+					e.readErr = err
+				}
+				e.mu.Unlock()
+				e.Close()
+			}
+			return
+		}
+		e.Deliver(from, buf[:n])
+		bufpool.Put(buf)
+	}
+}
+
+// Deliver demultiplexes one datagram to its connection and services it.
+// This is the endpoint's receive entry point: the read loop calls it
+// for every datagram, and tests or alternative drivers may inject
+// frames directly. The datagram memory is not retained; the caller may
+// reuse it as soon as Deliver returns. It reports whether the frame
+// reached a connection and was accepted.
+func (e *Endpoint) Deliver(from netip.AddrPort, dgram []byte) bool {
+	if len(dgram) < packet.HeaderLen || dgram[0]>>4 != packet.Version {
+		return false
+	}
+	typ := packet.Type(dgram[0] & 0x0f)
+	cid := binary.BigEndian.Uint32(dgram[4:8])
+
+	var c *Conn
+	isNew := false
+	if typ == packet.TypeConnect {
+		// Handshake route: the initiator cannot stamp our ID yet.
+		c, isNew = e.routeConnect(from, cid)
+	} else {
+		// Data-plane route: the header's connection ID is ours.
+		e.mu.Lock()
+		c = e.byID[cid]
+		e.mu.Unlock()
+	}
+	if c == nil {
+		return false
+	}
+	c.mu.Lock()
+	err := c.inner.HandleFrame(e.now(), dgram)
+	c.mu.Unlock()
+	if isNew && !e.finishAccept(c, err) {
+		// Refused before service ran, so no Accept frame went out: the
+		// peer keeps retransmitting its Connect and a later attempt may
+		// find room.
+		return false
+	}
+	e.service(c)
+	return err == nil
+}
+
+// routeConnect finds the connection a Connect frame belongs to,
+// creating a responder for a first contact. The bool reports creation.
+func (e *Endpoint) routeConnect(from netip.AddrPort, cid uint32) (*Conn, bool) {
+	from = normalize(from)
+	key := peerKey{from, cid}
+	e.mu.Lock()
+	if c, ok := e.byPeer[key]; ok {
+		e.mu.Unlock()
+		return c, false
+	}
+	if !e.cfg.AcceptInbound || e.closed {
+		e.mu.Unlock()
+		return nil, false
+	}
+	id := e.allocIDLocked()
+	c := newConn(e, from, id)
+	c.remoteID = cid
+	c.inner = qtp.NewConn(qtp.Config{
+		Initiator:   false,
+		Constraints: e.cfg.Constraints,
+		LocalID:     id,
+	})
+	e.byID[id] = c
+	e.byPeer[key] = c
+	e.mu.Unlock()
+	return c, true
+}
+
+// finishAccept queues a just-created responder for Accept, or abandons
+// it if its first frame was garbage or the backlog is full. It runs
+// before the connection is first serviced, so a refused handshake never
+// answers on the wire and the peer's Connect retransmission tries
+// again. It reports whether the connection was kept.
+func (e *Endpoint) finishAccept(c *Conn, err error) bool {
+	c.mu.Lock()
+	st := c.inner.State()
+	c.mu.Unlock()
+	if err != nil || st == qtp.StateIdle || st == qtp.StateClosed {
+		c.teardown()
+		return false
+	}
+	select {
+	case e.acceptCh <- c:
+		return true
+	default:
+		c.teardown()
+		return false
+	}
+}
+
+// allocIDLocked returns a connection ID unused on this endpoint.
+// Callers hold e.mu.
+func (e *Endpoint) allocIDLocked() uint32 {
+	for {
+		id := e.nextID
+		e.nextID++
+		if e.nextID == 0 {
+			e.nextID = 1
+		}
+		if _, busy := e.byID[id]; !busy && id != 0 {
+			return id
+		}
+	}
+}
+
+// service drives one connection: transmit due frames, deliver readable
+// data, then reschedule its deadline in the shared timer heap. It is
+// called after every event touching the connection (inbound frame,
+// application write, timer expiry).
+func (e *Endpoint) service(c *Conn) {
+	c.mu.Lock()
+	now := e.now()
+	for {
+		frame, ok := c.inner.PollFrame(now)
+		if !ok {
+			break
+		}
+		_, _ = e.pc.WriteToUDPAddrPort(frame, c.peer)
+	}
+	st := c.inner.State()
+	if st == qtp.StateEstablished || st == qtp.StateClosing {
+		c.estOnce.Do(func() { close(c.established) })
+	}
+	for {
+		chunk, ok := c.inner.Read()
+		if !ok {
+			break
+		}
+		select {
+		case c.readCh <- chunk:
+		default:
+			// Application is slow; drop oldest so one stalled reader
+			// cannot wedge the endpoint that serves everyone else.
+			select {
+			case <-c.readCh:
+			default:
+			}
+			select {
+			case c.readCh <- chunk:
+			default:
+			}
+		}
+	}
+	wakeAt, wok := c.inner.NextWake(now)
+	c.mu.Unlock()
+
+	if st == qtp.StateClosed {
+		c.teardown()
+		return
+	}
+	e.mu.Lock()
+	if !c.gone {
+		if wok {
+			e.timers.set(c, wakeAt)
+			if wakeAt < e.sleepUntil {
+				e.kick()
+			}
+		} else {
+			e.timers.remove(c)
+		}
+	}
+	e.mu.Unlock()
+}
+
+// timerLoop is the shared scheduler: one goroutine, one timer, every
+// connection's NextWake. It sleeps until the earliest deadline in the
+// heap and services exactly the connections that are due.
+func (e *Endpoint) timerLoop() {
+	timer := time.NewTimer(time.Hour)
+	defer timer.Stop()
+	var due []*Conn
+	for {
+		e.mu.Lock()
+		now := e.now()
+		due = due[:0]
+		for {
+			c, ok := e.timers.popDue(now)
+			if !ok {
+				break
+			}
+			due = append(due, c)
+		}
+		d := time.Hour
+		if len(e.timers) > 0 {
+			d = e.timers[0].wakeAt - now
+		}
+		e.sleepUntil = now + d
+		e.mu.Unlock()
+
+		for _, c := range due {
+			e.service(c)
+		}
+		if len(due) > 0 {
+			continue // servicing may have re-armed earlier deadlines
+		}
+		if !timer.Stop() {
+			select {
+			case <-timer.C:
+			default:
+			}
+		}
+		timer.Reset(d)
+		select {
+		case <-e.wake:
+		case <-timer.C:
+		case <-e.done:
+			return
+		}
+	}
+}
+
+// kick wakes the scheduler to re-read the heap's earliest deadline.
+func (e *Endpoint) kick() {
+	select {
+	case e.wake <- struct{}{}:
+	default:
+	}
+}
+
+// removeConn unlinks a connection from the demux tables and the timer
+// heap.
+func (e *Endpoint) removeConn(c *Conn) {
+	e.mu.Lock()
+	delete(e.byID, c.localID)
+	// Only responders own a handshake-route entry; a dialed conn whose
+	// (peer, id) pair happens to collide must not evict it.
+	key := peerKey{c.peer, c.remoteID}
+	if cur, ok := e.byPeer[key]; ok && cur == c {
+		delete(e.byPeer, key)
+	}
+	e.timers.remove(c)
+	c.gone = true
+	e.mu.Unlock()
+}
+
+// normalize strips the IPv4-in-IPv6 mapping so addresses read from a
+// dual-stack socket compare equal to their resolved form.
+func normalize(ap netip.AddrPort) netip.AddrPort {
+	return netip.AddrPortFrom(ap.Addr().Unmap(), ap.Port())
+}

@@ -1,0 +1,229 @@
+package qtpnet
+
+import (
+	"fmt"
+	"net/netip"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/packet"
+)
+
+// TestEndpointManyConns drives 64 simultaneous handshaked connections
+// between two endpoints — one UDP socket per side — and checks every
+// stream arrives intact: the demux table, the shared timer heap and the
+// connection-ID negotiation all exercised under real concurrency.
+func TestEndpointManyConns(t *testing.T) {
+	const (
+		nConns  = 64
+		perConn = 8 << 10
+	)
+
+	l, err := Listen("127.0.0.1:0", core.Permissive(2e6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+
+	client, err := NewEndpoint("127.0.0.1:0", EndpointConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	// Server: accept every connection, read each stream to completion.
+	type stream struct {
+		tag byte
+		n   int
+		err error
+	}
+	results := make(chan stream, nConns)
+	go func() {
+		var wg sync.WaitGroup
+		for i := 0; i < nConns; i++ {
+			conn, err := l.Accept()
+			if err != nil {
+				results <- stream{err: err}
+				return
+			}
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				defer conn.Close()
+				s := stream{tag: 0xff}
+				deadline := time.Now().Add(30 * time.Second)
+				for !conn.Finished() && time.Now().Before(deadline) {
+					chunk, ok := conn.Read(time.Second)
+					if !ok {
+						continue
+					}
+					for _, b := range chunk {
+						if s.tag == 0xff {
+							s.tag = b
+						} else if b != s.tag {
+							s.err = fmt.Errorf("mixed stream: tag %d saw byte %d", s.tag, b)
+						}
+					}
+					s.n += len(chunk)
+				}
+				for { // drain the queue
+					chunk, ok := conn.Read(50 * time.Millisecond)
+					if !ok {
+						break
+					}
+					s.n += len(chunk)
+				}
+				if !conn.Finished() {
+					s.err = fmt.Errorf("stream %d incomplete: %d of %d bytes", s.tag, s.n, perConn)
+				}
+				results <- s
+			}()
+		}
+		wg.Wait()
+	}()
+
+	// Client: dial and send 64 tagged streams concurrently over the one
+	// shared socket.
+	var wg sync.WaitGroup
+	errCh := make(chan error, nConns)
+	for i := 0; i < nConns; i++ {
+		wg.Add(1)
+		go func(tag byte) {
+			defer wg.Done()
+			conn, err := client.Dial(l.Addr().String(), core.QTPAF(1e6), 15*time.Second)
+			if err != nil {
+				errCh <- fmt.Errorf("dial %d: %w", tag, err)
+				return
+			}
+			data := make([]byte, perConn)
+			for j := range data {
+				data[j] = tag
+			}
+			if _, err := conn.Write(data); err != nil {
+				errCh <- fmt.Errorf("write %d: %w", tag, err)
+				return
+			}
+			conn.CloseSend()
+		}(byte(i))
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+
+	if n := client.ConnCount(); n != nConns {
+		t.Errorf("client endpoint carries %d conns, want %d", n, nConns)
+	}
+
+	seen := make(map[byte]bool)
+	for i := 0; i < nConns; i++ {
+		select {
+		case s := <-results:
+			if s.err != nil {
+				t.Fatal(s.err)
+			}
+			if s.n != perConn {
+				t.Fatalf("stream %d delivered %d bytes, want %d", s.tag, s.n, perConn)
+			}
+			if seen[s.tag] {
+				t.Fatalf("stream tag %d delivered twice", s.tag)
+			}
+			seen[s.tag] = true
+		case <-time.After(60 * time.Second):
+			t.Fatalf("timed out after %d of %d streams", i, nConns)
+		}
+	}
+}
+
+// TestEndpointConnIDNegotiation checks the handshake TLV exchange: each
+// side ends up stamping the ID the other side assigned locally, so both
+// demux tables are keyed on socket-unique values of their own choosing.
+func TestEndpointConnIDNegotiation(t *testing.T) {
+	l, err := Listen("127.0.0.1:0", core.Permissive(1e6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+
+	client, err := NewEndpoint("127.0.0.1:0", EndpointConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	accepted := make(chan *Conn, 2)
+	go func() {
+		for i := 0; i < 2; i++ {
+			c, err := l.Accept()
+			if err != nil {
+				return
+			}
+			accepted <- c
+		}
+	}()
+
+	c1, err := client.Dial(l.Addr().String(), core.QTPLight(), 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := client.Dial(l.Addr().String(), core.QTPLight(), 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c1.ID() == c2.ID() {
+		t.Fatalf("two dials share local ID %d", c1.ID())
+	}
+
+	byRemote := make(map[uint32]*Conn)
+	for i := 0; i < 2; i++ {
+		select {
+		case s := <-accepted:
+			byRemote[s.RemoteID()] = s
+		case <-time.After(5 * time.Second):
+			t.Fatal("server accepted too few connections")
+		}
+	}
+	for _, c := range []*Conn{c1, c2} {
+		s, ok := byRemote[c.ID()]
+		if !ok {
+			t.Fatalf("no server conn addresses client ID %d", c.ID())
+		}
+		if got := c.RemoteID(); got != s.ID() {
+			t.Errorf("client stamps %d, server assigned itself %d", got, s.ID())
+		}
+	}
+}
+
+// TestEndpointStrayFrames checks the demux rejects what it must: runt
+// datagrams, unknown connection IDs, and unsolicited Connects on a
+// non-accepting endpoint.
+func TestEndpointStrayFrames(t *testing.T) {
+	e, err := NewEndpoint("127.0.0.1:0", EndpointConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+
+	from := netip.MustParseAddrPort("127.0.0.1:4242")
+	if e.Deliver(from, []byte{1, 2, 3}) {
+		t.Error("runt datagram accepted")
+	}
+	data := packet.Header{Type: packet.TypeData, ConnID: 99}
+	if e.Deliver(from, data.AppendTo(nil)) {
+		t.Error("frame for unknown conn ID accepted")
+	}
+	hs := core.QTPLight().Normalize().Handshake()
+	payload, _ := hs.AppendTo(nil)
+	connect := packet.Header{Type: packet.TypeConnect, ConnID: 7,
+		PayloadLen: uint16(len(payload))}
+	frame := append(connect.AppendTo(nil), payload...)
+	if e.Deliver(from, frame) {
+		t.Error("Connect accepted by non-accepting endpoint")
+	}
+	if n := e.ConnCount(); n != 0 {
+		t.Errorf("stray frames created %d conns", n)
+	}
+}

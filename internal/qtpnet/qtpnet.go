@@ -1,338 +1,77 @@
 // Package qtpnet runs QTP connections over real UDP sockets using the
 // standard library's net package. It is the deployment driver for the
-// same sans-IO state machines the simulator exercises: one goroutine per
-// connection multiplexes socket reads, protocol timers and application
-// I/O through channels (share memory by communicating).
+// same sans-IO state machines the simulator exercises.
 //
-// The model is intentionally minimal — one QTP connection per UDP
-// socket pair, the initiator is the data sender — matching the paper's
-// unidirectional media/bulk flows.
+// The unit of deployment is the Endpoint: one UDP socket serving many
+// connections. Inbound datagrams are demultiplexed by the connection-ID
+// field in every QTP header — each side tells the other which ID to
+// stamp via a handshake TLV, so the ID an endpoint sees on inbound
+// frames is one it assigned itself and is unique on its socket, like
+// QUIC connection IDs. Handshake frames, which arrive before that
+// negotiation completes, are routed by (peer address, peer ID) instead.
+// A single scheduler goroutine drives every connection's protocol
+// timers off one shared deadline heap, and receive buffers are pooled,
+// so the per-frame receive path allocates nothing.
+//
+// Dial and Listen remain as thin wrappers over Endpoint for the
+// one-connection cases; servers and fan-out clients use Endpoint
+// directly.
 package qtpnet
 
 import (
-	"errors"
 	"fmt"
 	"net"
-	"sync"
 	"time"
 
 	"repro/internal/core"
-	"repro/internal/qtp"
 )
 
-// maxDatagram bounds receive buffers; QTP frames are MSS + header.
-const maxDatagram = 65536
-
-// Conn is a QTP connection bound to a UDP socket. Its Write/Read/Close
-// methods are safe for concurrent use with the internal loop.
-type Conn struct {
-	pc    net.PacketConn
-	peer  net.Addr
-	inner *qtp.Conn
-	epoch time.Time
-
-	mu     sync.Mutex
-	wake   chan struct{}
-	closed chan struct{}
-	once   sync.Once
-
-	readCh chan []byte
-
-	established chan struct{}
-	estOnce     sync.Once
-
-	err error
-}
-
-// Dial connects to a QTP responder at addr, proposing the profile, and
-// starts the data-sender side. It blocks until the handshake completes
-// or the timeout elapses.
+// Dial connects to a QTP responder at addr, proposing the profile, over
+// a private single-connection Endpoint. It blocks until the handshake
+// completes or the timeout elapses. Closing the returned connection
+// releases the endpoint and its socket.
 func Dial(addr string, profile core.Profile, timeout time.Duration) (*Conn, error) {
-	raddr, err := net.ResolveUDPAddr("udp", addr)
-	if err != nil {
-		return nil, fmt.Errorf("qtpnet: resolve %s: %w", addr, err)
-	}
-	pc, err := net.ListenPacket("udp", ":0")
-	if err != nil {
-		return nil, fmt.Errorf("qtpnet: listen: %w", err)
-	}
-	c := newConn(pc, raddr, qtp.Config{
-		Initiator: true,
-		Profile:   profile,
-		ConnID:    connID(pc),
-	})
-	c.inner.Start(c.now())
-	c.kick()
-	select {
-	case <-c.established:
-		return c, nil
-	case <-time.After(timeout):
-		c.Close()
-		return nil, errors.New("qtpnet: handshake timeout")
-	}
-}
-
-// Listen waits for one inbound QTP connection on addr, granting at most
-// the given constraints, and returns the receiving endpoint.
-func Listen(addr string, constraints core.Constraints) (*Listener, error) {
-	pc, err := net.ListenPacket("udp", addr)
-	if err != nil {
-		return nil, fmt.Errorf("qtpnet: listen %s: %w", addr, err)
-	}
-	return &Listener{pc: pc, constraints: constraints}, nil
-}
-
-// Listener accepts a single QTP connection per Accept call.
-type Listener struct {
-	pc          net.PacketConn
-	constraints core.Constraints
-}
-
-// Addr returns the bound address.
-func (l *Listener) Addr() net.Addr { return l.pc.LocalAddr() }
-
-// Accept blocks until a peer connects, then returns the connection.
-// The returned Conn owns the socket; the listener is spent.
-func (l *Listener) Accept() (*Conn, error) {
-	buf := make([]byte, maxDatagram)
-	n, peer, err := l.pc.ReadFrom(buf)
+	e, err := NewEndpoint(":0", EndpointConfig{})
 	if err != nil {
 		return nil, err
 	}
-	c := newConn(l.pc, peer, qtp.Config{
-		Initiator:   false,
-		Constraints: l.constraints,
-		ConnID:      0, // adopted from the first frame below
-	})
-	// The responder adopts the initiator's connection ID.
-	c.inner = qtp.NewConn(qtp.Config{
-		Initiator:   false,
-		Constraints: l.constraints,
-		ConnID:      peekConnID(buf[:n]),
-	})
-	if err := c.inner.HandleFrame(c.now(), buf[:n]); err != nil {
-		return nil, fmt.Errorf("qtpnet: bad first frame: %w", err)
+	c, err := e.Dial(addr, profile, timeout)
+	if err != nil {
+		e.Close()
+		return nil, err
 	}
-	c.start()
+	c.ownsEndpoint = true
 	return c, nil
 }
 
-// Close releases the listener socket. Do not call after a successful
-// Accept (the connection owns the socket).
-func (l *Listener) Close() error { return l.pc.Close() }
-
-func newConn(pc net.PacketConn, peer net.Addr, cfg qtp.Config) *Conn {
-	c := &Conn{
-		pc:          pc,
-		peer:        peer,
-		inner:       qtp.NewConn(cfg),
-		epoch:       time.Now(),
-		wake:        make(chan struct{}, 1),
-		closed:      make(chan struct{}),
-		readCh:      make(chan []byte, 64),
-		established: make(chan struct{}),
-	}
-	if cfg.Initiator {
-		c.start()
-	}
-	return c
-}
-
-func (c *Conn) start() {
-	go c.readLoop()
-	go c.runLoop()
-}
-
-// now maps wall time to the connection's monotonic protocol clock.
-func (c *Conn) now() time.Duration { return time.Since(c.epoch) }
-
-func (c *Conn) kick() {
-	select {
-	case c.wake <- struct{}{}:
-	default:
-	}
-}
-
-// readLoop moves datagrams from the socket into the protocol loop.
-func (c *Conn) readLoop() {
-	buf := make([]byte, maxDatagram)
-	for {
-		n, _, err := c.pc.ReadFrom(buf)
-		if err != nil {
-			select {
-			case <-c.closed:
-			default:
-				c.mu.Lock()
-				if c.err == nil {
-					c.err = err
-				}
-				c.mu.Unlock()
-			}
-			c.kick()
-			return
-		}
-		frame := make([]byte, n)
-		copy(frame, buf[:n])
-		c.mu.Lock()
-		_ = c.inner.HandleFrame(c.now(), frame)
-		c.mu.Unlock()
-		c.kick()
-	}
-}
-
-// runLoop drives the state machine: transmit due frames, deliver
-// readable data, sleep until the next protocol deadline.
-func (c *Conn) runLoop() {
-	timer := time.NewTimer(time.Hour)
-	defer timer.Stop()
-	for {
-		c.mu.Lock()
-		now := c.now()
-		for {
-			frame, ok := c.inner.PollFrame(now)
-			if !ok {
-				break
-			}
-			_, _ = c.pc.WriteTo(frame, c.peer)
-		}
-		if c.inner.State() == qtp.StateEstablished || c.inner.State() == qtp.StateClosing {
-			c.estOnce.Do(func() { close(c.established) })
-		}
-		for {
-			chunk, ok := c.inner.Read()
-			if !ok {
-				break
-			}
-			select {
-			case c.readCh <- chunk:
-			default:
-				// Application is slow; drop oldest to keep the loop live.
-				select {
-				case <-c.readCh:
-				default:
-				}
-				c.readCh <- chunk
-			}
-		}
-		wakeAt, ok := c.inner.NextWake(now)
-		state := c.inner.State()
-		c.mu.Unlock()
-
-		if state == qtp.StateClosed {
-			c.Close()
-			return
-		}
-		d := time.Hour
-		if ok {
-			if d = wakeAt - now; d < 0 {
-				d = 0
-			}
-		}
-		timer.Reset(d)
-		select {
-		case <-c.wake:
-		case <-timer.C:
-		case <-c.closed:
-			return
-		}
-	}
-}
-
-// Profile returns the (negotiated) composition.
-func (c *Conn) Profile() core.Profile {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.inner.Profile()
-}
-
-// Stats snapshots the endpoint counters.
-func (c *Conn) Stats() qtp.Stats {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.inner.Stats()
-}
-
-// Write queues application data, blocking while the transport applies
-// backpressure. It returns early if the connection dies.
-func (c *Conn) Write(p []byte) (int, error) {
-	total := 0
-	for len(p) > 0 {
-		c.mu.Lock()
-		n := c.inner.Write(p)
-		c.mu.Unlock()
-		total += n
-		p = p[n:]
-		c.kick()
-		if len(p) == 0 {
-			break
-		}
-		select {
-		case <-c.closed:
-			return total, errors.New("qtpnet: connection closed")
-		case <-time.After(5 * time.Millisecond):
-		}
-	}
-	return total, nil
-}
-
-// CloseSend signals end of stream; the FIN is delivered reliably under
-// full reliability.
-func (c *Conn) CloseSend() {
-	c.mu.Lock()
-	c.inner.CloseSend()
-	c.mu.Unlock()
-	c.kick()
-}
-
-// Read returns the next in-order chunk, blocking until data arrives,
-// the stream finishes (io-style nil, false), or the timeout passes.
-func (c *Conn) Read(timeout time.Duration) ([]byte, bool) {
-	select {
-	case p := <-c.readCh:
-		return p, true
-	case <-c.closed:
-		// Drain anything already queued.
-		select {
-		case p := <-c.readCh:
-			return p, true
-		default:
-			return nil, false
-		}
-	case <-time.After(timeout):
-		return nil, false
-	}
-}
-
-// Finished reports whether the receive stream completed through FIN.
-func (c *Conn) Finished() bool {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.inner.Finished()
-}
-
-// Close tears down the socket and loops.
-func (c *Conn) Close() error {
-	c.once.Do(func() {
-		close(c.closed)
-		c.pc.Close()
+// Listen opens an accepting Endpoint on addr, granting at most the
+// given constraints to every inbound connection.
+func Listen(addr string, constraints core.Constraints) (*Listener, error) {
+	e, err := NewEndpoint(addr, EndpointConfig{
+		AcceptInbound: true,
+		Constraints:   constraints,
 	})
-	return nil
+	if err != nil {
+		return nil, fmt.Errorf("qtpnet: listen %s: %w", addr, err)
+	}
+	return &Listener{e: e}, nil
 }
 
-// connID derives a connection identifier from the local ephemeral port.
-func connID(pc net.PacketConn) uint32 {
-	if ua, ok := pc.LocalAddr().(*net.UDPAddr); ok {
-		return uint32(ua.Port)<<16 | 0x5154 // "QT"
-	}
-	return 0x51545021
+// Listener accepts QTP connections multiplexed on one UDP socket.
+type Listener struct {
+	e *Endpoint
 }
 
-// peekConnID reads the connection ID field from an encoded frame
-// without full parsing (bytes 4..8 of the header).
-func peekConnID(frame []byte) uint32 {
-	if len(frame) < 8 {
-		return 0
-	}
-	return uint32(frame[4])<<24 | uint32(frame[5])<<16 |
-		uint32(frame[6])<<8 | uint32(frame[7])
-}
+// Addr returns the bound address.
+func (l *Listener) Addr() net.Addr { return l.e.Addr() }
+
+// Accept blocks until a peer completes a handshake, then returns the
+// connection. Unlike the pre-multiplexing driver, the listener socket
+// is shared: Accept may be called again for further connections.
+func (l *Listener) Accept() (*Conn, error) { return l.e.Accept() }
+
+// Endpoint exposes the listener's underlying multiplexed endpoint.
+func (l *Listener) Endpoint() *Endpoint { return l.e }
+
+// Close releases the endpoint, tearing down every accepted connection.
+func (l *Listener) Close() error { return l.e.Close() }
