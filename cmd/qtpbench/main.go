@@ -1,26 +1,43 @@
 // Command qtpbench regenerates the full evaluation: every experiment
 // table and figure series from EXPERIMENTS.md, printed as aligned text.
+// With -loopback it instead drives the real UDP endpoint over loopback
+// and reports goodput plus the endpoint's batched-I/O statistics.
 //
 // Usage:
 //
 //	qtpbench [-quick] [-seed N] [-only E1,E4,...]
+//	qtpbench -loopback [-conns N] [-mbytes M] [-nobatch]
 package main
 
 import (
 	"flag"
 	"fmt"
+	"log"
 	"os"
 	"strings"
+	"sync"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/qtpnet"
 )
 
 func main() {
 	quick := flag.Bool("quick", false, "run shortened scenarios (seconds instead of minutes)")
 	seed := flag.Int64("seed", 1, "scenario random seed (results are deterministic per seed)")
 	only := flag.String("only", "", "comma-separated experiment IDs to run (default: all)")
+	loopback := flag.Bool("loopback", false, "run a real-UDP loopback fan-out and print endpoint stats")
+	conns := flag.Int("conns", 16, "loopback: concurrent connections on one socket pair")
+	mbytes := flag.Int("mbytes", 4, "loopback: MiB to stream per connection")
+	rate := flag.Float64("rate", 4e6, "loopback: per-connection QoS target, bytes/s (keep the aggregate under what loopback can carry or loss recovery dominates)")
+	nobatch := flag.Bool("nobatch", false, "loopback: force the single-datagram socket path")
 	flag.Parse()
+
+	if *loopback {
+		runLoopback(*conns, *mbytes<<20, *rate, *nobatch)
+		return
+	}
 
 	want := map[string]bool{}
 	if *only != "" {
@@ -49,4 +66,97 @@ func main() {
 		}
 		os.Exit(2)
 	}
+}
+
+// runLoopback streams perConn bytes over n concurrent connections
+// multiplexed on one UDP socket pair and prints what the batched data
+// path did: goodput, datagrams per syscall each way, drops.
+func runLoopback(n, perConn int, rate float64, nobatch bool) {
+	cfg := qtpnet.EndpointConfig{
+		AcceptInbound:  true,
+		Constraints:    core.Permissive(rate),
+		DisableBatchIO: nobatch,
+	}
+	srv, err := qtpnet.NewEndpoint("127.0.0.1:0", cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer srv.Close()
+	client, err := qtpnet.NewEndpoint("127.0.0.1:0", qtpnet.EndpointConfig{DisableBatchIO: nobatch})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer client.Close()
+
+	var srvWG sync.WaitGroup
+	srvWG.Add(n)
+	go func() {
+		for {
+			conn, err := srv.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				defer srvWG.Done()
+				defer conn.Close()
+				for !conn.Finished() {
+					chunk, ok := conn.Read(2 * time.Second)
+					if !ok {
+						select {
+						case <-conn.Done():
+							return
+						default:
+							continue
+						}
+					}
+					conn.Release(chunk)
+				}
+				// Linger until the sender's close handshake lands: tearing
+				// down on Finished would unroute the connection before its
+				// final ack flushes, leaving the sender retransmitting the
+				// stream tail into a dead demux entry.
+				select {
+				case <-conn.Done():
+				case <-time.After(10 * time.Second):
+				}
+			}()
+		}
+	}()
+
+	data := make([]byte, perConn)
+	for i := range data {
+		data[i] = byte(i)
+	}
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			conn, err := client.Dial(srv.Addr().String(), core.QTPAF(rate), 10*time.Second)
+			if err != nil {
+				log.Fatalf("dial: %v", err)
+			}
+			conn.Write(data)
+			conn.CloseSend()
+			select {
+			case <-conn.Done():
+			case <-time.After(60 * time.Second):
+			}
+			conn.Close()
+		}()
+	}
+	wg.Wait()
+	srvWG.Wait()
+	el := time.Since(start)
+
+	total := n * perConn
+	mode := "recvmmsg/sendmmsg"
+	if nobatch {
+		mode = "single-datagram fallback"
+	}
+	fmt.Printf("loopback: %d conns x %d B in %v = %.1f MB/s (%s)\n",
+		n, perConn, el.Round(time.Millisecond), float64(total)/el.Seconds()/1e6, mode)
+	fmt.Printf("client: %v\n", client.Stats())
+	fmt.Printf("server: %v\n", srv.Stats())
 }

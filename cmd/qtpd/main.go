@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	qtpd [-listen :9000] [-qos-budget bytesPerSec] [-o prefix] [-max n]
+//	qtpd [-listen :9000] [-qos-budget bytesPerSec] [-o prefix] [-max n] [-v]
 package main
 
 import (
@@ -26,6 +26,7 @@ func main() {
 	budget := flag.Float64("qos-budget", 0, "max QoS reservation to grant per connection, bytes/s (0 = refuse QoS)")
 	out := flag.String("o", "", "write each stream to <prefix>.<connID> (default: discard)")
 	maxConns := flag.Int("max", 0, "exit after serving this many connections (0 = serve forever)")
+	verbose := flag.Bool("v", false, "periodically log endpoint datagram/batch statistics")
 	flag.Parse()
 
 	cons := core.Constraints{
@@ -39,6 +40,16 @@ func main() {
 	}
 	defer l.Close()
 	log.Printf("qtpd: listening on %s (QoS budget %.0f B/s per conn)", l.Addr(), *budget)
+
+	if *verbose {
+		go func() {
+			for {
+				time.Sleep(10 * time.Second)
+				log.Printf("qtpd: endpoint %v", l.Endpoint().Stats())
+			}
+		}()
+		defer func() { log.Printf("qtpd: endpoint %v", l.Endpoint().Stats()) }()
+	}
 
 	var wg sync.WaitGroup
 	for served := 0; *maxConns == 0 || served < *maxConns; served++ {
@@ -93,7 +104,9 @@ func serve(conn *qtpnet.Conn, prefix string) {
 			continue
 		}
 		total += len(chunk)
-		if _, err := w.Write(chunk); err != nil {
+		_, err := w.Write(chunk)
+		conn.Release(chunk)
+		if err != nil {
 			log.Printf("qtpd: conn %d: %v", conn.ID(), err)
 			return
 		}

@@ -42,6 +42,7 @@ func main() {
 				continue
 			}
 			received.Write(chunk)
+			conn.Release(chunk) // delivery chunks are pooled
 		}
 		fmt.Printf("server: received %d bytes\n", received.Len())
 	}()

@@ -1,29 +1,49 @@
-// Package bufpool provides a process-wide pool of datagram-sized byte
-// buffers. Receive paths that previously allocated (and often copied
-// into) a fresh slice per frame — the UDP endpoint's read loop, the
-// simulator drivers' workload writes — draw from this pool instead, so
-// steady-state frame handling stays off the garbage collector entirely.
+// Package bufpool provides process-wide pools of byte buffers for the
+// frame-handling hot paths. Receive paths that previously allocated
+// (and often copied into) a fresh slice per frame — the UDP endpoint's
+// batched read ring, the simulator drivers' workload writes — draw from
+// these pools instead, so steady-state frame handling stays off the
+// garbage collector entirely.
 //
-// Ownership is strict: a buffer obtained from Get belongs to the caller
-// until it is handed back with Put, and must not be referenced after.
-// The protocol core cooperates by never retaining inbound frame memory
-// (reassembly copies what it buffers), so a driver can recycle a buffer
-// as soon as HandleFrame returns.
+// Two size classes are pooled. Size (64 KiB) buffers back datagram I/O:
+// the endpoint's receive ring and the send scheduler's per-frame
+// buffers. ChunkSize (2 KiB) chunks back the delivery path: the
+// reassembler copies each buffered segment into a chunk and the
+// application releases it after consuming the data.
+//
+// Ownership is strict: a buffer obtained from Get/GetChunk belongs to
+// the caller until it is handed back with Put/PutChunk, and must not be
+// referenced after. The protocol core cooperates by never retaining
+// inbound frame memory (reassembly copies what it buffers), so a driver
+// can recycle a buffer as soon as HandleFrame returns.
+//
+// The pools store array pointers, not slice headers, so Get and Put
+// perform no interface boxing allocation on either side.
 package bufpool
 
 import "sync"
 
-// Size is the capacity of every pooled buffer: the largest datagram a
-// QTP driver will read in one call (64 KiB covers any UDP payload).
+// Size is the capacity of every pooled datagram buffer: the largest
+// datagram a QTP driver will read in one call (64 KiB covers any UDP
+// payload).
 const Size = 65536
 
+// ChunkSize is the capacity of every pooled delivery chunk, sized to
+// hold one reassembled segment (default MSS is 1400; anything larger
+// falls back to a plain allocation).
+const ChunkSize = 2048
+
 var pool = sync.Pool{
-	New: func() any { return make([]byte, Size) },
+	New: func() any { return new([Size]byte) },
+}
+
+var chunkPool = sync.Pool{
+	New: func() any { return new([ChunkSize]byte) },
 }
 
 // Get returns a buffer of length Size. Contents are arbitrary.
 func Get() []byte {
-	return pool.Get().([]byte)
+	return pool.Get().(*[Size]byte)[:]
 }
 
 // Put returns a buffer to the pool. Buffers that did not come from Get
@@ -33,5 +53,39 @@ func Put(b []byte) {
 	if cap(b) != Size {
 		return
 	}
-	pool.Put(b[:Size]) //nolint:staticcheck // slice header, not pointer: fine for pooling
+	pool.Put((*[Size]byte)(b[:Size]))
+}
+
+// GetChunk returns a delivery chunk of length ChunkSize.
+func GetChunk() []byte {
+	return chunkPool.Get().(*[ChunkSize]byte)[:]
+}
+
+// PutChunk releases a delivery chunk obtained from GetChunk. Slices of
+// any other capacity — including the plain allocations the reassembler
+// falls back to for oversized segments — are dropped, so callers may
+// release every delivered chunk without tracking its origin.
+func PutChunk(b []byte) {
+	if cap(b) != ChunkSize {
+		return
+	}
+	chunkPool.Put((*[ChunkSize]byte)(b[:ChunkSize]))
+}
+
+// GetBatch returns n pooled buffers, each of length Size: the backing
+// store for a batched-receive ring.
+func GetBatch(n int) [][]byte {
+	bs := make([][]byte, n)
+	for i := range bs {
+		bs[i] = Get()
+	}
+	return bs
+}
+
+// PutBatch releases every buffer in bs back to the pool.
+func PutBatch(bs [][]byte) {
+	for i, b := range bs {
+		Put(b)
+		bs[i] = nil
+	}
 }

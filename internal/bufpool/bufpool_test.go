@@ -23,9 +23,51 @@ func TestPutRestoresLength(t *testing.T) {
 	}
 }
 
+func TestChunkGetPut(t *testing.T) {
+	c := GetChunk()
+	if len(c) != ChunkSize || cap(c) != ChunkSize {
+		t.Fatalf("GetChunk: len %d cap %d, want %d", len(c), cap(c), ChunkSize)
+	}
+	PutChunk(c[:13]) // applications release the sliced-down delivery view
+	if c2 := GetChunk(); len(c2) != ChunkSize {
+		t.Fatalf("recycled chunk has len %d, want %d", len(c2), ChunkSize)
+	}
+	// Foreign slices — including the reassembler's oversized-segment
+	// fallback allocations — are dropped, never pooled.
+	PutChunk(make([]byte, 10))
+	PutChunk(nil)
+}
+
+func TestBatch(t *testing.T) {
+	bs := GetBatch(5)
+	if len(bs) != 5 {
+		t.Fatalf("GetBatch returned %d buffers", len(bs))
+	}
+	for i, b := range bs {
+		if len(b) != Size {
+			t.Fatalf("batch buffer %d has len %d", i, len(b))
+		}
+	}
+	PutBatch(bs)
+	for i, b := range bs {
+		if b != nil {
+			t.Fatalf("PutBatch left buffer %d referenced", i)
+		}
+	}
+}
+
 func BenchmarkGetPut(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		Put(Get())
+	}
+}
+
+// BenchmarkChunkGetPut guards the delivery path's pool round trip:
+// array-pointer boxing keeps both directions allocation-free.
+func BenchmarkChunkGetPut(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		PutChunk(GetChunk())
 	}
 }

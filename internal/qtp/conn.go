@@ -339,6 +339,9 @@ func (c *Conn) BacklogLen() int { return len(c.backlog) }
 func (c *Conn) CloseSend() { c.sendOpen = false }
 
 // Read returns the next in-order chunk delivered to the application.
+// Chunks are drawn from bufpool's chunk pool; the application owns the
+// returned slice and should release it with bufpool.PutChunk once the
+// data has been consumed.
 func (c *Conn) Read() ([]byte, bool) {
 	if c.reasm == nil {
 		return nil, false

@@ -134,6 +134,8 @@ func (f *Flow) drainReads() {
 		if f.DeliveredAt != nil {
 			f.DeliveredAt(f.sim.Now(), len(chunk))
 		}
+		// Delivered chunks are pooled; the flow is its own application.
+		bufpool.PutChunk(chunk)
 	}
 }
 

@@ -16,33 +16,45 @@ const ctrlMaxTries = 8
 // PollFrame returns the next frame the endpoint wants on the wire at
 // time now, or ok=false if nothing is due yet. Drivers call it in a loop
 // after any event (inbound frame, timer, application write) until it
-// returns false, transmitting each frame. The returned slice is reused
-// by the next call.
+// returns false, transmitting each frame. The returned slice is freshly
+// allocated; drivers that transmit asynchronously (queueing frames for
+// a batched writer) should use PollFrameAppend to build into their own
+// buffer instead.
 func (c *Conn) PollFrame(now time.Duration) (frame []byte, ok bool) {
+	return c.PollFrameAppend(now, nil)
+}
+
+// PollFrameAppend is PollFrame building into caller-owned memory: the
+// frame, if one is due, is appended to dst and the extended slice
+// returned. A driver that enqueues frames on a batch-send queue passes
+// a pooled buffer per call and hands ownership of the filled buffer to
+// its writer, so no frame bytes are copied between the state machine
+// and the wire.
+func (c *Conn) PollFrameAppend(now time.Duration, dst []byte) (frame []byte, ok bool) {
 	c.advance(now)
 
 	// 1. Control plane (handshake, close) has priority.
 	if c.ctrlPending != 0 && now >= c.ctrlDue {
-		return c.buildControl(now), true
+		return c.buildControl(now, dst), true
 	}
 	// 2. Receiver side: acknowledgments.
 	if c.urgentFB {
-		return c.buildFeedback(now), true
+		return c.buildFeedback(now, dst), true
 	}
 	if c.nextFBAt != 0 && now >= c.nextFBAt {
 		if c.tfrcRecv.PendingBytes() > 0 {
-			return c.buildFeedback(now), true
+			return c.buildFeedback(now, dst), true
 		}
 		// Nothing arrived since the last report: stay silent and re-arm
 		// (RFC 3448 §6.2).
 		c.nextFBAt = now + c.tfrcRecv.FeedbackInterval()
 	}
 	if c.sackPending {
-		return c.buildSACK(now), true
+		return c.buildSACK(now, dst), true
 	}
 	// 3. Sender side: paced data.
 	if c.started && c.state == StateEstablished && now >= c.nextSendAt {
-		if f, ok := c.buildData(now); ok {
+		if f, ok := c.buildData(now, dst); ok {
 			return f, true
 		}
 	}
@@ -82,8 +94,8 @@ func (c *Conn) closeReady() bool {
 	return c.finSet || c.stats.DataFramesSent == 0
 }
 
-// buildControl encodes the pending control frame.
-func (c *Conn) buildControl(now time.Duration) []byte {
+// buildControl encodes the pending control frame, appended to dst.
+func (c *Conn) buildControl(now time.Duration, dst []byte) []byte {
 	typ := c.ctrlPending
 	hdr := packet.Header{
 		Type:      typ,
@@ -106,7 +118,7 @@ func (c *Conn) buildControl(now time.Duration) []byte {
 	}
 	hdr.PayloadLen = uint16(len(payload))
 
-	frame := hdr.AppendTo(nil)
+	frame := hdr.AppendTo(dst)
 	frame = append(frame, payload...)
 
 	c.ctrlTries++
@@ -136,8 +148,8 @@ func (c *Conn) buildControl(now time.Duration) []byte {
 }
 
 // buildFeedback encodes a classic TFRC receiver report, including SACK
-// blocks when reliability is negotiated.
-func (c *Conn) buildFeedback(now time.Duration) []byte {
+// blocks when reliability is negotiated, appended to dst.
+func (c *Conn) buildFeedback(now time.Duration, dst []byte) []byte {
 	c.urgentFB = false
 	c.nextFBAt = now + c.tfrcRecv.FeedbackInterval()
 	xRecv, p := c.tfrcRecv.MakeReport(now)
@@ -172,17 +184,18 @@ func (c *Conn) buildFeedback(now time.Duration) []byte {
 	if c.havePeerTS {
 		hdr.TSEcho = c.lastPeerTS
 	}
-	frame := hdr.AppendTo(nil)
+	frame := hdr.AppendTo(dst)
 	frame = append(frame, payload...)
 	c.stats.FeedbackFrames++
-	c.stats.FeedbackBytes += len(frame)
+	c.stats.FeedbackBytes += len(frame) - len(dst)
 	return frame
 }
 
-// buildSACK encodes a QTPlight acknowledgment vector. Note what is NOT
-// here: no loss history, no rate measurement, no equation — the
-// receiver's entire contribution is two interval-set lookups.
-func (c *Conn) buildSACK(now time.Duration) []byte {
+// buildSACK encodes a QTPlight acknowledgment vector, appended to dst.
+// Note what is NOT here: no loss history, no rate measurement, no
+// equation — the receiver's entire contribution is two interval-set
+// lookups.
+func (c *Conn) buildSACK(now time.Duration, dst []byte) []byte {
 	c.sackPending = false
 	s := packet.SACK{CumAck: c.reasm.CumAck()}
 	if c.havePeerTS {
@@ -204,24 +217,24 @@ func (c *Conn) buildSACK(now time.Duration) []byte {
 	if c.havePeerTS {
 		hdr.TSEcho = c.lastPeerTS
 	}
-	frame := hdr.AppendTo(nil)
+	frame := hdr.AppendTo(dst)
 	frame = append(frame, payload...)
 	c.stats.SACKFrames++
-	c.stats.SACKBytes += len(frame)
+	c.stats.SACKBytes += len(frame) - len(dst)
 	return frame
 }
 
-// buildData emits one paced data frame: a due retransmission first,
-// otherwise a fresh segment from the backlog.
-func (c *Conn) buildData(now time.Duration) ([]byte, bool) {
+// buildData emits one paced data frame, appended to dst: a due
+// retransmission first, otherwise a fresh segment from the backlog.
+func (c *Conn) buildData(now time.Duration, dst []byte) ([]byte, bool) {
 	rto := c.retxTimeout()
 	if c.sendBuf != nil {
 		if seq, payload, ok := c.sendBuf.NextRetransmit(now, rto); ok {
 			fin := c.finSet && seq == c.finSeq
-			frame := c.dataFrame(now, seq, payload, true, fin)
+			frame := c.dataFrame(now, dst, seq, payload, true, fin)
 			c.stats.RetransFrames++
 			c.stats.RetransBytes += len(payload)
-			c.pace(now, len(frame))
+			c.pace(now, len(frame)-len(dst))
 			return frame, true
 		}
 	}
@@ -248,14 +261,14 @@ func (c *Conn) buildData(now time.Duration) ([]byte, bool) {
 	if c.est != nil {
 		c.est.OnSent(now, seq, len(payload)+packet.HeaderLen)
 	}
-	frame := c.dataFrame(now, seq, payload, false, fin)
+	frame := c.dataFrame(now, dst, seq, payload, false, fin)
 	c.stats.DataFramesSent++
 	c.stats.DataBytesSent += len(payload)
-	c.pace(now, len(frame))
+	c.pace(now, len(frame)-len(dst))
 	return frame, true
 }
 
-func (c *Conn) dataFrame(now time.Duration, seq seqspace.Seq, payload []byte, retx, fin bool) []byte {
+func (c *Conn) dataFrame(now time.Duration, dst []byte, seq seqspace.Seq, payload []byte, retx, fin bool) []byte {
 	hdr := packet.Header{
 		Type:       packet.TypeData,
 		ConnID:     c.remoteID,
@@ -273,7 +286,7 @@ func (c *Conn) dataFrame(now time.Duration, seq seqspace.Seq, payload []byte, re
 	if fin {
 		hdr.Flags |= packet.FlagFIN
 	}
-	frame := hdr.AppendTo(nil)
+	frame := hdr.AppendTo(dst)
 	return append(frame, payload...)
 }
 

@@ -1,0 +1,74 @@
+package qtpnet
+
+import (
+	"net"
+	"net/netip"
+)
+
+// rxBatch is the receive ring size: the most datagrams one readBatch
+// call (one recvmmsg syscall) can return.
+const rxBatch = 32
+
+// ioMsg is one datagram in a batch. On receive, buf is a full-capacity
+// ring buffer and the reader sets n (datagram length) and addr (source).
+// On send, buf holds exactly the frame (n == len(buf)) and addr is the
+// destination.
+type ioMsg struct {
+	buf  []byte
+	n    int
+	addr netip.AddrPort
+}
+
+// batchIO is the seam between the endpoint's loops and the socket.
+// The linux implementation moves whole batches per syscall with
+// recvmmsg/sendmmsg; every other platform (and DisableBatchIO) falls
+// back to one datagram per call, so the endpoint's logic is identical
+// everywhere and tests can force either path.
+type batchIO interface {
+	// readBatch blocks until at least one datagram is available, fills
+	// ms[i].n and ms[i].addr for each datagram received into ms[i].buf,
+	// and returns how many messages were filled.
+	readBatch(ms []ioMsg) (int, error)
+	// writeBatch sends ms[i].buf[:ms[i].n] to ms[i].addr, in order, and
+	// returns how many datagrams the kernel accepted. err describes the
+	// failure of message ms[n] (or the batch, when n == 0); messages
+	// past n were not attempted.
+	writeBatch(ms []ioMsg) (int, error)
+}
+
+// newBatchIO picks the best available implementation for the socket.
+func newBatchIO(pc *net.UDPConn, maxBatch int, disable bool) batchIO {
+	if !disable {
+		if bio := newPlatformBatchIO(pc, maxBatch); bio != nil {
+			return bio
+		}
+	}
+	return singleIO{pc}
+}
+
+// singleIO is the portable fallback: one syscall per datagram through
+// the standard library, semantically identical to the batch path with
+// every batch of size one.
+type singleIO struct {
+	pc *net.UDPConn
+}
+
+func (s singleIO) readBatch(ms []ioMsg) (int, error) {
+	n, addr, err := s.pc.ReadFromUDPAddrPort(ms[0].buf)
+	if err != nil {
+		return 0, err
+	}
+	ms[0].n, ms[0].addr = n, addr
+	return 1, nil
+}
+
+func (s singleIO) writeBatch(ms []ioMsg) (int, error) {
+	// One datagram per call — not a loop — so the caller's syscall
+	// accounting (SendBatches, AvgSendBatch) stays truthful on the
+	// fallback path: every batch really is of size one. The scheduler's
+	// flush loop already re-calls until the batch is drained.
+	if _, err := s.pc.WriteToUDPAddrPort(ms[0].buf[:ms[0].n], ms[0].addr); err != nil {
+		return 0, err
+	}
+	return 1, nil
+}

@@ -1,0 +1,208 @@
+//go:build linux && (amd64 || arm64)
+
+package qtpnet
+
+import (
+	"net"
+	"net/netip"
+	"os"
+	"syscall"
+	"unsafe"
+)
+
+// mmsgIO moves datagram batches with one syscall each way: recvmmsg on
+// the read side, sendmmsg on the write side. The standard library (and
+// x/net) reach the same syscalls through golang.org/x/net/ipv4's
+// ReadBatch/WriteBatch; this implementation goes straight to the
+// syscall layer so the repository carries no external dependency.
+//
+// The socket stays in the runtime's non-blocking mode and is driven
+// through syscall.RawConn, so reads park on the netpoller exactly like
+// net.UDPConn reads do — one goroutine blocked in readBatch costs the
+// same as one blocked in ReadFromUDPAddrPort, but wakes with up to a
+// whole ring of datagrams.
+type mmsgIO struct {
+	rc syscall.RawConn
+	v6 bool // AF_INET6 socket: v4 destinations need mapping
+
+	// Receive-side scratch, reused every syscall.
+	rhdr []mmsghdr
+	riov []syscall.Iovec
+	rsa  []syscall.RawSockaddrInet6
+
+	// Send-side scratch.
+	whdr []mmsghdr
+	wiov []syscall.Iovec
+	wsa  []syscall.RawSockaddrInet6
+}
+
+// mmsghdr mirrors struct mmsghdr: a msghdr plus the kernel-reported
+// datagram length. The trailing padding matches C struct layout on the
+// 64-bit ABIs this file builds for.
+type mmsghdr struct {
+	hdr syscall.Msghdr
+	n   uint32
+	_   [4]byte
+}
+
+const sizeofSA6 = uint32(unsafe.Sizeof(syscall.RawSockaddrInet6{}))
+
+// newPlatformBatchIO returns the mmsg implementation, or nil when the
+// socket cannot be driven through a RawConn (forcing the fallback).
+func newPlatformBatchIO(pc *net.UDPConn, maxBatch int) batchIO {
+	rc, err := pc.SyscallConn()
+	if err != nil {
+		return nil
+	}
+	domain := syscall.AF_INET
+	cerr := rc.Control(func(fd uintptr) {
+		if d, err := syscall.GetsockoptInt(int(fd), syscall.SOL_SOCKET, syscall.SO_DOMAIN); err == nil {
+			domain = d
+		}
+	})
+	if cerr != nil {
+		return nil
+	}
+	return &mmsgIO{
+		rc:   rc,
+		v6:   domain == syscall.AF_INET6,
+		rhdr: make([]mmsghdr, maxBatch),
+		riov: make([]syscall.Iovec, maxBatch),
+		rsa:  make([]syscall.RawSockaddrInet6, maxBatch),
+		whdr: make([]mmsghdr, maxBatch),
+		wiov: make([]syscall.Iovec, maxBatch),
+		wsa:  make([]syscall.RawSockaddrInet6, maxBatch),
+	}
+}
+
+func (m *mmsgIO) readBatch(ms []ioMsg) (int, error) {
+	n := len(ms)
+	if n > len(m.rhdr) {
+		n = len(m.rhdr)
+	}
+	for i := 0; i < n; i++ {
+		m.riov[i] = syscall.Iovec{Base: &ms[i].buf[0], Len: uint64(len(ms[i].buf))}
+		m.rhdr[i] = mmsghdr{hdr: syscall.Msghdr{
+			Name:    (*byte)(unsafe.Pointer(&m.rsa[i])),
+			Namelen: sizeofSA6,
+			Iov:     &m.riov[i],
+			Iovlen:  1,
+		}}
+	}
+	var got int
+	var operr error
+	err := m.rc.Read(func(fd uintptr) bool {
+		r, _, e := syscall.Syscall6(sysRecvmmsg, fd,
+			uintptr(unsafe.Pointer(&m.rhdr[0])), uintptr(n), 0, 0, 0)
+		if e == syscall.EAGAIN {
+			return false // not readable yet: park on the netpoller
+		}
+		if e != 0 {
+			operr = os.NewSyscallError("recvmmsg", e)
+		} else {
+			got = int(r)
+		}
+		return true
+	})
+	if err != nil {
+		return 0, err
+	}
+	if operr != nil {
+		return 0, operr
+	}
+	for i := 0; i < got; i++ {
+		ms[i].n = int(m.rhdr[i].n)
+		ms[i].addr = saToAddrPort(&m.rsa[i])
+	}
+	return got, nil
+}
+
+func (m *mmsgIO) writeBatch(ms []ioMsg) (int, error) {
+	n := len(ms)
+	if n > len(m.whdr) {
+		n = len(m.whdr)
+	}
+	prep := 0
+	for prep < n {
+		salen, ok := m.fillSA(&m.wsa[prep], ms[prep].addr)
+		if !ok {
+			if prep == 0 {
+				return 0, os.NewSyscallError("sendmmsg", syscall.EAFNOSUPPORT)
+			}
+			break // send what we have; the bad address heads the next call
+		}
+		m.wiov[prep] = syscall.Iovec{Base: &ms[prep].buf[0], Len: uint64(ms[prep].n)}
+		m.whdr[prep] = mmsghdr{hdr: syscall.Msghdr{
+			Name:    (*byte)(unsafe.Pointer(&m.wsa[prep])),
+			Namelen: salen,
+			Iov:     &m.wiov[prep],
+			Iovlen:  1,
+		}}
+		prep++
+	}
+	var sent int
+	var operr error
+	err := m.rc.Write(func(fd uintptr) bool {
+		r, _, e := syscall.Syscall6(sysSendmmsg, fd,
+			uintptr(unsafe.Pointer(&m.whdr[0])), uintptr(prep), 0, 0, 0)
+		if e == syscall.EAGAIN {
+			return false
+		}
+		if e != 0 {
+			operr = os.NewSyscallError("sendmmsg", e)
+		} else {
+			sent = int(r)
+		}
+		return true
+	})
+	if err != nil {
+		return sent, err
+	}
+	return sent, operr
+}
+
+// fillSA encodes a destination into sa, returning its length and
+// whether the address is representable on this socket's family.
+func (m *mmsgIO) fillSA(sa *syscall.RawSockaddrInet6, ap netip.AddrPort) (uint32, bool) {
+	if m.v6 {
+		// As16 yields the v4-mapped form for IPv4 addresses, which is
+		// exactly what a dual-stack AF_INET6 socket wants.
+		*sa = syscall.RawSockaddrInet6{
+			Family: syscall.AF_INET6,
+			Port:   htons(ap.Port()),
+			Addr:   ap.Addr().As16(),
+		}
+		return sizeofSA6, true
+	}
+	a := ap.Addr().Unmap()
+	if !a.Is4() {
+		return 0, false // v6 destination on a v4 socket
+	}
+	sa4 := (*syscall.RawSockaddrInet4)(unsafe.Pointer(sa))
+	*sa4 = syscall.RawSockaddrInet4{
+		Family: syscall.AF_INET,
+		Port:   htons(ap.Port()),
+		Addr:   a.As4(),
+	}
+	return uint32(unsafe.Sizeof(*sa4)), true
+}
+
+// saToAddrPort decodes a kernel-written source address. Unknown
+// families yield the zero AddrPort, which the demux discards.
+func saToAddrPort(sa *syscall.RawSockaddrInet6) netip.AddrPort {
+	switch sa.Family {
+	case syscall.AF_INET:
+		sa4 := (*syscall.RawSockaddrInet4)(unsafe.Pointer(sa))
+		return netip.AddrPortFrom(netip.AddrFrom4(sa4.Addr), htons(sa4.Port))
+	case syscall.AF_INET6:
+		return netip.AddrPortFrom(netip.AddrFrom16(sa.Addr), htons(sa.Port))
+	}
+	return netip.AddrPort{}
+}
+
+// htons swaps a port between host and network byte order (the
+// conversion is its own inverse).
+func htons(p uint16) uint16 {
+	b := [2]byte{byte(p >> 8), byte(p)}
+	return *(*uint16)(unsafe.Pointer(&b[0]))
+}

@@ -1,0 +1,11 @@
+//go:build !linux || !(amd64 || arm64)
+
+package qtpnet
+
+import "net"
+
+// newPlatformBatchIO reports that no batched syscall implementation
+// exists here; the endpoint uses the portable single-datagram fallback.
+func newPlatformBatchIO(pc *net.UDPConn, maxBatch int) batchIO {
+	return nil
+}

@@ -1,0 +1,163 @@
+package qtpnet
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+// transfer streams total bytes over nConns connections from a client
+// endpoint to a listening endpoint and returns the reassembled bytes
+// per connection, failing the test on any loss or corruption.
+func transfer(t *testing.T, client *Endpoint, l *Listener, nConns, perConn int) {
+	t.Helper()
+	results := make(chan error, nConns)
+	go func() {
+		for i := 0; i < nConns; i++ {
+			conn, err := l.Accept()
+			if err != nil {
+				results <- err
+				return
+			}
+			go func() {
+				defer conn.Close()
+				var got bytes.Buffer
+				deadline := time.Now().Add(30 * time.Second)
+				for !conn.Finished() && time.Now().Before(deadline) {
+					chunk, ok := conn.Read(time.Second)
+					if !ok {
+						continue
+					}
+					got.Write(chunk)
+					conn.Release(chunk)
+				}
+				for {
+					chunk, ok := conn.Read(50 * time.Millisecond)
+					if !ok {
+						break
+					}
+					got.Write(chunk)
+					conn.Release(chunk)
+				}
+				if !conn.Finished() {
+					results <- fmt.Errorf("stream incomplete: %d of %d bytes", got.Len(), perConn)
+					return
+				}
+				for i, b := range got.Bytes() {
+					if b != byte(i*31) {
+						results <- fmt.Errorf("corruption at byte %d", i)
+						return
+					}
+				}
+				if got.Len() != perConn {
+					results <- fmt.Errorf("delivered %d bytes, want %d", got.Len(), perConn)
+					return
+				}
+				results <- nil
+			}()
+		}
+	}()
+
+	data := make([]byte, perConn)
+	for i := range data {
+		data[i] = byte(i * 31)
+	}
+	for i := 0; i < nConns; i++ {
+		conn, err := client.Dial(l.Addr().String(), core.QTPAF(2e6), 10*time.Second)
+		if err != nil {
+			t.Fatalf("dial %d: %v", i, err)
+		}
+		go func() {
+			if _, err := conn.Write(data); err == nil {
+				conn.CloseSend()
+			}
+		}()
+	}
+	for i := 0; i < nConns; i++ {
+		select {
+		case err := <-results:
+			if err != nil {
+				t.Fatal(err)
+			}
+		case <-time.After(60 * time.Second):
+			t.Fatal("transfer timed out")
+		}
+	}
+}
+
+// TestEndpointFallbackEquivalence proves the batch and single-datagram
+// socket paths are interchangeable: every pairing of batch and fallback
+// endpoints moves the same streams to the same bytes, so platforms
+// without recvmmsg/sendmmsg (and DisableBatchIO escapes) lose only
+// throughput, never behavior.
+func TestEndpointFallbackEquivalence(t *testing.T) {
+	const nConns, perConn = 4, 16 << 10
+	cases := []struct {
+		name                    string
+		clientSingle, srvSingle bool
+	}{
+		{"batch_to_fallback", false, true},
+		{"fallback_to_batch", true, false},
+		{"fallback_to_fallback", true, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			srv, err := NewEndpoint("127.0.0.1:0", EndpointConfig{
+				AcceptInbound:  true,
+				Constraints:    core.Permissive(1e7),
+				DisableBatchIO: tc.srvSingle,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			l := &Listener{e: srv}
+			defer l.Close()
+			client, err := NewEndpoint("127.0.0.1:0", EndpointConfig{
+				DisableBatchIO: tc.clientSingle,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer client.Close()
+
+			transfer(t, client, l, nConns, perConn)
+
+			for _, e := range []*Endpoint{client, srv} {
+				st := e.Stats()
+				if st.DatagramsIn == 0 || st.DatagramsOut == 0 {
+					t.Errorf("stats show no traffic: %v", st)
+				}
+				if st.RecvBatches == 0 || st.SendBatches == 0 {
+					t.Errorf("stats show no syscalls: %v", st)
+				}
+				if err := e.Err(); err != nil {
+					t.Errorf("endpoint error after clean transfer: %v", err)
+				}
+			}
+			if tc.srvSingle {
+				if mb := srv.Stats().MaxRecvBatch; mb > 1 {
+					t.Errorf("fallback endpoint reports batch of %d; single-read path must cap at 1", mb)
+				}
+			}
+		})
+	}
+}
+
+// TestEndpointStatsString exercises the human-readable stats rendering
+// used by qtpd -v.
+func TestEndpointStatsString(t *testing.T) {
+	s := EndpointStats{DatagramsIn: 10, RecvBatches: 4, DatagramsOut: 6, SendBatches: 3}
+	if got := s.String(); got == "" {
+		t.Fatal("empty stats string")
+	}
+	if s.AvgRecvBatch() != 2.5 || s.AvgSendBatch() != 2 {
+		t.Fatalf("avg batch math wrong: %v %v", s.AvgRecvBatch(), s.AvgSendBatch())
+	}
+	var zero EndpointStats
+	if zero.AvgRecvBatch() != 0 {
+		t.Fatal("zero-division in AvgRecvBatch")
+	}
+}

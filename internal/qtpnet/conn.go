@@ -6,6 +6,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/bufpool"
 	"repro/internal/core"
 	"repro/internal/qtp"
 )
@@ -93,7 +94,7 @@ func (c *Conn) Write(p []byte) (int, error) {
 		total += n
 		p = p[n:]
 		if n > 0 {
-			c.ep.service(c)
+			c.ep.serviceFlush(c)
 		}
 		if len(p) == 0 {
 			break
@@ -113,11 +114,14 @@ func (c *Conn) CloseSend() {
 	c.mu.Lock()
 	c.inner.CloseSend()
 	c.mu.Unlock()
-	c.ep.service(c)
+	c.ep.serviceFlush(c)
 }
 
 // Read returns the next in-order chunk, blocking until data arrives,
-// the connection dies (nil, false), or the timeout passes.
+// the connection dies (nil, false), or the timeout passes. The chunk is
+// pool-backed: hand it back with Release once consumed so steady-state
+// delivery allocates nothing (skipping Release costs a pool miss, never
+// a leak).
 func (c *Conn) Read(timeout time.Duration) ([]byte, bool) {
 	select {
 	case p := <-c.readCh:
@@ -134,6 +138,10 @@ func (c *Conn) Read(timeout time.Duration) ([]byte, bool) {
 		return nil, false
 	}
 }
+
+// Release returns a chunk obtained from Read to the delivery pool.
+// Safe on any slice (non-pooled capacities are dropped) and on nil.
+func (c *Conn) Release(p []byte) { bufpool.PutChunk(p) }
 
 // Done returns a channel that is closed once the connection has been
 // torn down (locally or by protocol teardown). Data already delivered

@@ -7,6 +7,7 @@ import (
 	"net"
 	"net/netip"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/bufpool"
@@ -33,6 +34,49 @@ type EndpointConfig struct {
 	// Beyond it, new Connects are abandoned; the peer's handshake
 	// retransmission gives Accept time to catch up.
 	AcceptBacklog int
+	// DisableBatchIO forces the portable single-datagram socket path
+	// even where recvmmsg/sendmmsg are available. The endpoint behaves
+	// identically either way; tests use this to prove it, and it is an
+	// escape hatch should a platform's batch path misbehave.
+	DisableBatchIO bool
+}
+
+// EndpointStats is a snapshot of an endpoint's datagram-path counters.
+// Batch counters count syscalls: DatagramsIn/RecvBatches is the average
+// number of datagrams moved per receive syscall, the number batching
+// exists to raise.
+type EndpointStats struct {
+	DatagramsIn  uint64 // datagrams read from the socket
+	DatagramsOut uint64 // datagrams handed to the kernel
+	RecvBatches  uint64 // read syscalls
+	SendBatches  uint64 // write syscalls
+	MaxRecvBatch int    // largest single read batch
+	MaxSendBatch int    // largest single write batch
+	NoRoute      uint64 // datagrams that matched no connection
+	RecvDrops    uint64 // delivered chunks dropped on slow readers
+	SendErrs     uint64 // transient send errors (datagram dropped)
+	SendDrops    uint64 // datagrams abandoned by send errors
+}
+
+// AvgRecvBatch returns mean datagrams per receive syscall.
+func (s EndpointStats) AvgRecvBatch() float64 { return ratio(s.DatagramsIn, s.RecvBatches) }
+
+// AvgSendBatch returns mean datagrams per send syscall.
+func (s EndpointStats) AvgSendBatch() float64 { return ratio(s.DatagramsOut, s.SendBatches) }
+
+func ratio(n, d uint64) float64 {
+	if d == 0 {
+		return 0
+	}
+	return float64(n) / float64(d)
+}
+
+func (s EndpointStats) String() string {
+	return fmt.Sprintf(
+		"in %d dgrams/%d syscalls (avg batch %.2f, max %d) out %d dgrams/%d syscalls (avg batch %.2f, max %d) noroute %d rxdrop %d senderr %d sendrop %d",
+		s.DatagramsIn, s.RecvBatches, s.AvgRecvBatch(), s.MaxRecvBatch,
+		s.DatagramsOut, s.SendBatches, s.AvgSendBatch(), s.MaxSendBatch,
+		s.NoRoute, s.RecvDrops, s.SendErrs, s.SendDrops)
 }
 
 // peerKey routes handshake frames, which arrive before the peer can
@@ -45,13 +89,18 @@ type peerKey struct {
 }
 
 // Endpoint runs many QTP connections over one UDP socket. Inbound
-// datagrams are demultiplexed by the connection-ID field every QTP
-// header carries (negotiated into the peer during the handshake);
-// protocol timers across all connections are driven by a single shared
-// deadline heap, and receive buffers come from a pool, so per-frame
-// work allocates nothing.
+// datagrams arrive in batches — one recvmmsg syscall fills a ring of
+// pooled buffers, and the whole batch is demultiplexed under a single
+// table-lock acquisition. Outbound frames from every connection funnel
+// through one send scheduler that flushes them with sendmmsg, so
+// connections sharing the socket also share syscalls. Protocol timers
+// across all connections are driven by a single shared deadline heap.
+// On platforms without the batch syscalls both paths degrade to one
+// datagram per call with identical semantics.
 type Endpoint struct {
 	pc    *net.UDPConn
+	bio   batchIO
+	tx    *sendScheduler
 	epoch time.Time
 	cfg   EndpointConfig
 
@@ -63,6 +112,14 @@ type Endpoint struct {
 	sleepUntil time.Duration // scheduler's current sleep deadline
 	closed     bool
 	readErr    error
+	sendErr    error
+
+	// Receive-side counters (single writer: the read loop).
+	datagramsIn  atomic.Uint64
+	recvBatches  atomic.Uint64
+	maxRecvBatch atomic.Uint64
+	noRoute      atomic.Uint64
+	recvDrops    atomic.Uint64
 
 	acceptCh  chan *Conn
 	done      chan struct{}
@@ -70,8 +127,9 @@ type Endpoint struct {
 	closeOnce sync.Once
 }
 
-// NewEndpoint opens a UDP socket on addr and starts the endpoint's read
-// and timer loops. Use addr ":0" for an ephemeral dial-side port.
+// NewEndpoint opens a UDP socket on addr and starts the endpoint's
+// read, timer and send-flush loops. Use addr ":0" for an ephemeral
+// dial-side port.
 func NewEndpoint(addr string, cfg EndpointConfig) (*Endpoint, error) {
 	ua, err := net.ResolveUDPAddr("udp", addr)
 	if err != nil {
@@ -86,6 +144,7 @@ func NewEndpoint(addr string, cfg EndpointConfig) (*Endpoint, error) {
 	}
 	e := &Endpoint{
 		pc:       pc,
+		bio:      newBatchIO(pc, rxBatch, cfg.DisableBatchIO),
 		epoch:    time.Now(),
 		cfg:      cfg,
 		byID:     make(map[uint32]*Conn),
@@ -95,6 +154,9 @@ func NewEndpoint(addr string, cfg EndpointConfig) (*Endpoint, error) {
 		done:     make(chan struct{}),
 		wake:     make(chan struct{}, 1),
 	}
+	// maxDelay 0: the endpoint flushes at its own round boundaries (end
+	// of each receive batch and timer round) instead of lingering.
+	e.tx = newSendScheduler(e.bio, txBatch, 0, e.onSendFatal)
 	go e.readLoop()
 	go e.timerLoop()
 	return e, nil
@@ -108,6 +170,33 @@ func (e *Endpoint) ConnCount() int {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	return len(e.byID)
+}
+
+// Stats snapshots the endpoint's datagram-path counters.
+func (e *Endpoint) Stats() EndpointStats {
+	return EndpointStats{
+		DatagramsIn:  e.datagramsIn.Load(),
+		DatagramsOut: e.tx.datagramsOut.Load(),
+		RecvBatches:  e.recvBatches.Load(),
+		SendBatches:  e.tx.batches.Load(),
+		MaxRecvBatch: int(e.maxRecvBatch.Load()),
+		MaxSendBatch: int(e.tx.maxSeen.Load()),
+		NoRoute:      e.noRoute.Load(),
+		RecvDrops:    e.recvDrops.Load(),
+		SendErrs:     e.tx.errTransient.Load(),
+		SendDrops:    e.tx.drops.Load(),
+	}
+}
+
+// Err returns the persistent socket error that shut the endpoint down,
+// if any: connections torn down by a dead socket find the cause here.
+func (e *Endpoint) Err() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.readErr != nil {
+		return e.readErr
+	}
+	return e.sendErr
 }
 
 // now maps wall time to the endpoint's monotonic protocol clock, shared
@@ -144,7 +233,7 @@ func (e *Endpoint) Dial(addr string, profile core.Profile, timeout time.Duration
 	c.mu.Lock()
 	c.inner.Start(e.now())
 	c.mu.Unlock()
-	e.service(c)
+	e.serviceFlush(c)
 
 	select {
 	case <-c.established:
@@ -187,6 +276,7 @@ func (e *Endpoint) Close() error {
 		}
 		e.mu.Unlock()
 		close(e.done)
+		e.tx.stop()
 		for _, c := range conns {
 			c.teardown()
 		}
@@ -195,16 +285,39 @@ func (e *Endpoint) Close() error {
 	return nil
 }
 
-// readLoop moves datagrams from the socket into the demultiplexer.
-// Buffers are pooled and recycled as soon as the frame is handled — the
-// protocol core never retains inbound frame memory — so the steady
-// state receive path performs no per-frame allocation.
+// onSendFatal is the send scheduler's persistent-failure callback: it
+// records the cause and tears the endpoint down, so every connection
+// sees Done close instead of stalling against a dead socket.
+func (e *Endpoint) onSendFatal(err error) {
+	select {
+	case <-e.done:
+		return // shutdown already in progress; expected
+	default:
+	}
+	e.mu.Lock()
+	if e.sendErr == nil {
+		e.sendErr = err
+	}
+	e.mu.Unlock()
+	go e.Close()
+}
+
+// readLoop fills a ring of pooled buffers from the socket — one
+// recvmmsg per wakeup where the platform allows — and feeds each batch
+// to the demultiplexer. The ring buffers are never released on the
+// steady path: Deliver does not retain frame memory, so the same ring
+// serves every batch and per-datagram pool traffic is zero.
 func (e *Endpoint) readLoop() {
+	bufs := bufpool.GetBatch(rxBatch)
+	defer bufpool.PutBatch(bufs)
+	ms := make([]ioMsg, rxBatch)
+	for i := range ms {
+		ms[i].buf = bufs[i]
+	}
+	var sc rxScratch
 	for {
-		buf := bufpool.Get()
-		n, from, err := e.pc.ReadFromUDPAddrPort(buf)
+		n, err := e.bio.readBatch(ms)
 		if err != nil {
-			bufpool.Put(buf)
 			select {
 			case <-e.done:
 			default:
@@ -220,63 +333,155 @@ func (e *Endpoint) readLoop() {
 			}
 			return
 		}
-		e.Deliver(from, buf[:n])
-		bufpool.Put(buf)
+		e.datagramsIn.Add(uint64(n))
+		e.recvBatches.Add(1)
+		if uint64(n) > e.maxRecvBatch.Load() {
+			e.maxRecvBatch.Store(uint64(n))
+		}
+		e.deliverBatch(ms[:n], &sc)
 	}
 }
 
-// Deliver demultiplexes one datagram to its connection and services it.
-// This is the endpoint's receive entry point: the read loop calls it
-// for every datagram, and tests or alternative drivers may inject
-// frames directly. The datagram memory is not retained; the caller may
-// reuse it as soon as Deliver returns. It reports whether the frame
-// reached a connection and was accepted.
-func (e *Endpoint) Deliver(from netip.AddrPort, dgram []byte) bool {
+// classify pulls the demux key out of a raw datagram: frame type and
+// connection ID. ok=false rejects runts and foreign versions.
+func classify(dgram []byte) (typ packet.Type, cid uint32, ok bool) {
 	if len(dgram) < packet.HeaderLen || dgram[0]>>4 != packet.Version {
-		return false
+		return 0, 0, false
 	}
-	typ := packet.Type(dgram[0] & 0x0f)
-	cid := binary.BigEndian.Uint32(dgram[4:8])
+	return packet.Type(dgram[0] & 0x0f), binary.BigEndian.Uint32(dgram[4:8]), true
+}
 
-	var c *Conn
-	isNew := false
-	if typ == packet.TypeConnect {
-		// Handshake route: the initiator cannot stamp our ID yet.
-		c, isNew = e.routeConnect(from, cid)
-	} else {
-		// Data-plane route: the header's connection ID is ours.
-		e.mu.Lock()
-		c = e.byID[cid]
-		e.mu.Unlock()
-	}
-	if c == nil {
+// Deliver demultiplexes one datagram to its connection and services it.
+// This is the endpoint's single-datagram receive entry point: tests and
+// alternative drivers inject frames here, and the batch path is
+// equivalent to calling it once per datagram. The datagram memory is
+// not retained; the caller may reuse it as soon as Deliver returns. It
+// reports whether the frame reached a connection and was accepted.
+func (e *Endpoint) Deliver(from netip.AddrPort, dgram []byte) bool {
+	typ, cid, ok := classify(dgram)
+	if !ok {
 		return false
 	}
-	c.mu.Lock()
-	err := c.inner.HandleFrame(e.now(), dgram)
-	c.mu.Unlock()
+	e.mu.Lock()
+	c, isNew := e.resolveLocked(from, typ, cid)
+	e.mu.Unlock()
+	if c == nil {
+		e.noRoute.Add(1)
+		return false
+	}
+	err := e.handleFrame(c, dgram)
 	if isNew && !e.finishAccept(c, err) {
 		// Refused before service ran, so no Accept frame went out: the
 		// peer keeps retransmitting its Connect and a later attempt may
 		// find room.
 		return false
 	}
-	e.service(c)
+	e.serviceFlush(c)
 	return err == nil
 }
 
-// routeConnect finds the connection a Connect frame belongs to,
-// creating a responder for a first contact. The bool reports creation.
-func (e *Endpoint) routeConnect(from netip.AddrPort, cid uint32) (*Conn, bool) {
+// rxScratch is the read loop's reusable batch-demux state; keeping it
+// across batches keeps the receive path allocation-free.
+type rxScratch struct {
+	conns   []*Conn
+	fresh   []bool
+	touched []*Conn
+}
+
+// deliverBatch demultiplexes one receive batch. The route for every
+// datagram is resolved under a single demux-lock acquisition (where the
+// single-datagram path pays one per frame), frames are handled in
+// arrival order, and each connection touched by the batch is serviced
+// exactly once — so a burst of frames for one connection costs one
+// transmit/deliver/reschedule pass instead of one per frame.
+func (e *Endpoint) deliverBatch(ms []ioMsg, sc *rxScratch) {
+	sc.conns = sc.conns[:0]
+	sc.fresh = sc.fresh[:0]
+	e.mu.Lock()
+	for i := range ms {
+		typ, cid, ok := classify(ms[i].buf[:ms[i].n])
+		var c *Conn
+		isNew := false
+		if ok {
+			c, isNew = e.resolveLocked(ms[i].addr, typ, cid)
+		}
+		sc.conns = append(sc.conns, c)
+		sc.fresh = append(sc.fresh, isNew)
+	}
+	e.mu.Unlock()
+
+	sc.touched = sc.touched[:0]
+	for i := range ms {
+		c := sc.conns[i]
+		sc.conns[i] = nil
+		if c == nil {
+			e.noRoute.Add(1)
+			continue
+		}
+		err := e.handleFrame(c, ms[i].buf[:ms[i].n])
+		if sc.fresh[i] && !e.finishAccept(c, err) {
+			continue
+		}
+		if !containsConn(sc.touched, c) {
+			sc.touched = append(sc.touched, c)
+		}
+	}
+	produced := false
+	for i, c := range sc.touched {
+		produced = e.service(c) || produced
+		sc.touched[i] = nil
+	}
+	// One flush for the whole batch: every frame the round produced —
+	// acks from many receivers, data releases from many senders —
+	// shares the sendmmsg syscalls.
+	if produced {
+		e.tx.flushPending()
+	}
+}
+
+func containsConn(cs []*Conn, c *Conn) bool {
+	for _, x := range cs {
+		if x == c {
+			return true
+		}
+	}
+	return false
+}
+
+// serviceFlush services one connection and immediately pushes whatever
+// frames it produced to the wire. Entry points outside the endpoint's
+// internal rounds (Dial, Conn.Write, single-datagram Deliver) use it;
+// the batch and timer rounds instead flush once per round.
+func (e *Endpoint) serviceFlush(c *Conn) {
+	if e.service(c) {
+		e.tx.flushPending()
+	}
+}
+
+// handleFrame feeds one classified datagram to its connection's state
+// machine.
+func (e *Endpoint) handleFrame(c *Conn, dgram []byte) error {
+	c.mu.Lock()
+	err := c.inner.HandleFrame(e.now(), dgram)
+	c.mu.Unlock()
+	return err
+}
+
+// resolveLocked finds the connection a classified frame belongs to,
+// creating a responder for a first-contact Connect. The bool reports
+// creation. Callers hold e.mu.
+func (e *Endpoint) resolveLocked(from netip.AddrPort, typ packet.Type, cid uint32) (*Conn, bool) {
+	if typ != packet.TypeConnect {
+		// Data-plane route: the header's connection ID is ours.
+		return e.byID[cid], false
+	}
+	// Handshake route: the initiator cannot stamp our ID yet.
 	from = normalize(from)
 	key := peerKey{from, cid}
-	e.mu.Lock()
 	if c, ok := e.byPeer[key]; ok {
-		e.mu.Unlock()
 		return c, false
 	}
 	if !e.cfg.AcceptInbound || e.closed {
-		e.mu.Unlock()
 		return nil, false
 	}
 	id := e.allocIDLocked()
@@ -289,7 +494,6 @@ func (e *Endpoint) routeConnect(from netip.AddrPort, cid uint32) (*Conn, bool) {
 	})
 	e.byID[id] = c
 	e.byPeer[key] = c
-	e.mu.Unlock()
 	return c, true
 }
 
@@ -330,19 +534,34 @@ func (e *Endpoint) allocIDLocked() uint32 {
 	}
 }
 
-// service drives one connection: transmit due frames, deliver readable
-// data, then reschedule its deadline in the shared timer heap. It is
-// called after every event touching the connection (inbound frame,
-// application write, timer expiry).
-func (e *Endpoint) service(c *Conn) {
+// service drives one connection: enqueue due frames on the shared send
+// scheduler, deliver readable data, then reschedule its deadline in the
+// shared timer heap. It is called after every event touching the
+// connection (inbound frames, application write, timer expiry) and
+// reports whether it enqueued frames, which the caller owes a
+// flushPending for once its round completes.
+//
+// Frames are built directly into pooled buffers whose ownership passes
+// to the scheduler; nothing touches the socket while a connection lock
+// is held (queue-bounding flushes run after c.mu is released), so a
+// slow wire never stalls another connection's delivery or timers.
+func (e *Endpoint) service(c *Conn) (produced bool) {
+	var txb []byte
 	c.mu.Lock()
 	now := e.now()
 	for {
-		frame, ok := c.inner.PollFrame(now)
+		if txb == nil {
+			txb = bufpool.Get()
+		}
+		frame, ok := c.inner.PollFrameAppend(now, txb[:0])
 		if !ok {
 			break
 		}
-		_, _ = e.pc.WriteToUDPAddrPort(frame, c.peer)
+		e.tx.enqueue(c.peer, frame)
+		produced = true
+		if cap(frame) == cap(txb) {
+			txb = nil // the scheduler owns the pooled buffer now
+		}
 	}
 	st := c.inner.State()
 	if st == qtp.StateEstablished || st == qtp.StateClosing {
@@ -359,21 +578,33 @@ func (e *Endpoint) service(c *Conn) {
 			// Application is slow; drop oldest so one stalled reader
 			// cannot wedge the endpoint that serves everyone else.
 			select {
-			case <-c.readCh:
+			case old := <-c.readCh:
+				e.recvDrops.Add(1)
+				bufpool.PutChunk(old)
 			default:
 			}
 			select {
 			case c.readCh <- chunk:
 			default:
+				e.recvDrops.Add(1)
+				bufpool.PutChunk(chunk)
 			}
 		}
 	}
 	wakeAt, wok := c.inner.NextWake(now)
 	c.mu.Unlock()
+	if txb != nil {
+		bufpool.Put(txb)
+	}
+	if produced {
+		// Off the connection lock now: bound the queue mid-round. The
+		// full flush still belongs to the caller's round boundary.
+		e.tx.flushIfFull()
+	}
 
 	if st == qtp.StateClosed {
 		c.teardown()
-		return
+		return produced
 	}
 	e.mu.Lock()
 	if !c.gone {
@@ -387,6 +618,7 @@ func (e *Endpoint) service(c *Conn) {
 		}
 	}
 	e.mu.Unlock()
+	return produced
 }
 
 // timerLoop is the shared scheduler: one goroutine, one timer, every
@@ -414,10 +646,16 @@ func (e *Endpoint) timerLoop() {
 		e.sleepUntil = now + d
 		e.mu.Unlock()
 
+		produced := false
 		for _, c := range due {
-			e.service(c)
+			produced = e.service(c) || produced
 		}
 		if len(due) > 0 {
+			// One flush per timer round: paced frames released by this
+			// round's deadlines leave in shared syscalls.
+			if produced {
+				e.tx.flushPending()
+			}
 			continue // servicing may have re-armed earlier deadlines
 		}
 		if !timer.Stop() {

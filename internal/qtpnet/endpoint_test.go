@@ -67,6 +67,7 @@ func TestEndpointManyConns(t *testing.T) {
 						}
 					}
 					s.n += len(chunk)
+					conn.Release(chunk)
 				}
 				for { // drain the queue
 					chunk, ok := conn.Read(50 * time.Millisecond)
@@ -74,6 +75,7 @@ func TestEndpointManyConns(t *testing.T) {
 						break
 					}
 					s.n += len(chunk)
+					conn.Release(chunk)
 				}
 				if !conn.Finished() {
 					s.err = fmt.Errorf("stream %d incomplete: %d of %d bytes", s.tag, s.n, perConn)

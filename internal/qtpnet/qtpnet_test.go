@@ -51,6 +51,7 @@ func TestLoopbackTransfer(t *testing.T) {
 			chunk, ok := conn.Read(time.Second)
 			if ok {
 				r.buf.Write(chunk)
+				conn.Release(chunk)
 			}
 		}
 		// Drain whatever is still queued.
@@ -60,6 +61,7 @@ func TestLoopbackTransfer(t *testing.T) {
 				break
 			}
 			r.buf.Write(chunk)
+			conn.Release(chunk)
 		}
 		r.finished = true
 	}()

@@ -1,0 +1,300 @@
+package qtpnet
+
+import (
+	"errors"
+	"net"
+	"net/netip"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"repro/internal/bufpool"
+)
+
+const (
+	// txBatch is the most datagrams one writeBatch call (one sendmmsg
+	// syscall) flushes.
+	txBatch = 32
+	// maxConsecSendErrs converts a run of transient send errors into a
+	// persistent one: a socket that fails this many datagrams in a row
+	// is dead for every connection sharing it.
+	maxConsecSendErrs = 64
+)
+
+// sendScheduler is the shared transmit path of an endpoint: connections
+// never write to the socket from their timer/ack paths; they enqueue
+// framed packets (destination + pooled buffer) on a batch queue that is
+// flushed through writeBatch, coalescing frames from different
+// connections into single syscalls.
+//
+// Flushing is edge-triggered, not lingering: the endpoint enqueues
+// frames for every connection touched by a receive batch or a timer
+// round, then calls flushPending once at the end of the round, so all
+// frames the round produced share syscalls without any added latency.
+// (A deliberate linger delay was measured to slow TFRC's rate ramp —
+// ~30% loopback throughput at 100µs — so the endpoint runs without
+// one.) An optional linger mode (maxDelay > 0, driven by run) flushes a
+// short batch only after maxDelay or as soon as it fills, for drivers
+// without a natural round boundary.
+//
+// Whoever calls flushPending and wins the flush token drains the queue;
+// losers just leave their frames for the winner, so a flush in progress
+// is itself the coalescing window for late arrivals.
+type sendScheduler struct {
+	w        batchWriter
+	maxBatch int
+	maxDelay time.Duration
+	// onFatal is called once, off the enqueue path, when the socket is
+	// persistently unwritable; the endpoint uses it to surface the
+	// error and tear down.
+	onFatal func(error)
+
+	mu     sync.Mutex
+	q      []ioMsg
+	closed bool
+
+	flushing  atomic.Bool
+	batch     []ioMsg // flush scratch, guarded by the flushing token
+	consecErr int     // likewise
+
+	kick chan struct{} // linger mode: something was enqueued
+	full chan struct{} // linger mode: the queue reached maxBatch
+	done chan struct{}
+
+	fatalOnce sync.Once
+
+	// Counters, merged into EndpointStats.
+	datagramsOut atomic.Uint64
+	batches      atomic.Uint64
+	maxSeen      atomic.Uint64
+	errTransient atomic.Uint64
+	drops        atomic.Uint64
+}
+
+// batchWriter is the slice of batchIO the scheduler needs; tests
+// substitute fakes.
+type batchWriter interface {
+	writeBatch(ms []ioMsg) (int, error)
+}
+
+func newSendScheduler(w batchWriter, maxBatch int, maxDelay time.Duration, onFatal func(error)) *sendScheduler {
+	return &sendScheduler{
+		w:        w,
+		maxBatch: maxBatch,
+		maxDelay: maxDelay,
+		onFatal:  onFatal,
+		batch:    make([]ioMsg, 0, maxBatch),
+		kick:     make(chan struct{}, 1),
+		full:     make(chan struct{}, 1),
+		done:     make(chan struct{}),
+	}
+}
+
+// enqueue hands one framed datagram to the scheduler. The frame slice
+// must be pool-backed (bufpool.Get capacity); ownership transfers to
+// the scheduler, which releases it after the flush. enqueue never
+// touches the socket, so it is safe under a connection's lock; in edge
+// mode the caller promises a flushIfFull/flushPending once its current
+// frame-production pass is done.
+func (s *sendScheduler) enqueue(addr netip.AddrPort, frame []byte) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		bufpool.Put(frame)
+		return
+	}
+	s.q = append(s.q, ioMsg{buf: frame, n: len(frame), addr: addr})
+	n := len(s.q)
+	s.mu.Unlock()
+	if s.maxDelay > 0 {
+		// Linger mode: wake the flusher; tell it to skip the linger
+		// once the batch is full.
+		if n >= s.maxBatch {
+			signal(s.full)
+		}
+		signal(s.kick)
+	}
+}
+
+// flushIfFull flushes only when at least one full batch is queued; the
+// endpoint calls it between connections mid-round to bound queue growth
+// without paying a flush probe per service pass.
+func (s *sendScheduler) flushIfFull() {
+	if s.pending() >= s.maxBatch {
+		s.flushPending()
+	}
+}
+
+func signal(ch chan struct{}) {
+	select {
+	case ch <- struct{}{}:
+	default:
+	}
+}
+
+// flushPending drains the queue through the writer. Concurrent callers
+// race for the flush token; exactly one drains while the others return
+// immediately, their frames covered by the winner's drain loop.
+func (s *sendScheduler) flushPending() {
+	for {
+		if !s.flushing.CompareAndSwap(false, true) {
+			return
+		}
+		for {
+			s.batch = s.take(s.batch[:0])
+			if len(s.batch) == 0 {
+				break
+			}
+			s.flush(s.batch)
+		}
+		s.flushing.Store(false)
+		// A frame enqueued between the last take and the token release
+		// would strand if its enqueuer lost the race to us; recheck.
+		if s.pending() == 0 {
+			return
+		}
+	}
+}
+
+// stop shuts the scheduler down; pending frames are released unsent.
+func (s *sendScheduler) stop() {
+	s.mu.Lock()
+	already := s.closed
+	s.closed = true
+	q := s.q
+	s.q = nil
+	s.mu.Unlock()
+	if !already {
+		close(s.done)
+	}
+	for i := range q {
+		bufpool.Put(q[i].buf)
+		q[i] = ioMsg{}
+	}
+}
+
+// run drives linger mode (maxDelay > 0): sleep until a frame arrives,
+// wait up to maxDelay for the batch to fill — flushing immediately if
+// it does — then flush whatever is queued. Endpoints do not use it;
+// drivers without a round boundary (and the scheduler's tests) do.
+func (s *sendScheduler) run() {
+	timer := time.NewTimer(time.Hour)
+	if !timer.Stop() {
+		<-timer.C
+	}
+	for {
+		select {
+		case <-s.kick:
+		case <-s.done:
+			return
+		}
+		if s.maxDelay > 0 && s.pending() < s.maxBatch {
+			timer.Reset(s.maxDelay)
+			select {
+			case <-timer.C:
+			case <-s.full:
+				stopTimer(timer)
+			case <-s.done:
+				stopTimer(timer)
+				return
+			}
+		}
+		s.flushPending()
+	}
+}
+
+func stopTimer(t *time.Timer) {
+	if !t.Stop() {
+		select {
+		case <-t.C:
+		default:
+		}
+	}
+}
+
+func (s *sendScheduler) pending() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.q)
+}
+
+// take moves up to maxBatch queued messages into dst.
+func (s *sendScheduler) take(dst []ioMsg) []ioMsg {
+	s.mu.Lock()
+	n := len(s.q)
+	if n > s.maxBatch {
+		n = s.maxBatch
+	}
+	dst = append(dst, s.q[:n]...)
+	rem := copy(s.q, s.q[n:])
+	for i := rem; i < len(s.q); i++ {
+		s.q[i] = ioMsg{} // drop buffer references from the tail
+	}
+	s.q = s.q[:rem]
+	s.mu.Unlock()
+	return dst
+}
+
+// flush pushes one batch through the writer, skipping datagrams that
+// fail transiently and escalating persistent failure via onFatal.
+func (s *sendScheduler) flush(batch []ioMsg) {
+	defer func() {
+		for i := range batch {
+			bufpool.Put(batch[i].buf)
+			batch[i] = ioMsg{}
+		}
+	}()
+	sent := 0
+	for sent < len(batch) {
+		n, err := s.w.writeBatch(batch[sent:])
+		s.batches.Add(1)
+		s.datagramsOut.Add(uint64(n))
+		if uint64(n) > s.maxSeen.Load() {
+			s.maxSeen.Store(uint64(n))
+		}
+		sent += n
+		if err == nil {
+			if n > 0 {
+				s.consecErr = 0
+				continue
+			}
+			// A writer that sends nothing and reports nothing would
+			// spin; treat it as a dropped head.
+			err = errors.New("qtpnet: writeBatch made no progress")
+		}
+		if n > 0 {
+			s.consecErr = 0
+		}
+		s.consecErr++
+		if isFatalSendErr(err) || s.consecErr >= maxConsecSendErrs {
+			s.drops.Add(uint64(len(batch) - sent))
+			s.fatal(err)
+			return
+		}
+		// Transient: count it, drop the datagram at the failure point,
+		// and keep the rest of the batch moving.
+		s.errTransient.Add(1)
+		if sent < len(batch) {
+			s.drops.Add(1)
+			sent++
+		}
+	}
+}
+
+// fatal reports a persistent socket failure exactly once.
+func (s *sendScheduler) fatal(err error) {
+	s.fatalOnce.Do(func() {
+		if s.onFatal != nil {
+			s.onFatal(err)
+		}
+	})
+}
+
+// isFatalSendErr reports whether a send error condemns the socket (as
+// opposed to one destination or one moment).
+func isFatalSendErr(err error) bool {
+	return errors.Is(err, net.ErrClosed) ||
+		errors.Is(err, syscall.EBADF) ||
+		errors.Is(err, syscall.ENOTSOCK)
+}

@@ -3,6 +3,7 @@ package sack
 import (
 	"time"
 
+	"repro/internal/bufpool"
 	"repro/internal/seqspace"
 )
 
@@ -15,6 +16,12 @@ import (
 // The cumulative ack is authoritative release: once it passes a hole,
 // the sender abandons the corresponding data, so partial reliability
 // needs no extra wire signalling.
+//
+// Buffered segments are copied into pooled chunks (bufpool.GetChunk),
+// not freshly allocated slices. The chunks Pop returns belong to the
+// application, which should hand them back with bufpool.PutChunk once
+// consumed so the steady-state delivery path stays off the garbage
+// collector; an unreleased chunk is merely a pool miss, never a leak.
 type Reassembler struct {
 	// SkipAfter, when non-zero, abandons the frontier hole once it has
 	// been open this long (partial reliability). Zero never skips (full
@@ -63,9 +70,21 @@ func (r *Reassembler) OnData(now time.Duration, seq seqspace.Seq, payload []byte
 		return false
 	}
 	r.received.AddSeq(seq)
-	r.buf[seq] = append([]byte(nil), payload...)
+	r.buf[seq] = chunkCopy(payload)
 	r.advance(now)
 	return true
+}
+
+// chunkCopy copies a segment payload into a pooled delivery chunk, or a
+// plain allocation when the payload exceeds the chunk size class (large
+// MSS profiles). Either way the result is released with bufpool.PutChunk,
+// which drops non-pooled capacities harmlessly.
+func chunkCopy(payload []byte) []byte {
+	if len(payload) <= bufpool.ChunkSize {
+		c := bufpool.GetChunk()
+		return c[:copy(c, payload)]
+	}
+	return append([]byte(nil), payload...)
 }
 
 // advance delivers contiguous data at the frontier and maintains the
