@@ -6,7 +6,7 @@
 // Usage:
 //
 //	qtpbench [-quick] [-seed N] [-only E1,E4,...]
-//	qtpbench -loopback [-conns N] [-mbytes M] [-nobatch]
+//	qtpbench -loopback [-conns N] [-mbytes M] [-nobatch] [-shards N]
 package main
 
 import (
@@ -32,10 +32,11 @@ func main() {
 	mbytes := flag.Int("mbytes", 4, "loopback: MiB to stream per connection")
 	rate := flag.Float64("rate", 4e6, "loopback: per-connection QoS target, bytes/s (keep the aggregate under what loopback can carry or loss recovery dominates)")
 	nobatch := flag.Bool("nobatch", false, "loopback: force the single-datagram socket path")
+	shards := flag.Int("shards", 1, "loopback: SO_REUSEPORT server shards (0 = one per core); >1 gives every conn its own client socket so the kernel hash can spread flows")
 	flag.Parse()
 
 	if *loopback {
-		runLoopback(*conns, *mbytes<<20, *rate, *nobatch)
+		runLoopback(*conns, *mbytes<<20, *rate, *nobatch, *shards)
 		return
 	}
 
@@ -68,25 +69,36 @@ func main() {
 	}
 }
 
-// runLoopback streams perConn bytes over n concurrent connections
-// multiplexed on one UDP socket pair and prints what the batched data
-// path did: goodput, datagrams per syscall each way, drops.
-func runLoopback(n, perConn int, rate float64, nobatch bool) {
+// runLoopback streams perConn bytes over n concurrent connections to a
+// (possibly SO_REUSEPORT-sharded) server endpoint and prints what the
+// batched data path did: goodput, datagrams per syscall each way, the
+// cross-shard forwarding balance, drops. With one shard every client
+// connection shares one socket pair; with more, each connection dials
+// from its own socket so the kernel's reuseport hash can spread flows
+// across the shards.
+func runLoopback(n, perConn int, rate float64, nobatch bool, shards int) {
 	cfg := qtpnet.EndpointConfig{
 		AcceptInbound:  true,
 		Constraints:    core.Permissive(rate),
 		DisableBatchIO: nobatch,
 	}
-	srv, err := qtpnet.NewEndpoint("127.0.0.1:0", cfg)
+	srv, err := qtpnet.NewShardedEndpoint("127.0.0.1:0", cfg, shards)
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer srv.Close()
-	client, err := qtpnet.NewEndpoint("127.0.0.1:0", qtpnet.EndpointConfig{DisableBatchIO: nobatch})
-	if err != nil {
-		log.Fatal(err)
+	nClients := 1
+	if srv.NumShards() > 1 {
+		nClients = n
 	}
-	defer client.Close()
+	clients := make([]*qtpnet.Endpoint, nClients)
+	for i := range clients {
+		clients[i], err = qtpnet.NewEndpoint("127.0.0.1:0", qtpnet.EndpointConfig{DisableBatchIO: nobatch})
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer clients[i].Close()
+	}
 
 	var srvWG sync.WaitGroup
 	srvWG.Add(n)
@@ -131,7 +143,7 @@ func runLoopback(n, perConn int, rate float64, nobatch bool) {
 	var wg sync.WaitGroup
 	for i := 0; i < n; i++ {
 		wg.Add(1)
-		go func() {
+		go func(client *qtpnet.Endpoint) {
 			defer wg.Done()
 			conn, err := client.Dial(srv.Addr().String(), core.QTPAF(rate), 10*time.Second)
 			if err != nil {
@@ -144,7 +156,7 @@ func runLoopback(n, perConn int, rate float64, nobatch bool) {
 			case <-time.After(60 * time.Second):
 			}
 			conn.Close()
-		}()
+		}(clients[i%nClients])
 	}
 	wg.Wait()
 	srvWG.Wait()
@@ -155,8 +167,19 @@ func runLoopback(n, perConn int, rate float64, nobatch bool) {
 	if nobatch {
 		mode = "single-datagram fallback"
 	}
-	fmt.Printf("loopback: %d conns x %d B in %v = %.1f MB/s (%s)\n",
-		n, perConn, el.Round(time.Millisecond), float64(total)/el.Seconds()/1e6, mode)
-	fmt.Printf("client: %v\n", client.Stats())
+	fmt.Printf("loopback: %d conns x %d B in %v = %.1f MB/s (%s, %d server shard(s))\n",
+		n, perConn, el.Round(time.Millisecond), float64(total)/el.Seconds()/1e6, mode, srv.NumShards())
+	for i, c := range clients {
+		fmt.Printf("client[%d]: %v\n", i, c.Stats())
+		if i >= 3 && nClients > 4 {
+			fmt.Printf("client[...]: (%d more)\n", nClients-i-1)
+			break
+		}
+	}
 	fmt.Printf("server: %v\n", srv.Stats())
+	if srv.NumShards() > 1 {
+		for i, st := range srv.ShardStats() {
+			fmt.Printf("  shard[%d]: %v\n", i, st)
+		}
+	}
 }

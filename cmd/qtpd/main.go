@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	qtpd [-listen :9000] [-qos-budget bytesPerSec] [-o prefix] [-max n] [-v]
+//	qtpd [-listen :9000] [-shards n] [-qos-budget bytesPerSec] [-o prefix] [-max n] [-v]
 package main
 
 import (
@@ -23,6 +23,7 @@ import (
 
 func main() {
 	listen := flag.String("listen", ":9000", "UDP address to listen on")
+	shards := flag.Int("shards", 1, "SO_REUSEPORT shards to run on the port (0 = one per core; falls back to 1 where unsupported)")
 	budget := flag.Float64("qos-budget", 0, "max QoS reservation to grant per connection, bytes/s (0 = refuse QoS)")
 	out := flag.String("o", "", "write each stream to <prefix>.<connID> (default: discard)")
 	maxConns := flag.Int("max", 0, "exit after serving this many connections (0 = serve forever)")
@@ -34,21 +35,22 @@ func main() {
 		AllowSenderLoss: true,
 		MaxReliability:  2, // full
 	}
-	l, err := qtpnet.Listen(*listen, cons)
+	l, err := qtpnet.Listen(*listen, cons, qtpnet.WithShards(*shards))
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer l.Close()
-	log.Printf("qtpd: listening on %s (QoS budget %.0f B/s per conn)", l.Addr(), *budget)
+	log.Printf("qtpd: listening on %s, %d shard(s) (QoS budget %.0f B/s per conn)",
+		l.Addr(), l.Sharded().NumShards(), *budget)
 
 	if *verbose {
 		go func() {
 			for {
 				time.Sleep(10 * time.Second)
-				log.Printf("qtpd: endpoint %v", l.Endpoint().Stats())
+				log.Printf("qtpd: endpoint %v", l.Stats())
 			}
 		}()
-		defer func() { log.Printf("qtpd: endpoint %v", l.Endpoint().Stats()) }()
+		defer func() { log.Printf("qtpd: endpoint %v", l.Stats()) }()
 	}
 
 	var wg sync.WaitGroup

@@ -1,0 +1,47 @@
+package packet
+
+// Connection-ID shard layout.
+//
+// A multi-core endpoint runs N socket shards bound to one UDP port via
+// SO_REUSEPORT. The kernel hashes inbound datagrams to shards by flow
+// 4-tuple, which it chooses; the endpoint routes established frames by
+// connection ID, which *it* chooses. Encoding the owning shard in the
+// top bits of every locally-minted connection ID reconciles the two: a
+// shard that receives a frame whose CID names a different shard forwards
+// it once over a handoff ring instead of consulting any shared table,
+// so the steady-state receive path never takes a cross-shard lock.
+//
+//	 31        26 25                               0
+//	+------------+----------------------------------+
+//	| shard (6b) |  per-shard sequence space (26b)  |
+//	+------------+----------------------------------+
+//
+// Handshake frames carry no routable CID yet; whichever shard the kernel
+// hashes a Connect to claims the connection and mints a CID naming
+// itself, so later frames of that flow — hashed identically by the
+// kernel — keep landing on the owning shard and forwarding stays the
+// exception (address changes, dial-side reply hashing), not the rule.
+//
+// Unsharded endpoints never inspect the shard bits; they mint sequential
+// IDs and route purely by full-ID table lookup, exactly as before.
+const (
+	// CIDShardBits is the number of top connection-ID bits that name the
+	// owning shard on a sharded endpoint.
+	CIDShardBits = 6
+	// MaxShards is the largest shard count the CID layout can name.
+	MaxShards = 1 << CIDShardBits
+	// cidSeqBits is the per-shard sequence space width.
+	cidSeqBits = 32 - CIDShardBits
+	// CIDSeqMask masks the per-shard sequence space.
+	CIDSeqMask = 1<<cidSeqBits - 1
+)
+
+// CIDShard extracts the owning-shard index from a locally-minted
+// connection ID.
+func CIDShard(cid uint32) uint32 { return cid >> cidSeqBits }
+
+// CIDForShard composes a connection ID owned by the given shard from a
+// per-shard sequence number (truncated to the sequence space).
+func CIDForShard(shard, seq uint32) uint32 {
+	return shard<<cidSeqBits | seq&CIDSeqMask
+}

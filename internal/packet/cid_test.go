@@ -1,0 +1,34 @@
+package packet
+
+import "testing"
+
+// TestCIDShardLayout pins the shard-aware connection-ID layout: the top
+// CIDShardBits name the owning shard, the rest is per-shard sequence
+// space, and composition/extraction round-trip for every shard index.
+func TestCIDShardLayout(t *testing.T) {
+	for shard := uint32(0); shard < MaxShards; shard++ {
+		for _, seq := range []uint32{1, 2, 0x3ff, CIDSeqMask} {
+			cid := CIDForShard(shard, seq)
+			if got := CIDShard(cid); got != shard {
+				t.Fatalf("CIDShard(CIDForShard(%d, %#x)) = %d", shard, seq, got)
+			}
+			if got := cid & CIDSeqMask; got != seq {
+				t.Fatalf("sequence bits of CIDForShard(%d, %#x) = %#x", shard, seq, got)
+			}
+		}
+	}
+	// Sequence overflow must truncate into the shard's space, never
+	// bleed into the shard bits.
+	if got := CIDShard(CIDForShard(3, CIDSeqMask+5)); got != 3 {
+		t.Fatalf("overflowing seq corrupted shard bits: shard %d", got)
+	}
+	// Distinct shards can never mint colliding IDs.
+	if CIDForShard(1, 7) == CIDForShard(2, 7) {
+		t.Fatal("same seq on different shards collided")
+	}
+	// An unsharded endpoint's small sequential IDs read as shard 0,
+	// which is why sharding the ID space is backward compatible.
+	if got := CIDShard(42); got != 0 {
+		t.Fatalf("small sequential ID reads as shard %d", got)
+	}
+}

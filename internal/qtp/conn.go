@@ -67,7 +67,11 @@ type Config struct {
 	// the header of inbound frames. A multiplexed driver assigns each
 	// connection a socket-unique LocalID and demultiplexes on it; the
 	// value is carried to the peer in the Connect/Accept handshake TLV
-	// so the peer stamps it on everything it sends afterwards.
+	// so the peer stamps it on everything it sends afterwards. A sharded
+	// driver additionally encodes the owning shard in the top bits
+	// (packet.CIDShard), so any shard of a reuseport group can route a
+	// stray frame to its owner without shared state; the state machine
+	// itself treats the ID as opaque.
 	LocalID uint32
 	// StartSeq is the first data sequence number (default 1).
 	StartSeq seqspace.Seq

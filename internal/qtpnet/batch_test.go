@@ -105,15 +105,16 @@ func TestEndpointFallbackEquivalence(t *testing.T) {
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
-			srv, err := NewEndpoint("127.0.0.1:0", EndpointConfig{
+			se, err := NewShardedEndpoint("127.0.0.1:0", EndpointConfig{
 				AcceptInbound:  true,
 				Constraints:    core.Permissive(1e7),
 				DisableBatchIO: tc.srvSingle,
-			})
+			}, 1)
 			if err != nil {
 				t.Fatal(err)
 			}
-			l := &Listener{e: srv}
+			srv := se.Shard(0)
+			l := &Listener{se: se}
 			defer l.Close()
 			client, err := NewEndpoint("127.0.0.1:0", EndpointConfig{
 				DisableBatchIO: tc.clientSingle,

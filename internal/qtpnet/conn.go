@@ -4,6 +4,7 @@ import (
 	"errors"
 	"net/netip"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/bufpool"
@@ -34,14 +35,30 @@ type Conn struct {
 	closedCh    chan struct{}
 	closeOnce   sync.Once
 
-	// ownsEndpoint marks a connection created by the package-level Dial,
-	// whose implicit single-connection endpoint dies with it.
-	ownsEndpoint bool
+	// owner, when non-nil, is an endpoint created implicitly for this
+	// one connection by the package-level Dial (a private Endpoint or
+	// ShardedEndpoint) that dies with it — after the close grace, if
+	// one was armed.
+	owner interface{ Close() error }
+
+	// initiator marks the dialing (sending) side; responders are the
+	// receivers. Drives the close-grace policy in retireConn.
+	initiator bool
+
+	// reaped closes when the connection has fully left the demux
+	// (immediately on teardown, or at the end of a close grace).
+	reaped chan struct{}
+
+	// lingering marks a connection in its post-close grace period: the
+	// application side is closed but the demux entry stays routable so
+	// the protocol close can complete (see Endpoint.retireConn).
+	lingering atomic.Bool
 
 	// Scheduler state, guarded by ep.mu.
-	wakeAt  time.Duration
-	heapIdx int
-	gone    bool
+	wakeAt     time.Duration
+	heapIdx    int
+	gone       bool
+	graceUntil time.Duration // linger hard deadline
 }
 
 func newConn(e *Endpoint, peer netip.AddrPort, id uint32) *Conn {
@@ -50,9 +67,10 @@ func newConn(e *Endpoint, peer netip.AddrPort, id uint32) *Conn {
 		peer:        peer,
 		localID:     id,
 		remoteID:    id,
-		readCh:      make(chan []byte, 64),
+		readCh:      make(chan []byte, e.cfg.ReadQueue),
 		established: make(chan struct{}),
 		closedCh:    make(chan struct{}),
+		reaped:      make(chan struct{}),
 		heapIdx:     -1,
 	}
 }
@@ -155,20 +173,34 @@ func (c *Conn) Finished() bool {
 	return c.inner.Finished()
 }
 
-// Close removes the connection from its endpoint. A connection created
-// by the package-level Dial also releases its implicit endpoint.
+// Close removes the connection from its endpoint. If the protocol
+// exchange is still in flight — the common case when a receiver closes
+// the moment Finished() reports true — the demux entry lingers briefly
+// so the final ack round and close handshake complete instead of
+// stranding the peer in no-route retransmissions; the application-side
+// channels close immediately either way. A connection created by the
+// package-level Dial also releases its implicit endpoint.
 func (c *Conn) Close() error {
-	c.teardown()
-	if c.ownsEndpoint {
-		c.ep.Close()
+	c.ep.retireConn(c)
+	if c.owner != nil {
+		if c.lingering.Load() {
+			// The implicit endpoint must outlive the grace entry, or
+			// closing it would kill the very exchange the grace exists
+			// to finish. Reap it once the connection has fully left the
+			// demux (protocol close done, or grace expired).
+			go func() {
+				<-c.reaped
+				c.owner.Close()
+			}()
+		} else {
+			c.owner.Close()
+		}
 	}
 	return nil
 }
 
-// teardown unlinks the connection; idempotent.
+// teardown unlinks the connection immediately; idempotent.
 func (c *Conn) teardown() {
-	c.closeOnce.Do(func() {
-		close(c.closedCh)
-		c.ep.removeConn(c)
-	})
+	c.closeOnce.Do(func() { close(c.closedCh) })
+	c.ep.removeConn(c)
 }

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"net"
 	"net/netip"
+	"os"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -18,6 +19,28 @@ import (
 
 // maxDatagram bounds receive buffers; QTP frames are MSS + header.
 const maxDatagram = bufpool.Size
+
+// defaultAcceptBacklog is the accept-queue depth when
+// EndpointConfig.AcceptBacklog is unset.
+const defaultAcceptBacklog = 64
+
+// closeGrace is how long a connection closed by the application while
+// its protocol exchange is still in flight stays routable — a TIME_WAIT
+// analogue. During the grace the state machine still acknowledges
+// retransmissions and answers the peer's Close, but delivers nothing to
+// the (departed) application; the entry is reclaimed as soon as the
+// protocol close completes, the grace expiring only if the peer went
+// silent.
+const closeGrace = 3 * time.Second
+
+// envNoBatchIO (QTPNET_NOBATCH, non-empty) forces DisableBatchIO on
+// every endpoint in the process; envNoReusePort (QTPNET_NOREUSEPORT,
+// non-empty) forces sharded endpoints down to the portable single-shard
+// fallback. CI uses both to exercise the portable data path on linux,
+// where the batch and reuseport implementations would otherwise always
+// win. Read per construction, not at init, so tests can flip them.
+func envNoBatchIO() bool   { return os.Getenv("QTPNET_NOBATCH") != "" }
+func envNoReusePort() bool { return os.Getenv("QTPNET_NOREUSEPORT") != "" }
 
 // ErrEndpointClosed is returned by calls on a closed endpoint.
 var ErrEndpointClosed = errors.New("qtpnet: endpoint closed")
@@ -34,6 +57,11 @@ type EndpointConfig struct {
 	// Beyond it, new Connects are abandoned; the peer's handshake
 	// retransmission gives Accept time to catch up.
 	AcceptBacklog int
+	// ReadQueue caps delivered chunks buffered per connection awaiting
+	// the application's Read (default 64, i.e. 128 KiB of 2 KiB chunks).
+	// Beyond it the oldest chunk is dropped so one stalled reader cannot
+	// wedge the endpoint; raise it for bursty high-rate receivers.
+	ReadQueue int
 	// DisableBatchIO forces the portable single-datagram socket path
 	// even where recvmmsg/sendmmsg are available. The endpoint behaves
 	// identically either way; tests use this to prove it, and it is an
@@ -56,6 +84,15 @@ type EndpointStats struct {
 	RecvDrops    uint64 // delivered chunks dropped on slow readers
 	SendErrs     uint64 // transient send errors (datagram dropped)
 	SendDrops    uint64 // datagrams abandoned by send errors
+
+	// Cross-shard traffic (always zero on unsharded endpoints): frames
+	// the kernel hashed to a shard other than the one their connection
+	// ID names. Fwd counts at the receiving (wrong) shard, Recv at the
+	// owning shard after the handoff ring, Drops when the ring was full
+	// or the CID named a nonexistent shard.
+	CrossShardFwd   uint64
+	CrossShardRecv  uint64
+	CrossShardDrops uint64
 }
 
 // AvgRecvBatch returns mean datagrams per receive syscall.
@@ -72,11 +109,39 @@ func ratio(n, d uint64) float64 {
 }
 
 func (s EndpointStats) String() string {
-	return fmt.Sprintf(
+	str := fmt.Sprintf(
 		"in %d dgrams/%d syscalls (avg batch %.2f, max %d) out %d dgrams/%d syscalls (avg batch %.2f, max %d) noroute %d rxdrop %d senderr %d sendrop %d",
 		s.DatagramsIn, s.RecvBatches, s.AvgRecvBatch(), s.MaxRecvBatch,
 		s.DatagramsOut, s.SendBatches, s.AvgSendBatch(), s.MaxSendBatch,
 		s.NoRoute, s.RecvDrops, s.SendErrs, s.SendDrops)
+	if s.CrossShardFwd > 0 || s.CrossShardRecv > 0 || s.CrossShardDrops > 0 {
+		str += fmt.Sprintf(" xshard fwd %d recv %d drop %d",
+			s.CrossShardFwd, s.CrossShardRecv, s.CrossShardDrops)
+	}
+	return str
+}
+
+// add folds another endpoint's counters into s; max-batch fields take
+// the maximum. ShardedEndpoint aggregates per-shard stats with it.
+func (s EndpointStats) add(o EndpointStats) EndpointStats {
+	s.DatagramsIn += o.DatagramsIn
+	s.DatagramsOut += o.DatagramsOut
+	s.RecvBatches += o.RecvBatches
+	s.SendBatches += o.SendBatches
+	if o.MaxRecvBatch > s.MaxRecvBatch {
+		s.MaxRecvBatch = o.MaxRecvBatch
+	}
+	if o.MaxSendBatch > s.MaxSendBatch {
+		s.MaxSendBatch = o.MaxSendBatch
+	}
+	s.NoRoute += o.NoRoute
+	s.RecvDrops += o.RecvDrops
+	s.SendErrs += o.SendErrs
+	s.SendDrops += o.SendDrops
+	s.CrossShardFwd += o.CrossShardFwd
+	s.CrossShardRecv += o.CrossShardRecv
+	s.CrossShardDrops += o.CrossShardDrops
+	return s
 }
 
 // peerKey routes handshake frames, which arrive before the peer can
@@ -103,6 +168,7 @@ type Endpoint struct {
 	tx    *sendScheduler
 	epoch time.Time
 	cfg   EndpointConfig
+	shard shardEnv
 
 	mu         sync.Mutex
 	byID       map[uint32]*Conn  // local conn ID -> conn (data-plane route)
@@ -121,16 +187,48 @@ type Endpoint struct {
 	noRoute      atomic.Uint64
 	recvDrops    atomic.Uint64
 
+	// Cross-shard counters (see EndpointStats).
+	crossFwd  atomic.Uint64
+	crossRecv atomic.Uint64
+	crossDrop atomic.Uint64
+
 	acceptCh  chan *Conn
 	done      chan struct{}
 	wake      chan struct{}
 	closeOnce sync.Once
 }
 
+// shardEnv is what a member of a reuseport shard group knows about the
+// group: its own index (encoded in every connection ID it mints), the
+// forward hook that hands a foreign-shard datagram to its owner's
+// handoff ring, and the group-shared accept queue. The zero value means
+// the endpoint is unsharded and behaves exactly as before.
+type shardEnv struct {
+	enabled bool
+	idx     uint32
+	// forward pushes a datagram whose CID names another shard onto that
+	// shard's handoff ring, reporting false if it was dropped (ring full
+	// or no such shard). It must not block and must copy dgram before
+	// returning, as the caller reuses the memory.
+	forward func(shard uint32, from netip.AddrPort, dgram []byte) bool
+	// acceptCh, when non-nil, replaces the endpoint's private accept
+	// queue so Accept on the shard group sees every shard's handshakes.
+	acceptCh chan *Conn
+}
+
 // NewEndpoint opens a UDP socket on addr and starts the endpoint's
 // read, timer and send-flush loops. Use addr ":0" for an ephemeral
 // dial-side port.
 func NewEndpoint(addr string, cfg EndpointConfig) (*Endpoint, error) {
+	pc, err := listenUDP(addr)
+	if err != nil {
+		return nil, err
+	}
+	return newEndpointOn(pc, cfg, shardEnv{}), nil
+}
+
+// listenUDP binds a plain (non-reuseport) UDP socket on addr.
+func listenUDP(addr string) (*net.UDPConn, error) {
 	ua, err := net.ResolveUDPAddr("udp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("qtpnet: resolve %s: %w", addr, err)
@@ -139,27 +237,42 @@ func NewEndpoint(addr string, cfg EndpointConfig) (*Endpoint, error) {
 	if err != nil {
 		return nil, fmt.Errorf("qtpnet: listen %s: %w", addr, err)
 	}
-	if cfg.AcceptBacklog <= 0 {
-		cfg.AcceptBacklog = 64
+	return pc, nil
+}
+
+// newEndpointOn builds an endpoint around an already-bound socket; the
+// sharded constructor uses it to stand one endpoint per reuseport
+// socket.
+func newEndpointOn(pc *net.UDPConn, cfg EndpointConfig, sh shardEnv) *Endpoint {
+	cfg.AcceptBacklog = acceptBacklog(cfg)
+	if cfg.ReadQueue <= 0 {
+		cfg.ReadQueue = 64
+	}
+	if envNoBatchIO() {
+		cfg.DisableBatchIO = true
 	}
 	e := &Endpoint{
 		pc:       pc,
 		bio:      newBatchIO(pc, rxBatch, cfg.DisableBatchIO),
 		epoch:    time.Now(),
 		cfg:      cfg,
+		shard:    sh,
 		byID:     make(map[uint32]*Conn),
 		byPeer:   make(map[peerKey]*Conn),
 		nextID:   1,
-		acceptCh: make(chan *Conn, cfg.AcceptBacklog),
+		acceptCh: sh.acceptCh,
 		done:     make(chan struct{}),
 		wake:     make(chan struct{}, 1),
+	}
+	if e.acceptCh == nil {
+		e.acceptCh = make(chan *Conn, cfg.AcceptBacklog)
 	}
 	// maxDelay 0: the endpoint flushes at its own round boundaries (end
 	// of each receive batch and timer round) instead of lingering.
 	e.tx = newSendScheduler(e.bio, txBatch, 0, e.onSendFatal)
 	go e.readLoop()
 	go e.timerLoop()
-	return e, nil
+	return e
 }
 
 // Addr returns the endpoint's bound UDP address.
@@ -175,16 +288,19 @@ func (e *Endpoint) ConnCount() int {
 // Stats snapshots the endpoint's datagram-path counters.
 func (e *Endpoint) Stats() EndpointStats {
 	return EndpointStats{
-		DatagramsIn:  e.datagramsIn.Load(),
-		DatagramsOut: e.tx.datagramsOut.Load(),
-		RecvBatches:  e.recvBatches.Load(),
-		SendBatches:  e.tx.batches.Load(),
-		MaxRecvBatch: int(e.maxRecvBatch.Load()),
-		MaxSendBatch: int(e.tx.maxSeen.Load()),
-		NoRoute:      e.noRoute.Load(),
-		RecvDrops:    e.recvDrops.Load(),
-		SendErrs:     e.tx.errTransient.Load(),
-		SendDrops:    e.tx.drops.Load(),
+		DatagramsIn:     e.datagramsIn.Load(),
+		DatagramsOut:    e.tx.datagramsOut.Load(),
+		RecvBatches:     e.recvBatches.Load(),
+		SendBatches:     e.tx.batches.Load(),
+		MaxRecvBatch:    int(e.maxRecvBatch.Load()),
+		MaxSendBatch:    int(e.tx.maxSeen.Load()),
+		NoRoute:         e.noRoute.Load(),
+		RecvDrops:       e.recvDrops.Load(),
+		SendErrs:        e.tx.errTransient.Load(),
+		SendDrops:       e.tx.drops.Load(),
+		CrossShardFwd:   e.crossFwd.Load(),
+		CrossShardRecv:  e.crossRecv.Load(),
+		CrossShardDrops: e.crossDrop.Load(),
 	}
 }
 
@@ -220,6 +336,7 @@ func (e *Endpoint) Dial(addr string, profile core.Profile, timeout time.Duration
 	}
 	id := e.allocIDLocked()
 	c := newConn(e, peer, id)
+	c.initiator = true
 	// The initiator stamps its own ID until the Accept TLV delivers the
 	// responder's; a symmetric legacy responder just keeps echoing it.
 	c.inner = qtp.NewConn(qtp.Config{
@@ -351,17 +468,65 @@ func classify(dgram []byte) (typ packet.Type, cid uint32, ok bool) {
 	return packet.Type(dgram[0] & 0x0f), binary.BigEndian.Uint32(dgram[4:8]), true
 }
 
+// foreignShard reports whether a classified frame belongs to a
+// different shard of this endpoint's reuseport group: the top bits of
+// its connection ID name a shard other than this one. Handshake frames
+// have no routable CID yet and are always claimed locally.
+func (e *Endpoint) foreignShard(typ packet.Type, cid uint32) (uint32, bool) {
+	if !e.shard.enabled || typ == packet.TypeConnect {
+		return 0, false
+	}
+	if sh := packet.CIDShard(cid); sh != e.shard.idx {
+		return sh, true
+	}
+	return 0, false
+}
+
+// forwardFrame hands a foreign-shard datagram to its owning shard's
+// handoff ring, reporting whether the handoff was accepted.
+func (e *Endpoint) forwardFrame(sh uint32, from netip.AddrPort, dgram []byte) bool {
+	if e.shard.forward != nil && e.shard.forward(sh, from, dgram) {
+		e.crossFwd.Add(1)
+		return true
+	}
+	e.crossDrop.Add(1)
+	return false
+}
+
 // Deliver demultiplexes one datagram to its connection and services it.
 // This is the endpoint's single-datagram receive entry point: tests and
 // alternative drivers inject frames here, and the batch path is
 // equivalent to calling it once per datagram. The datagram memory is
 // not retained; the caller may reuse it as soon as Deliver returns. It
-// reports whether the frame reached a connection and was accepted.
+// reports whether the frame reached a connection and was accepted — or,
+// on a sharded endpoint, was handed off to the shard its connection ID
+// names (the handoff is asynchronous; the owning shard delivers it).
 func (e *Endpoint) Deliver(from netip.AddrPort, dgram []byte) bool {
 	typ, cid, ok := classify(dgram)
 	if !ok {
 		return false
 	}
+	if sh, foreign := e.foreignShard(typ, cid); foreign {
+		return e.forwardFrame(sh, from, dgram)
+	}
+	return e.deliverClassified(from, dgram, typ, cid)
+}
+
+// deliverForwarded is the handoff ring's delivery entry on the owning
+// shard. The frame was already shard-checked by the forwarder, so it is
+// delivered locally — an unknown CID is a plain no-route here, never a
+// second forward, which is what makes cross-shard delivery exactly-once.
+func (e *Endpoint) deliverForwarded(from netip.AddrPort, dgram []byte) bool {
+	typ, cid, ok := classify(dgram)
+	if !ok {
+		return false
+	}
+	e.crossRecv.Add(1)
+	return e.deliverClassified(from, dgram, typ, cid)
+}
+
+// deliverClassified routes one already-classified datagram locally.
+func (e *Endpoint) deliverClassified(from netip.AddrPort, dgram []byte, typ packet.Type, cid uint32) bool {
 	e.mu.Lock()
 	c, isNew := e.resolveLocked(from, typ, cid)
 	e.mu.Unlock()
@@ -383,39 +548,79 @@ func (e *Endpoint) Deliver(from netip.AddrPort, dgram []byte) bool {
 // rxScratch is the read loop's reusable batch-demux state; keeping it
 // across batches keeps the receive path allocation-free.
 type rxScratch struct {
+	keys    []frameKey
 	conns   []*Conn
 	fresh   []bool
 	touched []*Conn
 }
 
-// deliverBatch demultiplexes one receive batch. The route for every
-// datagram is resolved under a single demux-lock acquisition (where the
-// single-datagram path pays one per frame), frames are handled in
-// arrival order, and each connection touched by the batch is serviced
-// exactly once — so a burst of frames for one connection costs one
-// transmit/deliver/reschedule pass instead of one per frame.
+// frameKey is one datagram's classification within a batch. local is
+// false for frames that never reach the local demux: runts, foreign
+// versions, and foreign-shard frames (the latter marked foreign — the
+// forward path fully accounts for them as CrossShardFwd or
+// CrossShardDrops, so they must not also count as no-route, keeping
+// batch and single-datagram accounting identical).
+type frameKey struct {
+	typ     packet.Type
+	cid     uint32
+	local   bool
+	foreign bool
+}
+
+// deliverBatch demultiplexes one receive batch. Classification and the
+// foreign-shard check run without any lock — a frame the kernel hashed
+// to the wrong shard goes straight to its owner's lock-free handoff
+// ring — then the route for every local datagram is resolved under a
+// single demux-lock acquisition (where the single-datagram path pays
+// one per frame), frames are handled in arrival order, and each
+// connection touched by the batch is serviced exactly once — so a burst
+// of frames for one connection costs one transmit/deliver/reschedule
+// pass instead of one per frame.
 func (e *Endpoint) deliverBatch(ms []ioMsg, sc *rxScratch) {
+	sc.keys = sc.keys[:0]
 	sc.conns = sc.conns[:0]
 	sc.fresh = sc.fresh[:0]
-	e.mu.Lock()
+	anyLocal := false
 	for i := range ms {
 		typ, cid, ok := classify(ms[i].buf[:ms[i].n])
-		var c *Conn
-		isNew := false
+		k := frameKey{typ: typ, cid: cid, local: ok}
 		if ok {
-			c, isNew = e.resolveLocked(ms[i].addr, typ, cid)
+			if sh, foreign := e.foreignShard(typ, cid); foreign {
+				k.local, k.foreign = false, true
+				e.forwardFrame(sh, ms[i].addr, ms[i].buf[:ms[i].n])
+			}
 		}
-		sc.conns = append(sc.conns, c)
-		sc.fresh = append(sc.fresh, isNew)
+		anyLocal = anyLocal || k.local
+		sc.keys = append(sc.keys, k)
 	}
-	e.mu.Unlock()
+
+	if anyLocal {
+		e.mu.Lock()
+		for i := range ms {
+			var c *Conn
+			isNew := false
+			if sc.keys[i].local {
+				c, isNew = e.resolveLocked(ms[i].addr, sc.keys[i].typ, sc.keys[i].cid)
+			}
+			sc.conns = append(sc.conns, c)
+			sc.fresh = append(sc.fresh, isNew)
+		}
+		e.mu.Unlock()
+	} else {
+		for range ms {
+			sc.conns = append(sc.conns, nil)
+			sc.fresh = append(sc.fresh, false)
+		}
+	}
 
 	sc.touched = sc.touched[:0]
 	for i := range ms {
 		c := sc.conns[i]
 		sc.conns[i] = nil
 		if c == nil {
-			e.noRoute.Add(1)
+			if !sc.keys[i].foreign {
+				e.noRoute.Add(1)
+			}
 			continue
 		}
 		err := e.handleFrame(c, ms[i].buf[:ms[i].n])
@@ -519,14 +724,22 @@ func (e *Endpoint) finishAccept(c *Conn, err error) bool {
 	}
 }
 
-// allocIDLocked returns a connection ID unused on this endpoint.
+// allocIDLocked returns a connection ID unused on this endpoint. On a
+// sharded endpoint the ID's top bits name this shard (see
+// packet.CIDShard), which is what lets any shard route a stray frame to
+// its owner without a shared table; shards only ever mint inside their
+// own prefix, so IDs are unique across the whole reuseport group.
 // Callers hold e.mu.
 func (e *Endpoint) allocIDLocked() uint32 {
 	for {
-		id := e.nextID
+		seq := e.nextID
 		e.nextID++
 		if e.nextID == 0 {
 			e.nextID = 1
+		}
+		id := seq
+		if e.shard.enabled {
+			id = packet.CIDForShard(e.shard.idx, seq)
 		}
 		if _, busy := e.byID[id]; !busy && id != 0 {
 			return id
@@ -546,6 +759,7 @@ func (e *Endpoint) allocIDLocked() uint32 {
 // is held (queue-bounding flushes run after c.mu is released), so a
 // slow wire never stalls another connection's delivery or timers.
 func (e *Endpoint) service(c *Conn) (produced bool) {
+	lingering := c.lingering.Load()
 	var txb []byte
 	c.mu.Lock()
 	now := e.now()
@@ -571,6 +785,13 @@ func (e *Endpoint) service(c *Conn) (produced bool) {
 		chunk, ok := c.inner.Read()
 		if !ok {
 			break
+		}
+		if lingering {
+			// Grace period after an application close: the state machine
+			// still runs (acking retransmissions, answering Close) but
+			// nobody is reading — recycle deliveries immediately.
+			bufpool.PutChunk(chunk)
+			continue
 		}
 		select {
 		case c.readCh <- chunk:
@@ -606,19 +827,79 @@ func (e *Endpoint) service(c *Conn) (produced bool) {
 		c.teardown()
 		return produced
 	}
+	graceExpired := false
 	e.mu.Lock()
 	if !c.gone {
-		if wok {
-			e.timers.set(c, wakeAt)
-			if wakeAt < e.sleepUntil {
-				e.kick()
+		if lingering {
+			if e.now() >= c.graceUntil {
+				graceExpired = true
+			} else if !wok || wakeAt > c.graceUntil {
+				// The grace deadline rides the shared timer heap like any
+				// protocol deadline, so a silent peer cannot pin the entry.
+				wakeAt, wok = c.graceUntil, true
 			}
-		} else {
-			e.timers.remove(c)
+		}
+		if !graceExpired {
+			if wok {
+				e.timers.set(c, wakeAt)
+				if wakeAt < e.sleepUntil {
+					e.kick()
+				}
+			} else {
+				e.timers.remove(c)
+			}
 		}
 	}
 	e.mu.Unlock()
+	if graceExpired {
+		c.teardown()
+	}
 	return produced
+}
+
+// retireConn is the application-close path. A connection whose protocol
+// exchange already finished (or never started) is torn down at once. One
+// closed mid-exchange — typically a receiver closed the moment
+// Finished() reported true, while the sender's final ack round and Close
+// are still in flight — instead enters a TIME_WAIT-style grace: the
+// application-facing side closes immediately, but the demux entry stays
+// routable so the state machine can ack the stream tail and answer the
+// peer's Close, rather than leaving the sender retransmitting into
+// NoRoute until its retries give up. The entry is reclaimed the moment
+// the protocol close completes, or after closeGrace if the peer goes
+// silent.
+func (e *Endpoint) retireConn(c *Conn) {
+	c.mu.Lock()
+	st := c.inner.State()
+	c.mu.Unlock()
+	// Linger only where the in-flight exchange benefits: a responder
+	// (receiver) still acking the tail or answering Close, or either
+	// side already in the close handshake. A failed handshake
+	// (Connecting) or a sender aborting mid-stream tears down at once —
+	// a lingering aborted sender would keep transmitting its backlog,
+	// and a dead Dial would leave ghost entries retrying Connect.
+	needsGrace := st == qtp.StateClosing || (st == qtp.StateEstablished && !c.initiator)
+	if !needsGrace {
+		c.teardown()
+		return
+	}
+	e.mu.Lock()
+	if c.lingering.Load() {
+		e.mu.Unlock()
+		return // second Close during the grace: nothing more to do
+	}
+	if e.closed || c.gone {
+		e.mu.Unlock()
+		c.teardown()
+		return
+	}
+	c.graceUntil = e.now() + closeGrace
+	c.lingering.Store(true)
+	e.mu.Unlock()
+	c.closeOnce.Do(func() { close(c.closedCh) })
+	// Service immediately: flush any pending ack/close frames and arm
+	// the grace deadline on the timer heap.
+	e.serviceFlush(c)
 }
 
 // timerLoop is the shared scheduler: one goroutine, one timer, every
@@ -683,18 +964,22 @@ func (e *Endpoint) kick() {
 }
 
 // removeConn unlinks a connection from the demux tables and the timer
-// heap.
+// heap. Idempotent: once gone, a second call must not touch the tables,
+// whose entries may since belong to a successor connection.
 func (e *Endpoint) removeConn(c *Conn) {
 	e.mu.Lock()
-	delete(e.byID, c.localID)
-	// Only responders own a handshake-route entry; a dialed conn whose
-	// (peer, id) pair happens to collide must not evict it.
-	key := peerKey{c.peer, c.remoteID}
-	if cur, ok := e.byPeer[key]; ok && cur == c {
-		delete(e.byPeer, key)
+	if !c.gone {
+		delete(e.byID, c.localID)
+		// Only responders own a handshake-route entry; a dialed conn whose
+		// (peer, id) pair happens to collide must not evict it.
+		key := peerKey{c.peer, c.remoteID}
+		if cur, ok := e.byPeer[key]; ok && cur == c {
+			delete(e.byPeer, key)
+		}
+		e.timers.remove(c)
+		c.gone = true
+		close(c.reaped)
 	}
-	e.timers.remove(c)
-	c.gone = true
 	e.mu.Unlock()
 }
 

@@ -1,0 +1,100 @@
+package qtpnet
+
+import (
+	"net/netip"
+	"sync/atomic"
+)
+
+// handoffCap is the per-shard handoff ring capacity (must be a power of
+// two). Cross-shard forwards are the exception on the steady path — the
+// kernel hashes a flow to the same shard that minted its CID unless the
+// flow was dialed out or the peer moved — so a modest ring absorbs the
+// bursts that do occur; overflow drops the frame (counted), which is no
+// worse than the datagram loss the transport already recovers from.
+const handoffCap = 256
+
+// handoffRing is the lock-free bounded queue that carries datagrams
+// hashed to the wrong shard over to the shard their connection ID names.
+// Any shard may push (multi-producer, CAS on the enqueue cursor); only
+// the owning shard's drain goroutine pops (single consumer). Each slot
+// carries a sequence number in the style of Vyukov's bounded queue, so
+// a producer that has reserved a slot but not yet written it is never
+// observed by the consumer, and no mutex is taken on either side.
+type handoffRing struct {
+	slots []handoffSlot
+	mask  uint64
+	enq   atomic.Uint64
+	deq   atomic.Uint64
+	// wake signals the drain goroutine that a push happened; capacity 1,
+	// so a signal between drain and sleep is never lost.
+	wake chan struct{}
+}
+
+// handoffSlot is one forwarded datagram: source address plus a pooled
+// buffer holding exactly the datagram bytes. seq encodes the slot's
+// state: == position means free for the producer claiming it, ==
+// position+1 means written and readable, == position+capacity means
+// consumed and free for the next lap.
+type handoffSlot struct {
+	seq  atomic.Uint64
+	from netip.AddrPort
+	buf  []byte
+}
+
+func newHandoffRing() *handoffRing {
+	r := &handoffRing{
+		slots: make([]handoffSlot, handoffCap),
+		mask:  handoffCap - 1,
+		wake:  make(chan struct{}, 1),
+	}
+	for i := range r.slots {
+		r.slots[i].seq.Store(uint64(i))
+	}
+	return r
+}
+
+// push enqueues one forwarded datagram; ownership of buf transfers to
+// the ring on success. It reports false (buf still the caller's) when
+// the ring is full. Safe for concurrent use by many producer shards.
+func (r *handoffRing) push(from netip.AddrPort, buf []byte) bool {
+	pos := r.enq.Load()
+	for {
+		s := &r.slots[pos&r.mask]
+		switch d := int64(s.seq.Load()) - int64(pos); {
+		case d == 0:
+			if r.enq.CompareAndSwap(pos, pos+1) {
+				s.from, s.buf = from, buf
+				s.seq.Store(pos + 1)
+				return true
+			}
+			pos = r.enq.Load()
+		case d < 0:
+			return false // a full lap behind: ring is full
+		default:
+			pos = r.enq.Load() // lost a race; reload the cursor
+		}
+	}
+}
+
+// notify wakes the ring's drain goroutine; call after push.
+func (r *handoffRing) notify() {
+	select {
+	case r.wake <- struct{}{}:
+	default:
+	}
+}
+
+// pop dequeues one forwarded datagram, transferring buffer ownership to
+// the caller. Single consumer only.
+func (r *handoffRing) pop() (netip.AddrPort, []byte, bool) {
+	pos := r.deq.Load()
+	s := &r.slots[pos&r.mask]
+	if int64(s.seq.Load())-int64(pos+1) < 0 {
+		return netip.AddrPort{}, nil, false // empty, or producer mid-write
+	}
+	from, buf := s.from, s.buf
+	s.from, s.buf = netip.AddrPort{}, nil
+	s.seq.Store(pos + r.mask + 1)
+	r.deq.Store(pos + 1)
+	return from, buf, true
+}

@@ -13,9 +13,14 @@
 // timers off one shared deadline heap, and receive buffers are pooled,
 // so the per-frame receive path allocates nothing.
 //
-// Dial and Listen remain as thin wrappers over Endpoint for the
-// one-connection cases; servers and fan-out clients use Endpoint
-// directly.
+// The unit of multi-core scaling is the ShardedEndpoint: N Endpoints
+// bound to one port via SO_REUSEPORT, kernel-hashed, with the owning
+// shard encoded in the top bits of every locally-minted connection ID
+// so stray frames are forwarded once over a lock-free handoff ring (see
+// packet.CIDShard for the layout).
+//
+// Dial and Listen remain as thin wrappers for the common cases; servers
+// and fan-out clients use Endpoint or ShardedEndpoint directly.
 package qtpnet
 
 import (
@@ -26,11 +31,50 @@ import (
 	"repro/internal/core"
 )
 
+// Option configures Listen and Dial.
+type Option func(*epOptions)
+
+type epOptions struct {
+	shards int
+}
+
+// WithShards runs the endpoint as n SO_REUSEPORT shards (one socket,
+// receive ring and send scheduler per shard; see ShardedEndpoint).
+// n <= 0 selects one shard per GOMAXPROCS core; the count is capped at
+// packet.MaxShards, and platforms without SO_REUSEPORT fall back to a
+// single shard.
+func WithShards(n int) Option {
+	return func(o *epOptions) { o.shards = n }
+}
+
+func applyOptions(opts []Option) epOptions {
+	o := epOptions{shards: 1}
+	for _, opt := range opts {
+		opt(&o)
+	}
+	return o
+}
+
 // Dial connects to a QTP responder at addr, proposing the profile, over
-// a private single-connection Endpoint. It blocks until the handshake
-// completes or the timeout elapses. Closing the returned connection
-// releases the endpoint and its socket.
-func Dial(addr string, profile core.Profile, timeout time.Duration) (*Conn, error) {
+// a private single-connection endpoint (sharded when WithShards asks
+// for it). It blocks until the handshake completes or the timeout
+// elapses. Closing the returned connection releases the endpoint and
+// its socket(s).
+func Dial(addr string, profile core.Profile, timeout time.Duration, opts ...Option) (*Conn, error) {
+	o := applyOptions(opts)
+	if o.shards != 1 {
+		se, err := NewShardedEndpoint(":0", EndpointConfig{}, o.shards)
+		if err != nil {
+			return nil, err
+		}
+		c, err := se.Dial(addr, profile, timeout)
+		if err != nil {
+			se.Close()
+			return nil, err
+		}
+		c.owner = se
+		return c, nil
+	}
 	e, err := NewEndpoint(":0", EndpointConfig{})
 	if err != nil {
 		return nil, err
@@ -40,38 +84,48 @@ func Dial(addr string, profile core.Profile, timeout time.Duration) (*Conn, erro
 		e.Close()
 		return nil, err
 	}
-	c.ownsEndpoint = true
+	c.owner = e
 	return c, nil
 }
 
-// Listen opens an accepting Endpoint on addr, granting at most the
-// given constraints to every inbound connection.
-func Listen(addr string, constraints core.Constraints) (*Listener, error) {
-	e, err := NewEndpoint(addr, EndpointConfig{
+// Listen opens an accepting endpoint on addr, granting at most the
+// given constraints to every inbound connection. With WithShards(n) the
+// listener runs n kernel-hashed SO_REUSEPORT shards.
+func Listen(addr string, constraints core.Constraints, opts ...Option) (*Listener, error) {
+	o := applyOptions(opts)
+	se, err := NewShardedEndpoint(addr, EndpointConfig{
 		AcceptInbound: true,
 		Constraints:   constraints,
-	})
+	}, o.shards)
 	if err != nil {
 		return nil, fmt.Errorf("qtpnet: listen %s: %w", addr, err)
 	}
-	return &Listener{e: e}, nil
+	return &Listener{se: se}, nil
 }
 
-// Listener accepts QTP connections multiplexed on one UDP socket.
+// Listener accepts QTP connections multiplexed on one UDP port — one
+// socket per shard, one shard by default.
 type Listener struct {
-	e *Endpoint
+	se *ShardedEndpoint
 }
 
 // Addr returns the bound address.
-func (l *Listener) Addr() net.Addr { return l.e.Addr() }
+func (l *Listener) Addr() net.Addr { return l.se.Addr() }
 
-// Accept blocks until a peer completes a handshake, then returns the
-// connection. Unlike the pre-multiplexing driver, the listener socket
-// is shared: Accept may be called again for further connections.
-func (l *Listener) Accept() (*Conn, error) { return l.e.Accept() }
+// Accept blocks until a peer completes a handshake on any shard, then
+// returns the connection. The listener port is shared: Accept may be
+// called again for further connections.
+func (l *Listener) Accept() (*Conn, error) { return l.se.Accept() }
 
-// Endpoint exposes the listener's underlying multiplexed endpoint.
-func (l *Listener) Endpoint() *Endpoint { return l.e }
+// Endpoint exposes the listener's first (and, unsharded, only) shard.
+// Sharded listeners should prefer Sharded for group-wide operations.
+func (l *Listener) Endpoint() *Endpoint { return l.se.Shard(0) }
 
-// Close releases the endpoint, tearing down every accepted connection.
-func (l *Listener) Close() error { return l.e.Close() }
+// Sharded exposes the listener's underlying shard group.
+func (l *Listener) Sharded() *ShardedEndpoint { return l.se }
+
+// Stats aggregates datagram-path counters across the listener's shards.
+func (l *Listener) Stats() EndpointStats { return l.se.Stats() }
+
+// Close releases every shard, tearing down every accepted connection.
+func (l *Listener) Close() error { return l.se.Close() }

@@ -1,0 +1,50 @@
+//go:build linux
+
+package qtpnet
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"syscall"
+)
+
+// soReusePort is SO_REUSEPORT, which the syscall package does not name
+// on linux. Setting it before bind lets N sockets share one UDP port,
+// with the kernel hashing inbound datagrams across them by flow
+// 4-tuple — the socket-level half of endpoint sharding (the other half
+// is the shard-aware connection-ID layout in internal/packet).
+const soReusePort = 0xf
+
+// reusePortSupported reports whether this platform can bind multiple
+// sockets to one port for kernel-hashed sharding.
+func reusePortSupported() bool { return true }
+
+// listenReusePort binds a UDP socket on addr with SO_REUSEPORT set
+// before bind, so further shards can join the same port's reuseport
+// group. It sits beside the batchIO seam: the returned socket is an
+// ordinary *net.UDPConn that newBatchIO upgrades to recvmmsg/sendmmsg
+// where available.
+func listenReusePort(addr string) (*net.UDPConn, error) {
+	var serr error
+	lc := net.ListenConfig{
+		Control: func(network, address string, c syscall.RawConn) error {
+			if err := c.Control(func(fd uintptr) {
+				serr = syscall.SetsockoptInt(int(fd), syscall.SOL_SOCKET, soReusePort, 1)
+			}); err != nil {
+				return err
+			}
+			return serr
+		},
+	}
+	pc, err := lc.ListenPacket(context.Background(), "udp", addr)
+	if err != nil {
+		return nil, err
+	}
+	uc, ok := pc.(*net.UDPConn)
+	if !ok {
+		pc.Close()
+		return nil, fmt.Errorf("qtpnet: reuseport listen %s: unexpected conn type %T", addr, pc)
+	}
+	return uc, nil
+}

@@ -1,0 +1,464 @@
+package qtpnet
+
+import (
+	"fmt"
+	"net/netip"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/packet"
+)
+
+// newShardedOrSkip builds an n-shard endpoint, skipping the test where
+// the platform cannot actually shard.
+func newShardedOrSkip(t *testing.T, addr string, cfg EndpointConfig, n int) *ShardedEndpoint {
+	t.Helper()
+	se, err := NewShardedEndpoint(addr, cfg, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if se.NumShards() != n {
+		se.Close()
+		t.Skipf("platform fell back to %d shard(s), want %d (no SO_REUSEPORT)", se.NumShards(), n)
+	}
+	return se
+}
+
+// TestCrossShardForwardExactlyOnce injects a frame on the wrong shard
+// and proves the handoff path: the frame reaches its connection exactly
+// once, the forwarding shard counts a CrossShardFwd, the owning shard a
+// CrossShardRecv, and nothing lands in NoRoute.
+func TestCrossShardForwardExactlyOnce(t *testing.T) {
+	const nShards = 4
+	srv := newShardedOrSkip(t, "127.0.0.1:0", EndpointConfig{
+		AcceptInbound: true,
+		Constraints:   core.Permissive(1e6),
+	}, nShards)
+	defer srv.Close()
+
+	client, err := NewEndpoint("127.0.0.1:0", EndpointConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	accepted := make(chan *Conn, 1)
+	go func() {
+		c, err := srv.Accept()
+		if err == nil {
+			accepted <- c
+		}
+	}()
+	if _, err := client.Dial(srv.Addr().String(), core.QTPLight(), 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	var sc *Conn
+	select {
+	case sc = <-accepted:
+	case <-time.After(5 * time.Second):
+		t.Fatal("server accepted nothing")
+	}
+
+	owner := packet.CIDShard(sc.ID())
+	if owner >= nShards {
+		t.Fatalf("conn ID %#x names shard %d, want < %d", sc.ID(), owner, nShards)
+	}
+	// Let the trailing Confirm land so frame counters go quiet.
+	time.Sleep(300 * time.Millisecond)
+	base := sc.Stats().FramesReceived
+	baseAgg := srv.Stats()
+
+	// A fresh data frame stamped with the server conn's local ID, as the
+	// peer would send it.
+	hdr := packet.Header{Type: packet.TypeData, ConnID: sc.ID(), Seq: 1, PayloadLen: 4}
+	frame := append(hdr.AppendTo(nil), 'q', 't', 'p', '!')
+	from := netip.MustParseAddrPort("127.0.0.1:4242")
+
+	wrong := (owner + 1) % nShards
+	if !srv.Shard(int(wrong)).Deliver(from, frame) {
+		t.Fatal("wrong-shard Deliver rejected the frame instead of forwarding it")
+	}
+	deadline := time.Now().Add(3 * time.Second)
+	for sc.Stats().FramesReceived != base+1 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if got := sc.Stats().FramesReceived; got != base+1 {
+		t.Fatalf("forwarded frame delivered %d times, want exactly 1", got-base)
+	}
+	// No second delivery sneaks in later.
+	time.Sleep(100 * time.Millisecond)
+	if got := sc.Stats().FramesReceived; got != base+1 {
+		t.Fatalf("forwarded frame delivered %d times after settle, want exactly 1", got-base)
+	}
+
+	if st := srv.Shard(int(wrong)).Stats(); st.CrossShardFwd != baseAgg.CrossShardFwd+1 {
+		t.Errorf("forwarding shard counted %d forwards, want %d", st.CrossShardFwd, baseAgg.CrossShardFwd+1)
+	}
+	if st := srv.Shard(int(owner)).Stats(); st.CrossShardRecv != baseAgg.CrossShardRecv+1 {
+		t.Errorf("owning shard counted %d handoff receives, want %d", st.CrossShardRecv, baseAgg.CrossShardRecv+1)
+	}
+	agg := srv.Stats()
+	if agg.CrossShardFwd != baseAgg.CrossShardFwd+1 || agg.CrossShardRecv != baseAgg.CrossShardRecv+1 {
+		t.Errorf("aggregate stats missed the forward: %v", agg)
+	}
+	if agg.NoRoute != baseAgg.NoRoute {
+		t.Errorf("forward counted as NoRoute: %d -> %d", baseAgg.NoRoute, agg.NoRoute)
+	}
+
+	// The same frame on the owning shard routes directly: no forward.
+	if !srv.Shard(int(owner)).Deliver(from, frame) {
+		t.Fatal("right-shard Deliver rejected the frame")
+	}
+	if got := srv.Stats().CrossShardFwd; got != baseAgg.CrossShardFwd+1 {
+		t.Errorf("right-shard delivery forwarded anyway: %d forwards", got)
+	}
+}
+
+// TestShardedDialForwarding drives real traffic through a sharded
+// *dial-side* endpoint: each connection is minted on a round-robin
+// shard, but the kernel hashes the server's reply flow independently,
+// so most connections' inbound frames arrive on the wrong shard and
+// must cross the handoff ring. Every stream must still arrive intact,
+// and the forward/receive counters must balance.
+func TestShardedDialForwarding(t *testing.T) {
+	const (
+		nShards = 4
+		nConns  = 16
+		perConn = 8 << 10
+	)
+	client := newShardedOrSkip(t, "127.0.0.1:0", EndpointConfig{}, nShards)
+	defer client.Close()
+
+	l, err := Listen("127.0.0.1:0", core.Permissive(2e6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+
+	type result struct {
+		tag byte
+		n   int
+		err error
+	}
+	results := make(chan result, nConns)
+	go func() {
+		for i := 0; i < nConns; i++ {
+			conn, err := l.Accept()
+			if err != nil {
+				results <- result{err: err}
+				return
+			}
+			go func() {
+				defer conn.Close()
+				r := result{tag: 0xff}
+				deadline := time.Now().Add(30 * time.Second)
+				for !conn.Finished() && time.Now().Before(deadline) {
+					chunk, ok := conn.Read(time.Second)
+					if !ok {
+						continue
+					}
+					for _, b := range chunk {
+						if r.tag == 0xff {
+							r.tag = b
+						} else if b != r.tag {
+							r.err = fmt.Errorf("mixed stream: tag %d saw %d", r.tag, b)
+						}
+					}
+					r.n += len(chunk)
+					conn.Release(chunk)
+				}
+				for { // drain chunks queued behind the FIN
+					chunk, ok := conn.Read(50 * time.Millisecond)
+					if !ok {
+						break
+					}
+					r.n += len(chunk)
+					conn.Release(chunk)
+				}
+				if !conn.Finished() {
+					r.err = fmt.Errorf("stream %d incomplete: %d bytes", r.tag, r.n)
+				}
+				results <- r
+			}()
+		}
+	}()
+
+	var wg sync.WaitGroup
+	errCh := make(chan error, nConns)
+	for i := 0; i < nConns; i++ {
+		wg.Add(1)
+		go func(tag byte) {
+			defer wg.Done()
+			conn, err := client.Dial(l.Addr().String(), core.QTPLight(), 15*time.Second)
+			if err != nil {
+				errCh <- fmt.Errorf("dial %d: %w", tag, err)
+				return
+			}
+			data := make([]byte, perConn)
+			for j := range data {
+				data[j] = tag
+			}
+			if _, err := conn.Write(data); err != nil {
+				errCh <- fmt.Errorf("write %d: %w", tag, err)
+				return
+			}
+			conn.CloseSend()
+			select {
+			case <-conn.Done():
+			case <-time.After(30 * time.Second):
+				errCh <- fmt.Errorf("conn %d never finished its close", tag)
+			}
+		}(byte(i))
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+	seen := make(map[byte]bool)
+	for i := 0; i < nConns; i++ {
+		select {
+		case r := <-results:
+			if r.err != nil {
+				t.Fatal(r.err)
+			}
+			if r.n != perConn {
+				t.Fatalf("stream %d delivered %d bytes, want %d", r.tag, r.n, perConn)
+			}
+			if seen[r.tag] {
+				t.Fatalf("stream %d delivered twice", r.tag)
+			}
+			seen[r.tag] = true
+		case <-time.After(60 * time.Second):
+			t.Fatalf("timed out after %d of %d streams", i, nConns)
+		}
+	}
+
+	// With 16 flows hashed over 4 shards the chance every reply flow
+	// lands on its minting shard is (1/4)^16; the handoff path must have
+	// carried real traffic, and everything forwarded must be accounted
+	// for as received or dropped.
+	time.Sleep(200 * time.Millisecond) // let in-flight handoffs settle
+	st := client.Stats()
+	if st.CrossShardFwd == 0 {
+		t.Error("sharded dial endpoint forwarded nothing; handoff path untested")
+	}
+	if st.CrossShardRecv+st.CrossShardDrops != st.CrossShardFwd {
+		t.Errorf("handoff imbalance: fwd %d != recv %d + drops %d",
+			st.CrossShardFwd, st.CrossShardRecv, st.CrossShardDrops)
+	}
+}
+
+// TestShardedAcceptSpread checks the kernel actually spreads inbound
+// flows: with 16 distinct client sockets over 4 shards, the accepted
+// connections' IDs must name more than one shard (the odds of a single
+// shard winning all 16 hashes are (1/4)^15).
+func TestShardedAcceptSpread(t *testing.T) {
+	const (
+		nShards = 4
+		nConns  = 16
+	)
+	srv := newShardedOrSkip(t, "127.0.0.1:0", EndpointConfig{
+		AcceptInbound: true,
+		Constraints:   core.Permissive(1e6),
+	}, nShards)
+	defer srv.Close()
+
+	shardsSeen := make(map[uint32]bool)
+	acceptDone := make(chan struct{})
+	go func() {
+		defer close(acceptDone)
+		for i := 0; i < nConns; i++ {
+			c, err := srv.Accept()
+			if err != nil {
+				return
+			}
+			shardsSeen[packet.CIDShard(c.ID())] = true
+		}
+	}()
+
+	clients := make([]*Endpoint, nConns)
+	for i := range clients {
+		e, err := NewEndpoint("127.0.0.1:0", EndpointConfig{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer e.Close()
+		clients[i] = e
+		if _, err := e.Dial(srv.Addr().String(), core.QTPLight(), 10*time.Second); err != nil {
+			t.Fatalf("dial %d: %v", i, err)
+		}
+	}
+	select {
+	case <-acceptDone:
+	case <-time.After(15 * time.Second):
+		t.Fatal("accepts timed out")
+	}
+	if len(shardsSeen) < 2 {
+		t.Errorf("all %d flows hashed to %d shard(s); reuseport spread broken", nConns, len(shardsSeen))
+	}
+	if srv.ConnCount() != nConns {
+		t.Errorf("sharded endpoint carries %d conns, want %d", srv.ConnCount(), nConns)
+	}
+}
+
+// TestShardedFallbackSingleShard proves the portable path: with
+// reuseport forced off, a sharded endpoint collapses to one fully
+// functional shard and the API behaves identically.
+func TestShardedFallbackSingleShard(t *testing.T) {
+	t.Setenv("QTPNET_NOREUSEPORT", "1")
+	srv, err := NewShardedEndpoint("127.0.0.1:0", EndpointConfig{
+		AcceptInbound: true,
+		Constraints:   core.Permissive(1e6),
+	}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	if n := srv.NumShards(); n != 1 {
+		t.Fatalf("fallback runs %d shards, want 1", n)
+	}
+
+	client, err := NewEndpoint("127.0.0.1:0", EndpointConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	accepted := make(chan *Conn, 1)
+	go func() {
+		if c, err := srv.Accept(); err == nil {
+			accepted <- c
+		}
+	}()
+	conn, err := client.Dial(srv.Addr().String(), core.QTPLight(), 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sc *Conn
+	select {
+	case sc = <-accepted:
+	case <-time.After(5 * time.Second):
+		t.Fatal("fallback endpoint accepted nothing")
+	}
+
+	const msg = "fallback shard still speaks QTP"
+	if _, err := conn.Write([]byte(msg)); err != nil {
+		t.Fatal(err)
+	}
+	conn.CloseSend()
+	got := ""
+	deadline := time.Now().Add(10 * time.Second)
+	for !sc.Finished() && time.Now().Before(deadline) {
+		chunk, ok := sc.Read(time.Second)
+		if !ok {
+			continue
+		}
+		got += string(chunk)
+		sc.Release(chunk)
+	}
+	if got != msg {
+		t.Fatalf("fallback delivered %q, want %q", got, msg)
+	}
+	if st := srv.Stats(); st.CrossShardFwd != 0 || st.CrossShardRecv != 0 {
+		t.Errorf("single-shard fallback counted cross-shard traffic: %v", st)
+	}
+}
+
+// TestShardDeathUnblocksAccept pins the group-death propagation: a
+// shard that tears itself down (as it does on a persistent socket
+// error) must doom the group so Accept returns ErrEndpointClosed
+// instead of blocking forever on a server that can no longer serve.
+func TestShardDeathUnblocksAccept(t *testing.T) {
+	srv := newShardedOrSkip(t, "127.0.0.1:0", EndpointConfig{
+		AcceptInbound: true,
+		Constraints:   core.Permissive(1e6),
+	}, 2)
+	defer srv.Close()
+
+	acceptErr := make(chan error, 1)
+	go func() {
+		_, err := srv.Accept()
+		acceptErr <- err
+	}()
+	time.Sleep(50 * time.Millisecond) // let Accept block
+	srv.Shard(1).Close()              // simulate a shard dying on its own
+	select {
+	case err := <-acceptErr:
+		if err != ErrEndpointClosed {
+			t.Fatalf("Accept returned %v, want ErrEndpointClosed", err)
+		}
+	case <-time.After(3 * time.Second):
+		t.Fatal("Accept still blocked after a shard died")
+	}
+}
+
+// TestHandoffRing exercises the lock-free ring directly: concurrent
+// producers against one consumer, everything pushed is popped exactly
+// once, and a full ring rejects instead of blocking or overwriting.
+func TestHandoffRing(t *testing.T) {
+	r := newHandoffRing()
+
+	// Fill to capacity single-threaded; the next push must fail.
+	addr := netip.MustParseAddrPort("127.0.0.1:1")
+	for i := 0; i < handoffCap; i++ {
+		if !r.push(addr, []byte{byte(i), byte(i >> 8)}) {
+			t.Fatalf("push %d rejected below capacity", i)
+		}
+	}
+	if r.push(addr, []byte{0xee}) {
+		t.Fatal("push beyond capacity accepted")
+	}
+	for i := 0; i < handoffCap; i++ {
+		_, buf, ok := r.pop()
+		if !ok {
+			t.Fatalf("pop %d failed on full ring", i)
+		}
+		if got := int(buf[0]) | int(buf[1])<<8; got != i {
+			t.Fatalf("pop %d returned frame %d: FIFO order broken", i, got)
+		}
+	}
+	if _, _, ok := r.pop(); ok {
+		t.Fatal("pop on empty ring succeeded")
+	}
+
+	// Concurrent producers vs one consumer: every accepted push is
+	// popped exactly once.
+	const producers, perProducer = 4, 2048
+	var pushed atomic.Uint64
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < perProducer; i++ {
+				if r.push(addr, []byte{byte(p)}) {
+					pushed.Add(1)
+				}
+			}
+		}(p)
+	}
+	done := make(chan struct{})
+	var popped uint64
+	go func() {
+		defer close(done)
+		idle := 0
+		for idle < 100 {
+			if _, _, ok := r.pop(); ok {
+				popped++
+				idle = 0
+			} else {
+				idle++
+				time.Sleep(time.Millisecond)
+			}
+		}
+	}()
+	wg.Wait()
+	<-done
+	if pushed.Load() != popped {
+		t.Fatalf("pushed %d frames but popped %d", pushed.Load(), popped)
+	}
+}
