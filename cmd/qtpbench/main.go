@@ -6,7 +6,7 @@
 // Usage:
 //
 //	qtpbench [-quick] [-seed N] [-only E1,E4,...]
-//	qtpbench -loopback [-conns N] [-mbytes M] [-nobatch] [-shards N]
+//	qtpbench -loopback [-conns N] [-mbytes M] [-nobatch] [-nogso] [-shards N]
 package main
 
 import (
@@ -32,11 +32,12 @@ func main() {
 	mbytes := flag.Int("mbytes", 4, "loopback: MiB to stream per connection")
 	rate := flag.Float64("rate", 4e6, "loopback: per-connection QoS target, bytes/s (keep the aggregate under what loopback can carry or loss recovery dominates)")
 	nobatch := flag.Bool("nobatch", false, "loopback: force the single-datagram socket path")
+	nogso := flag.Bool("nogso", false, "loopback: keep UDP segment offload (GSO/GRO) off, pinning sends to plain sendmmsg")
 	shards := flag.Int("shards", 1, "loopback: SO_REUSEPORT server shards (0 = one per core); >1 gives every conn its own client socket so the kernel hash can spread flows")
 	flag.Parse()
 
 	if *loopback {
-		runLoopback(*conns, *mbytes<<20, *rate, *nobatch, *shards)
+		runLoopback(*conns, *mbytes<<20, *rate, *nobatch, *nogso, *shards)
 		return
 	}
 
@@ -76,11 +77,12 @@ func main() {
 // connection shares one socket pair; with more, each connection dials
 // from its own socket so the kernel's reuseport hash can spread flows
 // across the shards.
-func runLoopback(n, perConn int, rate float64, nobatch bool, shards int) {
+func runLoopback(n, perConn int, rate float64, nobatch, nogso bool, shards int) {
 	cfg := qtpnet.EndpointConfig{
 		AcceptInbound:  true,
 		Constraints:    core.Permissive(rate),
 		DisableBatchIO: nobatch,
+		DisableGSO:     nogso,
 	}
 	srv, err := qtpnet.NewShardedEndpoint("127.0.0.1:0", cfg, shards)
 	if err != nil {
@@ -93,7 +95,10 @@ func runLoopback(n, perConn int, rate float64, nobatch bool, shards int) {
 	}
 	clients := make([]*qtpnet.Endpoint, nClients)
 	for i := range clients {
-		clients[i], err = qtpnet.NewEndpoint("127.0.0.1:0", qtpnet.EndpointConfig{DisableBatchIO: nobatch})
+		clients[i], err = qtpnet.NewEndpoint("127.0.0.1:0", qtpnet.EndpointConfig{
+			DisableBatchIO: nobatch,
+			DisableGSO:     nogso,
+		})
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -164,8 +169,13 @@ func runLoopback(n, perConn int, rate float64, nobatch bool, shards int) {
 
 	total := n * perConn
 	mode := "recvmmsg/sendmmsg"
+	if clients[0].GSOEnabled() {
+		mode = "recvmmsg/sendmmsg + GSO/GRO"
+	}
 	if nobatch {
 		mode = "single-datagram fallback"
+	} else if nogso && mode == "recvmmsg/sendmmsg" {
+		mode = "recvmmsg/sendmmsg (offload off)"
 	}
 	fmt.Printf("loopback: %d conns x %d B in %v = %.1f MB/s (%s, %d server shard(s))\n",
 		n, perConn, el.Round(time.Millisecond), float64(total)/el.Seconds()/1e6, mode, srv.NumShards())

@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	qtpd [-listen :9000] [-shards n] [-qos-budget bytesPerSec] [-o prefix] [-max n] [-v]
+//	qtpd [-listen :9000] [-shards n] [-nogso] [-qos-budget bytesPerSec] [-o prefix] [-max n] [-v]
 package main
 
 import (
@@ -24,6 +24,7 @@ import (
 func main() {
 	listen := flag.String("listen", ":9000", "UDP address to listen on")
 	shards := flag.Int("shards", 1, "SO_REUSEPORT shards to run on the port (0 = one per core; falls back to 1 where unsupported)")
+	nogso := flag.Bool("nogso", false, "keep UDP segment offload (GSO/GRO) off even where the kernel supports it")
 	budget := flag.Float64("qos-budget", 0, "max QoS reservation to grant per connection, bytes/s (0 = refuse QoS)")
 	out := flag.String("o", "", "write each stream to <prefix>.<connID> (default: discard)")
 	maxConns := flag.Int("max", 0, "exit after serving this many connections (0 = serve forever)")
@@ -35,13 +36,20 @@ func main() {
 		AllowSenderLoss: true,
 		MaxReliability:  2, // full
 	}
-	l, err := qtpnet.Listen(*listen, cons, qtpnet.WithShards(*shards))
+	opts := []qtpnet.Option{qtpnet.WithShards(*shards)}
+	if *nogso {
+		opts = append(opts, qtpnet.WithNoGSO())
+	}
+	l, err := qtpnet.Listen(*listen, cons, opts...)
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer l.Close()
 	log.Printf("qtpd: listening on %s, %d shard(s) (QoS budget %.0f B/s per conn)",
 		l.Addr(), l.Sharded().NumShards(), *budget)
+	ep := l.Endpoint()
+	log.Printf("qtpd: segment offload: gso=%v gro=%v (per shard; -nogso or QTPNET_NOGSO to force off)",
+		ep.GSOEnabled(), ep.GROEnabled())
 
 	if *verbose {
 		go func() {

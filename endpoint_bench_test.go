@@ -180,30 +180,61 @@ func BenchmarkEndpointLoopback(b *testing.B) {
 // each streaming 256 KiB concurrently. One op is the whole fan-out
 // delivered reliably. Beyond ns/op, it reports the measured datagrams
 // per receive/send syscall on the server endpoint — the number batching
-// exists to raise (the fallback path pins it at 1).
-func BenchmarkEndpointFanout(b *testing.B) { benchFanout(b, false) }
+// exists to raise (the fallback path pins it at 1). Segment offload is
+// on where the kernel supports it, exactly as in production.
+func BenchmarkEndpointFanout(b *testing.B) { benchFanout(b, false, false, 64, 256<<10, 2e6) }
 
 // BenchmarkEndpointFanoutNoBatch is the same load on the forced
 // single-datagram socket path: the difference against
 // BenchmarkEndpointFanout is what recvmmsg/sendmmsg buy.
-func BenchmarkEndpointFanoutNoBatch(b *testing.B) { benchFanout(b, true) }
+func BenchmarkEndpointFanoutNoBatch(b *testing.B) { benchFanout(b, true, false, 64, 256<<10, 2e6) }
 
-func benchFanout(b *testing.B, nobatch bool) {
-	const (
-		nConns  = 64
-		perConn = 256 << 10
-		rate    = 2e6
-	)
+// BenchmarkGSOFanout is BenchmarkEndpointFanout with segment offload
+// explicitly exercised (it skips where the kernel has no UDP_SEGMENT):
+// the scheduler coalesces same-destination frame runs into UDP_SEGMENT
+// trains and the receive side reads GRO-merged super-datagrams. Against
+// BenchmarkGSOFanoutNoGSO — the same load pinned to plain sendmmsg —
+// the dgram/txcall and dgram/rxcall metrics show what offload buys over
+// the mmsg floor; client tx metrics are reported as c-dgram/txcall
+// since the streaming side is where trains form.
+func BenchmarkGSOFanout(b *testing.B) { benchGSOFanout(b, false) }
+
+// BenchmarkGSOFanoutNoGSO is the sendmmsg baseline for
+// BenchmarkGSOFanout (offload disabled, batching still on).
+func BenchmarkGSOFanoutNoGSO(b *testing.B) { benchGSOFanout(b, true) }
+
+func benchGSOFanout(b *testing.B, nogso bool) {
+	probe, err := qtpnet.NewEndpoint("127.0.0.1:0", qtpnet.EndpointConfig{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	gso := probe.GSOEnabled()
+	probe.Close()
+	if !gso {
+		b.Skip("kernel without UDP_SEGMENT; GSO fan-out has no offload to measure")
+	}
+	// Hotter per-connection rate than the EndpointFanout shape: trains
+	// and GRO merges only form when flush queues and receive bursts
+	// outgrow what one mmsg message can carry, which is exactly the
+	// regime segment offload exists for.
+	benchFanout(b, false, nogso, 32, 256<<10, 5e6)
+}
+
+func benchFanout(b *testing.B, nobatch, nogso bool, nConns, perConn int, rate float64) {
 	srv, err := qtpnet.NewEndpoint("127.0.0.1:0", qtpnet.EndpointConfig{
 		AcceptInbound:  true,
 		Constraints:    core.Permissive(rate),
 		DisableBatchIO: nobatch,
+		DisableGSO:     nogso,
 	})
 	if err != nil {
 		b.Fatal(err)
 	}
 	defer srv.Close()
-	client, err := qtpnet.NewEndpoint("127.0.0.1:0", qtpnet.EndpointConfig{DisableBatchIO: nobatch})
+	client, err := qtpnet.NewEndpoint("127.0.0.1:0", qtpnet.EndpointConfig{
+		DisableBatchIO: nobatch,
+		DisableGSO:     nogso,
+	})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -258,7 +289,7 @@ func benchFanout(b *testing.B, nobatch bool) {
 	}
 
 	b.ReportAllocs()
-	b.SetBytes(perConn * nConns)
+	b.SetBytes(int64(perConn) * int64(nConns))
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		for j := 0; j < nConns; j++ {
@@ -287,6 +318,18 @@ func benchFanout(b *testing.B, nobatch bool) {
 	st := srv.Stats()
 	b.ReportMetric(st.AvgRecvBatch(), "dgram/rxcall")
 	b.ReportMetric(st.AvgSendBatch(), "dgram/txcall")
+	// The client is the streaming side, where segment trains form;
+	// its tx ratio is the number GSO exists to raise above the mmsg
+	// floor, and GroMerged on the server shows the receive half.
+	cst := client.Stats()
+	b.ReportMetric(cst.AvgSendBatch(), "c-dgram/txcall")
+	if cst.GsoTrains > 0 || st.GroMerged > 0 {
+		b.ReportMetric(float64(cst.GsoSegs)/float64(b.N), "c-gsosegs/op")
+		b.ReportMetric(float64(st.GroMerged)/float64(b.N), "gromerged/op")
+	}
+	if cst.GsoFallbacks > 0 {
+		b.Errorf("kernel refused %d segment trains on loopback", cst.GsoFallbacks)
+	}
 	// On linux the batch path must demonstrably coalesce: a 64-way
 	// fan-out that never fills a batch means the ring is broken.
 	if !nobatch && runtime.GOOS == "linux" && st.MaxRecvBatch <= 1 {

@@ -9,37 +9,85 @@ import (
 // call (one recvmmsg syscall) can return.
 const rxBatch = 32
 
+// Segment-offload limits, shared by the scheduler's train coalescing
+// and the linux writer. The kernel refuses GSO sends of more than
+// UDP_MAX_SEGMENTS (64) segments, and the whole super-datagram must
+// still fit one UDP payload; gsoMaxTrainBytes stays under both the
+// 65,507-byte IPv4 ceiling and the pooled 64 KiB buffer a train is
+// built into.
+const (
+	gsoMaxSegments   = 64
+	gsoMaxTrainBytes = 65000
+)
+
 // ioMsg is one datagram in a batch. On receive, buf is a full-capacity
-// ring buffer and the reader sets n (datagram length) and addr (source).
+// ring buffer and the reader sets n (datagram length) and addr
+// (source); segSize is the kernel-reported GRO segment size when the
+// read was a merged super-datagram (0 otherwise — the common case).
 // On send, buf holds exactly the frame (n == len(buf)) and addr is the
-// destination.
+// destination; segSize > 0 marks a segment train the writer should
+// hand to the kernel as one UDP_SEGMENT-tagged super-datagram of
+// segSize-byte slices (the last may be shorter).
 type ioMsg struct {
-	buf  []byte
-	n    int
-	addr netip.AddrPort
+	buf     []byte
+	n       int
+	addr    netip.AddrPort
+	segSize int
+}
+
+// wireCount returns how many on-the-wire datagrams m represents: one,
+// unless it is a segment train, in which case every segment counts.
+// The endpoint's DatagramsIn/Out counters are wire datagrams, so the
+// dgrams-per-syscall trend lines stay comparable across the plain,
+// mmsg and GSO/GRO paths.
+func wireCount(m ioMsg) uint64 {
+	if m.segSize > 0 && m.n > m.segSize {
+		return uint64((m.n + m.segSize - 1) / m.segSize)
+	}
+	return 1
 }
 
 // batchIO is the seam between the endpoint's loops and the socket.
 // The linux implementation moves whole batches per syscall with
-// recvmmsg/sendmmsg; every other platform (and DisableBatchIO) falls
-// back to one datagram per call, so the endpoint's logic is identical
-// everywhere and tests can force either path.
+// recvmmsg/sendmmsg — and, where the kernel supports it, whole segment
+// trains per datagram with UDP_SEGMENT/UDP_GRO; every other platform
+// (and DisableBatchIO) falls back to one datagram per call, so the
+// endpoint's logic is identical everywhere and tests can force either
+// path.
 type batchIO interface {
 	// readBatch blocks until at least one datagram is available, fills
-	// ms[i].n and ms[i].addr for each datagram received into ms[i].buf,
-	// and returns how many messages were filled.
+	// ms[i].n, ms[i].addr and ms[i].segSize for each datagram received
+	// into ms[i].buf, and returns how many messages were filled.
 	readBatch(ms []ioMsg) (int, error)
 	// writeBatch sends ms[i].buf[:ms[i].n] to ms[i].addr, in order, and
-	// returns how many datagrams the kernel accepted. err describes the
+	// returns how many messages the kernel accepted. err describes the
 	// failure of message ms[n] (or the batch, when n == 0); messages
 	// past n were not attempted.
 	writeBatch(ms []ioMsg) (int, error)
 }
 
+// segmentOffloader is the optional batchIO extension for UDP
+// generic segmentation/receive offload. The scheduler asks
+// gsoMaxSegs before every flush — capability can flip off at any
+// send if the kernel refuses a train — and builds segment trains
+// only while it answers > 1.
+type segmentOffloader interface {
+	// gsoMaxSegs returns the largest segment train writeBatch will
+	// accept, or 0 when segmentation offload is unavailable (never
+	// probed, disabled, or tripped off by a mid-life send failure).
+	gsoMaxSegs() int
+	// groOn reports whether UDP_GRO is enabled on the socket, i.e.
+	// whether readBatch may return merged super-datagrams.
+	groOn() bool
+	// gsoFallbacks counts trains the kernel refused at send time;
+	// each was transparently re-sent segment-by-segment.
+	gsoFallbacks() uint64
+}
+
 // newBatchIO picks the best available implementation for the socket.
-func newBatchIO(pc *net.UDPConn, maxBatch int, disable bool) batchIO {
+func newBatchIO(pc *net.UDPConn, maxBatch int, disable, disableGSO bool) batchIO {
 	if !disable {
-		if bio := newPlatformBatchIO(pc, maxBatch); bio != nil {
+		if bio := newPlatformBatchIO(pc, maxBatch, disableGSO); bio != nil {
 			return bio
 		}
 	}
@@ -48,7 +96,8 @@ func newBatchIO(pc *net.UDPConn, maxBatch int, disable bool) batchIO {
 
 // singleIO is the portable fallback: one syscall per datagram through
 // the standard library, semantically identical to the batch path with
-// every batch of size one.
+// every batch of size one. It never enables GRO on the socket, so
+// reads are always exactly one wire datagram.
 type singleIO struct {
 	pc *net.UDPConn
 }
@@ -58,7 +107,7 @@ func (s singleIO) readBatch(ms []ioMsg) (int, error) {
 	if err != nil {
 		return 0, err
 	}
-	ms[0].n, ms[0].addr = n, addr
+	ms[0].n, ms[0].addr, ms[0].segSize = n, addr, 0
 	return 1, nil
 }
 

@@ -6,6 +6,7 @@ import (
 	"net"
 	"net/netip"
 	"os"
+	"sync/atomic"
 	"syscall"
 	"unsafe"
 )
@@ -16,24 +17,43 @@ import (
 // ReadBatch/WriteBatch; this implementation goes straight to the
 // syscall layer so the repository carries no external dependency.
 //
+// Where the kernel supports it, mmsgIO also rides UDP segmentation
+// offload one rung further: a send message with segSize set travels as
+// one UDP_SEGMENT-tagged super-datagram the kernel (or NIC) splits
+// into wire packets, and with UDP_GRO enabled the receive side reads
+// back merged super-datagrams whose segment size arrives in a cmsg.
+// Capability is probed once at construction (getsockopt UDP_SEGMENT —
+// old kernels answer ENOPROTOOPT); a kernel that accepts the probe but
+// refuses a real send (EIO from a driver without the feature) trips
+// the capability off and the refused train is transparently re-sent
+// segment-by-segment, so offload can only ever cost one fallback.
+//
 // The socket stays in the runtime's non-blocking mode and is driven
 // through syscall.RawConn, so reads park on the netpoller exactly like
 // net.UDPConn reads do — one goroutine blocked in readBatch costs the
 // same as one blocked in ReadFromUDPAddrPort, but wakes with up to a
-// whole ring of datagrams.
+// whole ring of datagrams, each of which may itself be a GRO merge of
+// up to 64 wire packets.
 type mmsgIO struct {
 	rc syscall.RawConn
 	v6 bool // AF_INET6 socket: v4 destinations need mapping
+
+	gsoOK   atomic.Bool // UDP_SEGMENT accepted; cleared on send refusal
+	gro     bool        // UDP_GRO enabled on the socket
+	gsoFell atomic.Uint64
 
 	// Receive-side scratch, reused every syscall.
 	rhdr []mmsghdr
 	riov []syscall.Iovec
 	rsa  []syscall.RawSockaddrInet6
+	rctl []ctlBuf
 
-	// Send-side scratch.
+	// Send-side scratch, sized for the larger of a message batch and a
+	// segment train (the per-segment fallback resend path).
 	whdr []mmsghdr
 	wiov []syscall.Iovec
 	wsa  []syscall.RawSockaddrInet6
+	wctl []ctlBuf
 }
 
 // mmsghdr mirrors struct mmsghdr: a msghdr plus the kernel-reported
@@ -45,11 +65,34 @@ type mmsghdr struct {
 	_   [4]byte
 }
 
-const sizeofSA6 = uint32(unsafe.Sizeof(syscall.RawSockaddrInet6{}))
+// ctlBuf holds one message's ancillary data: the UDP_SEGMENT cmsg on
+// send, the UDP_GRO cmsg on receive. The zero-width uint64 field
+// 8-byte-aligns the buffer, which the kernel's cmsg layout requires.
+type ctlBuf struct {
+	_ [0]uint64
+	b [64]byte
+}
+
+const (
+	sizeofSA6 = uint32(unsafe.Sizeof(syscall.RawSockaddrInet6{}))
+
+	// udpSegment/udpGRO are the SOL_UDP socket options behind linux
+	// UDP generic segmentation/receive offload (kernel 4.18 / 5.0);
+	// the syscall package predates both.
+	udpSegment = 103
+	udpGRO     = 104
+
+	// gsoCmsgSpace is CMSG_SPACE(sizeof(uint16)): one cmsghdr plus the
+	// segment size, padded to the 8-byte cmsg alignment.
+	gsoCmsgSpace = syscall.SizeofCmsghdr + 8
+)
 
 // newPlatformBatchIO returns the mmsg implementation, or nil when the
 // socket cannot be driven through a RawConn (forcing the fallback).
-func newPlatformBatchIO(pc *net.UDPConn, maxBatch int) batchIO {
+// Segment offload is probed here, once per socket: each socket — and
+// therefore each shard of a ShardedEndpoint — carries its own
+// independent GSO/GRO capability and fallback state.
+func newPlatformBatchIO(pc *net.UDPConn, maxBatch int, disableGSO bool) batchIO {
 	rc, err := pc.SyscallConn()
 	if err != nil {
 		return nil
@@ -63,17 +106,53 @@ func newPlatformBatchIO(pc *net.UDPConn, maxBatch int) batchIO {
 	if cerr != nil {
 		return nil
 	}
-	return &mmsgIO{
+	wn := maxBatch
+	if wn < gsoMaxSegments {
+		wn = gsoMaxSegments
+	}
+	m := &mmsgIO{
 		rc:   rc,
 		v6:   domain == syscall.AF_INET6,
 		rhdr: make([]mmsghdr, maxBatch),
 		riov: make([]syscall.Iovec, maxBatch),
 		rsa:  make([]syscall.RawSockaddrInet6, maxBatch),
-		whdr: make([]mmsghdr, maxBatch),
-		wiov: make([]syscall.Iovec, maxBatch),
-		wsa:  make([]syscall.RawSockaddrInet6, maxBatch),
+		rctl: make([]ctlBuf, maxBatch),
+		whdr: make([]mmsghdr, wn),
+		wiov: make([]syscall.Iovec, wn),
+		wsa:  make([]syscall.RawSockaddrInet6, wn),
+		wctl: make([]ctlBuf, wn),
 	}
+	if !disableGSO {
+		m.probeOffload()
+	}
+	return m
 }
+
+// probeOffload detects UDP_SEGMENT support (a getsockopt that old
+// kernels refuse, with no side effect either way) and enables UDP_GRO
+// where available. GRO is only ever switched on here, after the mmsg
+// path is committed: a socket read through the portable fallback must
+// never return merged super-datagrams it cannot recognize.
+func (m *mmsgIO) probeOffload() {
+	m.rc.Control(func(fd uintptr) {
+		if _, err := syscall.GetsockoptInt(int(fd), syscall.IPPROTO_UDP, udpSegment); err == nil {
+			m.gsoOK.Store(true)
+		}
+		if err := syscall.SetsockoptInt(int(fd), syscall.IPPROTO_UDP, udpGRO, 1); err == nil {
+			m.gro = true
+		}
+	})
+}
+
+func (m *mmsgIO) gsoMaxSegs() int {
+	if m.gsoOK.Load() {
+		return gsoMaxSegments
+	}
+	return 0
+}
+
+func (m *mmsgIO) groOn() bool          { return m.gro }
+func (m *mmsgIO) gsoFallbacks() uint64 { return m.gsoFell.Load() }
 
 func (m *mmsgIO) readBatch(ms []ioMsg) (int, error) {
 	n := len(ms)
@@ -88,6 +167,10 @@ func (m *mmsgIO) readBatch(ms []ioMsg) (int, error) {
 			Iov:     &m.riov[i],
 			Iovlen:  1,
 		}}
+		if m.gro {
+			m.rhdr[i].hdr.Control = &m.rctl[i].b[0]
+			m.rhdr[i].hdr.SetControllen(len(m.rctl[i].b))
+		}
 	}
 	var got int
 	var operr error
@@ -113,8 +196,57 @@ func (m *mmsgIO) readBatch(ms []ioMsg) (int, error) {
 	for i := 0; i < got; i++ {
 		ms[i].n = int(m.rhdr[i].n)
 		ms[i].addr = saToAddrPort(&m.rsa[i])
+		ms[i].segSize = 0
+		if m.gro {
+			ms[i].segSize = parseGROSegSize(m.rctl[i].b[:m.rhdr[i].hdr.Controllen])
+		}
 	}
 	return got, nil
+}
+
+// parseGROSegSize walks a received control buffer for the UDP_GRO
+// cmsg and returns the kernel-reported segment size, or 0 when the
+// datagram arrived unmerged (no cmsg, or any malformed tail).
+func parseGROSegSize(ctl []byte) int {
+	for len(ctl) >= syscall.SizeofCmsghdr {
+		h := (*syscall.Cmsghdr)(unsafe.Pointer(&ctl[0]))
+		if h.Len < syscall.SizeofCmsghdr || uint64(h.Len) > uint64(len(ctl)) {
+			return 0
+		}
+		if h.Level == syscall.IPPROTO_UDP && h.Type == udpGRO &&
+			h.Len >= syscall.SizeofCmsghdr+4 {
+			return int(*(*int32)(unsafe.Pointer(&ctl[syscall.SizeofCmsghdr])))
+		}
+		next := cmsgAlign(int(h.Len))
+		if next <= 0 || next > len(ctl) {
+			return 0
+		}
+		ctl = ctl[next:]
+	}
+	return 0
+}
+
+// putGSOCmsg encodes the UDP_SEGMENT cmsg carrying a train's segment
+// size into ctl, returning the control length to put on the msghdr.
+func putGSOCmsg(ctl *ctlBuf, segSize uint16) int {
+	h := (*syscall.Cmsghdr)(unsafe.Pointer(&ctl.b[0]))
+	h.Len = syscall.SizeofCmsghdr + 2
+	h.Level = syscall.IPPROTO_UDP
+	h.Type = udpSegment
+	*(*uint16)(unsafe.Pointer(&ctl.b[syscall.SizeofCmsghdr])) = segSize
+	return gsoCmsgSpace
+}
+
+// cmsgAlign rounds a cmsg length up to the kernel's 8-byte boundary.
+func cmsgAlign(n int) int { return (n + 7) &^ 7 }
+
+// isGSORefusal classifies the errnos a kernel or driver answers a
+// UDP_SEGMENT send it cannot perform: EIO from a device without the
+// feature, EINVAL/EMSGSIZE from segmentation limits, EOPNOTSUPP from
+// protocol layers that never learned it.
+func isGSORefusal(e syscall.Errno) bool {
+	return e == syscall.EIO || e == syscall.EINVAL ||
+		e == syscall.EMSGSIZE || e == syscall.EOPNOTSUPP
 }
 
 func (m *mmsgIO) writeBatch(ms []ioMsg) (int, error) {
@@ -122,8 +254,17 @@ func (m *mmsgIO) writeBatch(ms []ioMsg) (int, error) {
 	if n > len(m.whdr) {
 		n = len(m.whdr)
 	}
+	gso := m.gsoOK.Load()
 	prep := 0
 	for prep < n {
+		if ms[prep].segSize > 0 && ms[prep].n > ms[prep].segSize && !gso {
+			// A train built before a mid-flush fallback tripped GSO off:
+			// it goes out segment-by-segment, alone.
+			if prep == 0 {
+				return m.sendSegments(&ms[0])
+			}
+			break // send what we have; the train heads the next call
+		}
 		salen, ok := m.fillSA(&m.wsa[prep], ms[prep].addr)
 		if !ok {
 			if prep == 0 {
@@ -138,10 +279,15 @@ func (m *mmsgIO) writeBatch(ms []ioMsg) (int, error) {
 			Iov:     &m.wiov[prep],
 			Iovlen:  1,
 		}}
+		if ms[prep].segSize > 0 && ms[prep].n > ms[prep].segSize {
+			clen := putGSOCmsg(&m.wctl[prep], uint16(ms[prep].segSize))
+			m.whdr[prep].hdr.Control = &m.wctl[prep].b[0]
+			m.whdr[prep].hdr.SetControllen(clen)
+		}
 		prep++
 	}
 	var sent int
-	var operr error
+	var errno syscall.Errno
 	err := m.rc.Write(func(fd uintptr) bool {
 		r, _, e := syscall.Syscall6(sysSendmmsg, fd,
 			uintptr(unsafe.Pointer(&m.whdr[0])), uintptr(prep), 0, 0, 0)
@@ -149,7 +295,7 @@ func (m *mmsgIO) writeBatch(ms []ioMsg) (int, error) {
 			return false
 		}
 		if e != 0 {
-			operr = os.NewSyscallError("sendmmsg", e)
+			errno = e
 		} else {
 			sent = int(r)
 		}
@@ -158,7 +304,77 @@ func (m *mmsgIO) writeBatch(ms []ioMsg) (int, error) {
 	if err != nil {
 		return sent, err
 	}
-	return sent, operr
+	if errno != 0 {
+		// sendmmsg reports an errno only when the FIRST message of the
+		// call failed. If that message was a segment train and the errno
+		// is a segmentation refusal, the kernel accepted the probe but
+		// cannot deliver: trip GSO off for this socket's lifetime and
+		// re-send the refused train as plain datagrams.
+		if ms[0].segSize > 0 && ms[0].n > ms[0].segSize && isGSORefusal(errno) {
+			m.gsoOK.Store(false)
+			m.gsoFell.Add(1)
+			return m.sendSegments(&ms[0])
+		}
+		return sent, os.NewSyscallError("sendmmsg", errno)
+	}
+	return sent, nil
+}
+
+// sendSegments delivers one segment train as individual sendmmsg
+// datagrams — the per-send fallback when segmentation offload is
+// unavailable or was just refused. It consumes exactly one message:
+// (1, nil) on success, (0, err) when the segments could not be sent
+// (the caller drops the train like any failed datagram; any segments
+// already on the wire are indistinguishable from reordered loss).
+func (m *mmsgIO) sendSegments(t *ioMsg) (int, error) {
+	salen, ok := m.fillSA(&m.wsa[0], t.addr)
+	if !ok {
+		return 0, os.NewSyscallError("sendmmsg", syscall.EAFNOSUPPORT)
+	}
+	nseg := 0
+	for off := 0; off < t.n; off += t.segSize {
+		end := off + t.segSize
+		if end > t.n {
+			end = t.n
+		}
+		m.wiov[nseg] = syscall.Iovec{Base: &t.buf[off], Len: uint64(end - off)}
+		m.whdr[nseg] = mmsghdr{hdr: syscall.Msghdr{
+			Name:    (*byte)(unsafe.Pointer(&m.wsa[0])),
+			Namelen: salen,
+			Iov:     &m.wiov[nseg],
+			Iovlen:  1,
+		}}
+		nseg++
+	}
+	done := 0
+	for done < nseg {
+		var sent int
+		var errno syscall.Errno
+		err := m.rc.Write(func(fd uintptr) bool {
+			r, _, e := syscall.Syscall6(sysSendmmsg, fd,
+				uintptr(unsafe.Pointer(&m.whdr[done])), uintptr(nseg-done), 0, 0, 0)
+			if e == syscall.EAGAIN {
+				return false
+			}
+			if e != 0 {
+				errno = e
+			} else {
+				sent = int(r)
+			}
+			return true
+		})
+		if err != nil {
+			return 0, err
+		}
+		if errno != 0 {
+			return 0, os.NewSyscallError("sendmmsg", errno)
+		}
+		if sent == 0 {
+			return 0, os.NewSyscallError("sendmmsg", syscall.EIO)
+		}
+		done += sent
+	}
+	return 1, nil
 }
 
 // fillSA encodes a destination into sa, returning its length and

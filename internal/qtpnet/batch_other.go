@@ -5,7 +5,8 @@ package qtpnet
 import "net"
 
 // newPlatformBatchIO reports that no batched syscall implementation
-// exists here; the endpoint uses the portable single-datagram fallback.
-func newPlatformBatchIO(pc *net.UDPConn, maxBatch int) batchIO {
+// (and therefore no segment offload) exists here; the endpoint uses
+// the portable single-datagram fallback.
+func newPlatformBatchIO(pc *net.UDPConn, maxBatch int, disableGSO bool) batchIO {
 	return nil
 }

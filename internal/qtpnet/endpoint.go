@@ -36,11 +36,14 @@ const closeGrace = 3 * time.Second
 // envNoBatchIO (QTPNET_NOBATCH, non-empty) forces DisableBatchIO on
 // every endpoint in the process; envNoReusePort (QTPNET_NOREUSEPORT,
 // non-empty) forces sharded endpoints down to the portable single-shard
-// fallback. CI uses both to exercise the portable data path on linux,
-// where the batch and reuseport implementations would otherwise always
+// fallback; envNoGSO (QTPNET_NOGSO, non-empty) keeps segment offload
+// off so the sendmmsg path runs even on GSO-capable kernels. CI uses
+// all three to exercise the fallback data paths on linux, where the
+// batch, reuseport and offload implementations would otherwise always
 // win. Read per construction, not at init, so tests can flip them.
 func envNoBatchIO() bool   { return os.Getenv("QTPNET_NOBATCH") != "" }
 func envNoReusePort() bool { return os.Getenv("QTPNET_NOREUSEPORT") != "" }
+func envNoGSO() bool       { return os.Getenv("QTPNET_NOGSO") != "" }
 
 // ErrEndpointClosed is returned by calls on a closed endpoint.
 var ErrEndpointClosed = errors.New("qtpnet: endpoint closed")
@@ -67,6 +70,21 @@ type EndpointConfig struct {
 	// identically either way; tests use this to prove it, and it is an
 	// escape hatch should a platform's batch path misbehave.
 	DisableBatchIO bool
+	// DisableGSO keeps UDP segment offload (UDP_SEGMENT/UDP_GRO) off
+	// this endpoint's socket even where the kernel supports it, pinning
+	// sends to plain sendmmsg. Implied by DisableBatchIO and by the
+	// QTPNET_NOGSO environment override; semantics are identical either
+	// way, which the equivalence tests prove.
+	DisableGSO bool
+	// SocketBufferBytes asks the kernel for this much receive and send
+	// buffering on the socket (default 2 MiB, negative to leave the
+	// system default). Best-effort: the kernel clamps to
+	// net.core.{r,w}mem_max. Matters once segment offload is in play —
+	// a single GRO super-datagram can be 64 KiB, a third of the usual
+	// 208 KiB default, so an unlucky burst tail-drops whole trains
+	// (dozens of frames in one loss event) where the per-frame path
+	// would have shed a few packets.
+	SocketBufferBytes int
 }
 
 // EndpointStats is a snapshot of an endpoint's datagram-path counters.
@@ -84,6 +102,19 @@ type EndpointStats struct {
 	RecvDrops    uint64 // delivered chunks dropped on slow readers
 	SendErrs     uint64 // transient send errors (datagram dropped)
 	SendDrops    uint64 // datagrams abandoned by send errors
+
+	// Segment offload (always zero where UDP_SEGMENT/UDP_GRO are
+	// unavailable or disabled): GsoTrains counts super-datagrams the
+	// send scheduler coalesced, GsoSegs the frames that traveled
+	// inside them (GsoSegs/GsoTrains is the mean train length),
+	// GroMerged the inbound datagrams that arrived inside GRO-merged
+	// reads, and GsoFallbacks the trains the kernel refused at send
+	// time — each re-sent segment-by-segment, after which offload
+	// stays off for the socket's lifetime.
+	GsoTrains    uint64
+	GsoSegs      uint64
+	GroMerged    uint64
+	GsoFallbacks uint64
 
 	// Cross-shard traffic (always zero on unsharded endpoints): frames
 	// the kernel hashed to a shard other than the one their connection
@@ -118,6 +149,10 @@ func (s EndpointStats) String() string {
 		str += fmt.Sprintf(" xshard fwd %d recv %d drop %d",
 			s.CrossShardFwd, s.CrossShardRecv, s.CrossShardDrops)
 	}
+	if s.GsoTrains > 0 || s.GroMerged > 0 || s.GsoFallbacks > 0 {
+		str += fmt.Sprintf(" gso trains %d segs %d fallback %d gro merged %d",
+			s.GsoTrains, s.GsoSegs, s.GsoFallbacks, s.GroMerged)
+	}
 	return str
 }
 
@@ -138,6 +173,10 @@ func (s EndpointStats) add(o EndpointStats) EndpointStats {
 	s.RecvDrops += o.RecvDrops
 	s.SendErrs += o.SendErrs
 	s.SendDrops += o.SendDrops
+	s.GsoTrains += o.GsoTrains
+	s.GsoSegs += o.GsoSegs
+	s.GroMerged += o.GroMerged
+	s.GsoFallbacks += o.GsoFallbacks
 	s.CrossShardFwd += o.CrossShardFwd
 	s.CrossShardRecv += o.CrossShardRecv
 	s.CrossShardDrops += o.CrossShardDrops
@@ -186,6 +225,7 @@ type Endpoint struct {
 	maxRecvBatch atomic.Uint64
 	noRoute      atomic.Uint64
 	recvDrops    atomic.Uint64
+	groMerged    atomic.Uint64
 
 	// Cross-shard counters (see EndpointStats).
 	crossFwd  atomic.Uint64
@@ -251,9 +291,22 @@ func newEndpointOn(pc *net.UDPConn, cfg EndpointConfig, sh shardEnv) *Endpoint {
 	if envNoBatchIO() {
 		cfg.DisableBatchIO = true
 	}
+	if envNoGSO() {
+		cfg.DisableGSO = true
+	}
+	if cfg.SocketBufferBytes == 0 {
+		cfg.SocketBufferBytes = 2 << 20
+	}
+	if cfg.SocketBufferBytes > 0 {
+		// Best-effort: the kernel clamps to its rmem_max/wmem_max caps,
+		// and an endpoint still works (just drops more under burst) if
+		// the request is refused outright.
+		_ = pc.SetReadBuffer(cfg.SocketBufferBytes)
+		_ = pc.SetWriteBuffer(cfg.SocketBufferBytes)
+	}
 	e := &Endpoint{
 		pc:       pc,
-		bio:      newBatchIO(pc, rxBatch, cfg.DisableBatchIO),
+		bio:      newBatchIO(pc, rxBatch, cfg.DisableBatchIO, cfg.DisableGSO),
 		epoch:    time.Now(),
 		cfg:      cfg,
 		shard:    sh,
@@ -287,7 +340,7 @@ func (e *Endpoint) ConnCount() int {
 
 // Stats snapshots the endpoint's datagram-path counters.
 func (e *Endpoint) Stats() EndpointStats {
-	return EndpointStats{
+	st := EndpointStats{
 		DatagramsIn:     e.datagramsIn.Load(),
 		DatagramsOut:    e.tx.datagramsOut.Load(),
 		RecvBatches:     e.recvBatches.Load(),
@@ -298,10 +351,37 @@ func (e *Endpoint) Stats() EndpointStats {
 		RecvDrops:       e.recvDrops.Load(),
 		SendErrs:        e.tx.errTransient.Load(),
 		SendDrops:       e.tx.drops.Load(),
+		GsoTrains:       e.tx.gsoTrains.Load(),
+		GsoSegs:         e.tx.gsoSegs.Load(),
+		GroMerged:       e.groMerged.Load(),
 		CrossShardFwd:   e.crossFwd.Load(),
 		CrossShardRecv:  e.crossRecv.Load(),
 		CrossShardDrops: e.crossDrop.Load(),
 	}
+	if so, ok := e.bio.(segmentOffloader); ok {
+		st.GsoFallbacks = so.gsoFallbacks()
+	}
+	return st
+}
+
+// GSOEnabled reports whether the endpoint's socket sends segment
+// trains via UDP_SEGMENT — true only on a GSO-capable linux kernel
+// with offload neither disabled (DisableGSO, QTPNET_NOGSO) nor
+// tripped off by a mid-life send refusal.
+func (e *Endpoint) GSOEnabled() bool {
+	if so, ok := e.bio.(segmentOffloader); ok {
+		return so.gsoMaxSegs() > 1
+	}
+	return false
+}
+
+// GROEnabled reports whether UDP_GRO is enabled on the endpoint's
+// socket, i.e. whether inbound bursts may arrive kernel-merged.
+func (e *Endpoint) GROEnabled() bool {
+	if so, ok := e.bio.(segmentOffloader); ok {
+		return so.groOn()
+	}
+	return false
 }
 
 // Err returns the persistent socket error that shut the endpoint down,
@@ -421,9 +501,13 @@ func (e *Endpoint) onSendFatal(err error) {
 
 // readLoop fills a ring of pooled buffers from the socket — one
 // recvmmsg per wakeup where the platform allows — and feeds each batch
-// to the demultiplexer. The ring buffers are never released on the
-// steady path: Deliver does not retain frame memory, so the same ring
-// serves every batch and per-datagram pool traffic is zero.
+// to the demultiplexer. With UDP_GRO enabled, a single ring buffer may
+// hold a kernel-merged super-datagram; expandGRO slices it into
+// per-packet views (no copy — the views alias the ring) before the
+// demux sees it, so the delivery logic is identical whether the kernel
+// merged or not. The ring buffers are never released on the steady
+// path: Deliver does not retain frame memory, so the same ring serves
+// every batch and per-datagram pool traffic is zero.
 func (e *Endpoint) readLoop() {
 	bufs := bufpool.GetBatch(rxBatch)
 	defer bufpool.PutBatch(bufs)
@@ -432,6 +516,7 @@ func (e *Endpoint) readLoop() {
 		ms[i].buf = bufs[i]
 	}
 	var sc rxScratch
+	var views []ioMsg
 	for {
 		n, err := e.bio.readBatch(ms)
 		if err != nil {
@@ -450,13 +535,43 @@ func (e *Endpoint) readLoop() {
 			}
 			return
 		}
-		e.datagramsIn.Add(uint64(n))
+		var merged uint64
+		views, merged = expandGRO(ms[:n], views[:0])
+		e.datagramsIn.Add(uint64(len(views)))
+		e.groMerged.Add(merged)
 		e.recvBatches.Add(1)
-		if uint64(n) > e.maxRecvBatch.Load() {
-			e.maxRecvBatch.Store(uint64(n))
+		if uint64(len(views)) > e.maxRecvBatch.Load() {
+			e.maxRecvBatch.Store(uint64(len(views)))
 		}
-		e.deliverBatch(ms[:n], &sc)
+		e.deliverBatch(views, &sc)
 	}
+}
+
+// expandGRO appends one per-wire-datagram view of each received
+// message to out: messages that arrived merged by UDP_GRO (segSize
+// set below the read length) are sliced at the kernel-reported
+// segment size — every slice a full frame, the last possibly shorter
+// — while ordinary reads pass through unchanged. The views alias the
+// callers' buffers; nothing is copied. The second result counts the
+// datagrams recovered from merged reads (the GroMerged stat).
+func expandGRO(ms []ioMsg, out []ioMsg) ([]ioMsg, uint64) {
+	var merged uint64
+	for i := range ms {
+		seg := ms[i].segSize
+		if seg <= 0 || ms[i].n <= seg {
+			out = append(out, ioMsg{buf: ms[i].buf[:ms[i].n], n: ms[i].n, addr: ms[i].addr})
+			continue
+		}
+		for off := 0; off < ms[i].n; off += seg {
+			end := off + seg
+			if end > ms[i].n {
+				end = ms[i].n
+			}
+			out = append(out, ioMsg{buf: ms[i].buf[off:end], n: end - off, addr: ms[i].addr})
+			merged++
+		}
+	}
+	return out, merged
 }
 
 // classify pulls the demux key out of a raw datagram: frame type and

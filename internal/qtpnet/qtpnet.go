@@ -36,6 +36,7 @@ type Option func(*epOptions)
 
 type epOptions struct {
 	shards int
+	noGSO  bool
 }
 
 // WithShards runs the endpoint as n SO_REUSEPORT shards (one socket,
@@ -45,6 +46,14 @@ type epOptions struct {
 // single shard.
 func WithShards(n int) Option {
 	return func(o *epOptions) { o.shards = n }
+}
+
+// WithNoGSO keeps UDP segment offload off the endpoint's socket(s),
+// pinning sends to plain sendmmsg even on GSO-capable kernels (see
+// EndpointConfig.DisableGSO; the QTPNET_NOGSO environment variable
+// forces the same process-wide).
+func WithNoGSO() Option {
+	return func(o *epOptions) { o.noGSO = true }
 }
 
 func applyOptions(opts []Option) epOptions {
@@ -63,7 +72,7 @@ func applyOptions(opts []Option) epOptions {
 func Dial(addr string, profile core.Profile, timeout time.Duration, opts ...Option) (*Conn, error) {
 	o := applyOptions(opts)
 	if o.shards != 1 {
-		se, err := NewShardedEndpoint(":0", EndpointConfig{}, o.shards)
+		se, err := NewShardedEndpoint(":0", EndpointConfig{DisableGSO: o.noGSO}, o.shards)
 		if err != nil {
 			return nil, err
 		}
@@ -75,7 +84,7 @@ func Dial(addr string, profile core.Profile, timeout time.Duration, opts ...Opti
 		c.owner = se
 		return c, nil
 	}
-	e, err := NewEndpoint(":0", EndpointConfig{})
+	e, err := NewEndpoint(":0", EndpointConfig{DisableGSO: o.noGSO})
 	if err != nil {
 		return nil, err
 	}
@@ -96,6 +105,7 @@ func Listen(addr string, constraints core.Constraints, opts ...Option) (*Listene
 	se, err := NewShardedEndpoint(addr, EndpointConfig{
 		AcceptInbound: true,
 		Constraints:   constraints,
+		DisableGSO:    o.noGSO,
 	}, o.shards)
 	if err != nil {
 		return nil, fmt.Errorf("qtpnet: listen %s: %w", addr, err)

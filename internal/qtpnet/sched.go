@@ -54,9 +54,19 @@ type sendScheduler struct {
 	q      []ioMsg
 	closed bool
 
+	// gso is non-nil when the writer can carry segment trains; the
+	// flush path then coalesces same-destination, same-size frames
+	// into UDP_SEGMENT super-datagrams.
+	gso segmentWriter
+
 	flushing  atomic.Bool
 	batch     []ioMsg // flush scratch, guarded by the flushing token
 	consecErr int     // likewise
+
+	// Coalescing scratch, likewise guarded by the flushing token.
+	coal     []ioMsg
+	coalUsed []bool
+	coalIdx  []int
 
 	kick chan struct{} // linger mode: something was enqueued
 	full chan struct{} // linger mode: the queue reached maxBatch
@@ -64,12 +74,17 @@ type sendScheduler struct {
 
 	fatalOnce sync.Once
 
-	// Counters, merged into EndpointStats.
+	// Counters, merged into EndpointStats. datagramsOut counts wire
+	// datagrams: a segment train adds one per segment, not one per
+	// writeBatch message, so AvgSendBatch stays comparable across the
+	// plain, mmsg and GSO paths.
 	datagramsOut atomic.Uint64
 	batches      atomic.Uint64
 	maxSeen      atomic.Uint64
 	errTransient atomic.Uint64
 	drops        atomic.Uint64
+	gsoTrains    atomic.Uint64 // segment trains handed to the writer
+	gsoSegs      atomic.Uint64 // frames that traveled inside trains
 }
 
 // batchWriter is the slice of batchIO the scheduler needs; tests
@@ -78,8 +93,18 @@ type batchWriter interface {
 	writeBatch(ms []ioMsg) (int, error)
 }
 
+// segmentWriter is the optional batchWriter extension for UDP
+// segmentation offload: a writer that can carry a segment train
+// (ioMsg.segSize > 0) as one super-datagram. gsoMaxSegs is re-read
+// before every coalescing pass because capability can flip off
+// mid-life — the kernel may refuse a train the probe promised.
+type segmentWriter interface {
+	batchWriter
+	gsoMaxSegs() int
+}
+
 func newSendScheduler(w batchWriter, maxBatch int, maxDelay time.Duration, onFatal func(error)) *sendScheduler {
-	return &sendScheduler{
+	s := &sendScheduler{
 		w:        w,
 		maxBatch: maxBatch,
 		maxDelay: maxDelay,
@@ -89,6 +114,10 @@ func newSendScheduler(w batchWriter, maxBatch int, maxDelay time.Duration, onFat
 		full:     make(chan struct{}, 1),
 		done:     make(chan struct{}),
 	}
+	if g, ok := w.(segmentWriter); ok {
+		s.gso = g
+	}
+	return s
 }
 
 // enqueue hands one framed datagram to the scheduler. The frame slice
@@ -146,7 +175,13 @@ func (s *sendScheduler) flushPending() {
 			if len(s.batch) == 0 {
 				break
 			}
-			s.flush(s.batch)
+			b := s.batch
+			if s.gso != nil {
+				if maxSegs := s.gso.gsoMaxSegs(); maxSegs > 1 {
+					b = s.coalesce(b, maxSegs)
+				}
+			}
+			s.flush(b)
 		}
 		s.flushing.Store(false)
 		// A frame enqueued between the last take and the token release
@@ -236,6 +271,84 @@ func (s *sendScheduler) take(dst []ioMsg) []ioMsg {
 	return dst
 }
 
+// coalesce rewrites one flush batch for a segment-offload-capable
+// writer: runs of frames bound for the same destination with the same
+// size (the last of a run may be shorter — the kernel's short-tail
+// rule) are copied into a single pooled super-datagram tagged with
+// the segment size, which the writer hands to the kernel as one
+// UDP_SEGMENT train. Mixed-size runs and lone frames pass through
+// untouched and still share the surrounding sendmmsg call.
+//
+// Ordering contract: frames for one destination are emitted in
+// exactly their queue order — a train is always a contiguous
+// subsequence of its destination's frames — so per-flow FIFO survives
+// coalescing. Frames for different destinations may reorder relative
+// to each other (each destination's group is emitted at its first
+// queue appearance), which is unobservable across independent flows.
+//
+// Runs only the flush-token holder; scratch is reused across calls.
+func (s *sendScheduler) coalesce(batch []ioMsg, maxSegs int) []ioMsg {
+	if len(batch) < 2 {
+		return batch
+	}
+	out := s.coal[:0]
+	used := s.coalUsed[:0]
+	for range batch {
+		used = append(used, false)
+	}
+	idx := s.coalIdx
+	for i := range batch {
+		if used[i] {
+			continue
+		}
+		// Gather this destination's frames, preserving queue order.
+		idx = idx[:0]
+		for j := i; j < len(batch); j++ {
+			if !used[j] && batch[j].addr == batch[i].addr {
+				idx = append(idx, j)
+			}
+		}
+		for k := 0; k < len(idx); {
+			segSize := batch[idx[k]].n
+			run, bytes := 1, segSize
+			for k+run < len(idx) && run < maxSegs {
+				nn := batch[idx[k+run]].n
+				if nn > segSize || bytes+nn > gsoMaxTrainBytes {
+					break
+				}
+				run++
+				bytes += nn
+				if nn < segSize {
+					break // a short segment must close its train
+				}
+			}
+			if run < 2 || segSize == 0 {
+				out = append(out, batch[idx[k]])
+				batch[idx[k]] = ioMsg{}
+				used[idx[k]] = true
+				k++
+				continue
+			}
+			train := bufpool.Get()
+			off := 0
+			addr := batch[idx[k]].addr
+			for r := 0; r < run; r++ {
+				f := &batch[idx[k+r]]
+				off += copy(train[off:], f.buf[:f.n])
+				bufpool.Put(f.buf)
+				*f = ioMsg{}
+				used[idx[k+r]] = true
+			}
+			out = append(out, ioMsg{buf: train[:off], n: off, addr: addr, segSize: segSize})
+			s.gsoTrains.Add(1)
+			s.gsoSegs.Add(uint64(run))
+			k += run
+		}
+	}
+	s.coal, s.coalUsed, s.coalIdx = out, used, idx
+	return out
+}
+
 // flush pushes one batch through the writer, skipping datagrams that
 // fail transiently and escalating persistent failure via onFatal.
 func (s *sendScheduler) flush(batch []ioMsg) {
@@ -249,9 +362,13 @@ func (s *sendScheduler) flush(batch []ioMsg) {
 	for sent < len(batch) {
 		n, err := s.w.writeBatch(batch[sent:])
 		s.batches.Add(1)
-		s.datagramsOut.Add(uint64(n))
-		if uint64(n) > s.maxSeen.Load() {
-			s.maxSeen.Store(uint64(n))
+		var wire uint64
+		for i := sent; i < sent+n; i++ {
+			wire += wireCount(batch[i])
+		}
+		s.datagramsOut.Add(wire)
+		if wire > s.maxSeen.Load() {
+			s.maxSeen.Store(wire)
 		}
 		sent += n
 		if err == nil {
@@ -268,15 +385,19 @@ func (s *sendScheduler) flush(batch []ioMsg) {
 		}
 		s.consecErr++
 		if isFatalSendErr(err) || s.consecErr >= maxConsecSendErrs {
-			s.drops.Add(uint64(len(batch) - sent))
+			var dropped uint64
+			for i := sent; i < len(batch); i++ {
+				dropped += wireCount(batch[i])
+			}
+			s.drops.Add(dropped)
 			s.fatal(err)
 			return
 		}
-		// Transient: count it, drop the datagram at the failure point,
-		// and keep the rest of the batch moving.
+		// Transient: count it, drop the datagram (or whole train) at
+		// the failure point, and keep the rest of the batch moving.
 		s.errTransient.Add(1)
 		if sent < len(batch) {
-			s.drops.Add(1)
+			s.drops.Add(wireCount(batch[sent]))
 			sent++
 		}
 	}

@@ -26,7 +26,7 @@ func (w *fakeWriter) writeBatch(ms []ioMsg) (int, error) {
 	}
 	cp := make([]ioMsg, len(ms))
 	for i, m := range ms {
-		cp[i] = ioMsg{buf: append([]byte(nil), m.buf[:m.n]...), n: m.n, addr: m.addr}
+		cp[i] = ioMsg{buf: append([]byte(nil), m.buf[:m.n]...), n: m.n, addr: m.addr, segSize: m.segSize}
 	}
 	w.batches = append(w.batches, cp)
 	return len(ms), nil

@@ -21,6 +21,14 @@ import (
 // so the steady-state hot path takes no cross-shard locks and scales
 // with cores.
 //
+// Segment offload composes with sharding shard-locally: because shards
+// share nothing on the send path, each shard's socket carries its own
+// independent GSO/GRO slot — probed at that socket's bind, coalescing
+// that shard's flush queue into its own UDP_SEGMENT trains, and
+// tripping off alone if the kernel refuses one of its sends. A
+// fallback on one shard never degrades the others; per-shard offload
+// counters are visible via ShardStats.
+//
 // The two routing schemes are reconciled by the connection-ID layout
 // (packet.CIDShard): every CID a shard mints carries its own index in
 // the top bits. Handshake frames, which carry no routable CID yet, are
