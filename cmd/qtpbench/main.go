@@ -7,6 +7,7 @@
 //
 //	qtpbench [-quick] [-seed N] [-only E1,E4,...]
 //	qtpbench -loopback [-conns N] [-mbytes M] [-nobatch] [-nogso] [-shards N]
+//	         [-streams N -mix reliable,unordered,expiring [-deadline D]]
 package main
 
 import (
@@ -20,6 +21,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/packet"
 	"repro/internal/qtpnet"
 )
 
@@ -34,10 +36,18 @@ func main() {
 	nobatch := flag.Bool("nobatch", false, "loopback: force the single-datagram socket path")
 	nogso := flag.Bool("nogso", false, "loopback: keep UDP segment offload (GSO/GRO) off, pinning sends to plain sendmmsg")
 	shards := flag.Int("shards", 1, "loopback: SO_REUSEPORT server shards (0 = one per core); >1 gives every conn its own client socket so the kernel hash can spread flows")
+	streams := flag.Int("streams", 1, "loopback: streams per connection (>1 negotiates stream multiplexing and spreads each connection's bytes across them)")
+	mix := flag.String("mix", "reliable", "loopback: comma-separated delivery modes cycled across streams: reliable | unordered | expiring")
+	deadline := flag.Duration("deadline", 200*time.Millisecond, "loopback: retransmission deadline for expiring streams")
 	flag.Parse()
 
 	if *loopback {
-		runLoopback(*conns, *mbytes<<20, *rate, *nobatch, *nogso, *shards)
+		modes, err := packet.ParseModes(*mix)
+		if err != nil {
+			log.Fatal(err)
+		}
+		runLoopback(*conns, *mbytes<<20, *rate, *nobatch, *nogso, *shards,
+			*streams, modes, *deadline)
 		return
 	}
 
@@ -76,8 +86,13 @@ func main() {
 // cross-shard forwarding balance, drops. With one shard every client
 // connection shares one socket pair; with more, each connection dials
 // from its own socket so the kernel's reuseport hash can spread flows
-// across the shards.
-func runLoopback(n, perConn int, rate float64, nobatch, nogso bool, shards int) {
+// across the shards. With nStreams > 1 every connection negotiates
+// stream multiplexing and splits its bytes across that many streams,
+// delivery modes cycling through the -mix list, so the bench exercises
+// the round-robin stream scheduler under real socket load.
+func runLoopback(n, perConn int, rate float64, nobatch, nogso bool, shards,
+	nStreams int, modes []qtpnet.StreamMode, deadline time.Duration) {
+
 	cfg := qtpnet.EndpointConfig{
 		AcceptInbound:  true,
 		Constraints:    core.Permissive(rate),
@@ -105,6 +120,12 @@ func runLoopback(n, perConn int, rate float64, nobatch, nogso bool, shards int) 
 		defer clients[i].Close()
 	}
 
+	// Per-delivery-mode receive accounting, aggregated across every
+	// server-side stream.
+	var modeMu sync.Mutex
+	modeDelivered := map[string]int{}
+	modeStreams := map[string]int{}
+
 	var srvWG sync.WaitGroup
 	srvWG.Add(n)
 	go func() {
@@ -116,18 +137,81 @@ func runLoopback(n, perConn int, rate float64, nobatch, nogso bool, shards int) 
 			go func() {
 				defer srvWG.Done()
 				defer conn.Close()
+				// Non-zero streams announce themselves as their first
+				// frames arrive; each gets its own drain goroutine.
+				var streamWG sync.WaitGroup
+				acceptDone := make(chan struct{})
+				go func() {
+					defer close(acceptDone)
+					for {
+						s, ok := conn.AcceptStream(500 * time.Millisecond)
+						if !ok {
+							select {
+							case <-conn.Done():
+								return
+							default:
+								if conn.Finished() {
+									return
+								}
+								continue
+							}
+						}
+						streamWG.Add(1)
+						go func() {
+							defer streamWG.Done()
+							for {
+								chunk, ok := s.Read(2 * time.Second)
+								if ok {
+									s.Release(chunk)
+									continue
+								}
+								select {
+								case <-conn.Done():
+									return
+								default:
+								}
+								if conn.Finished() {
+									return
+								}
+							}
+						}()
+					}
+				}()
+			drain:
 				for !conn.Finished() {
 					chunk, ok := conn.Read(2 * time.Second)
 					if !ok {
+						if conn.Finished() {
+							break
+						}
 						select {
 						case <-conn.Done():
-							return
+							// Closed under us; account whatever landed.
+							break drain
 						default:
 							continue
 						}
 					}
 					conn.Release(chunk)
 				}
+				<-acceptDone
+				streamWG.Wait()
+				// Fold this connection's per-stream ledger into the
+				// per-mode totals before the linger.
+				modeMu.Lock()
+				if conn.MultiStream() {
+					for id := uint64(0); id < uint64(nStreams); id++ {
+						if st, ok := conn.StreamStats(id); ok {
+							modeDelivered[st.Mode.String()] += st.DeliveredBytes
+							modeStreams[st.Mode.String()]++
+						}
+					}
+				} else {
+					st := conn.Stats()
+					modeDelivered[qtpnet.StreamReliableOrdered.String()] += st.DeliveredBytes
+					modeStreams[qtpnet.StreamReliableOrdered.String()]++
+				}
+				modeMu.Unlock()
 				// Linger until the sender's close handshake lands: tearing
 				// down on Finished would unroute the connection before its
 				// final ack flushes, leaving the sender retransmitting the
@@ -140,9 +224,17 @@ func runLoopback(n, perConn int, rate float64, nobatch, nogso bool, shards int) 
 		}
 	}()
 
-	data := make([]byte, perConn)
+	perStream := perConn
+	if nStreams > 1 {
+		perStream = perConn / nStreams
+	}
+	data := make([]byte, perStream)
 	for i := range data {
 		data[i] = byte(i)
+	}
+	profile := core.QTPAF(rate)
+	if nStreams > 1 {
+		profile.MaxStreams = nStreams
 	}
 	start := time.Now()
 	var wg sync.WaitGroup
@@ -150,12 +242,34 @@ func runLoopback(n, perConn int, rate float64, nobatch, nogso bool, shards int) 
 		wg.Add(1)
 		go func(client *qtpnet.Endpoint) {
 			defer wg.Done()
-			conn, err := client.Dial(srv.Addr().String(), core.QTPAF(rate), 10*time.Second)
+			conn, err := client.Dial(srv.Addr().String(), profile, 10*time.Second)
 			if err != nil {
 				log.Fatalf("dial: %v", err)
 			}
+			if nStreams > 1 && !conn.MultiStream() {
+				log.Fatal("server refused stream multiplexing")
+			}
+			var cwg sync.WaitGroup
+			for si := 1; si < nStreams; si++ {
+				mode := modes[(si-1)%len(modes)]
+				var dl time.Duration
+				if mode == qtpnet.StreamExpiring {
+					dl = deadline
+				}
+				s, err := conn.OpenStream(mode, dl)
+				if err != nil {
+					log.Fatalf("open stream: %v", err)
+				}
+				cwg.Add(1)
+				go func() {
+					defer cwg.Done()
+					s.Write(data)
+					s.CloseSend()
+				}()
+			}
 			conn.Write(data)
 			conn.CloseSend()
+			cwg.Wait()
 			select {
 			case <-conn.Done():
 			case <-time.After(60 * time.Second):
@@ -167,7 +281,10 @@ func runLoopback(n, perConn int, rate float64, nobatch, nogso bool, shards int) 
 	srvWG.Wait()
 	el := time.Since(start)
 
-	total := n * perConn
+	total := n * perStream
+	if nStreams > 1 {
+		total = n * perStream * nStreams
+	}
 	mode := "recvmmsg/sendmmsg"
 	if clients[0].GSOEnabled() {
 		mode = "recvmmsg/sendmmsg + GSO/GRO"
@@ -178,7 +295,21 @@ func runLoopback(n, perConn int, rate float64, nobatch, nogso bool, shards int) 
 		mode = "recvmmsg/sendmmsg (offload off)"
 	}
 	fmt.Printf("loopback: %d conns x %d B in %v = %.1f MB/s (%s, %d server shard(s))\n",
-		n, perConn, el.Round(time.Millisecond), float64(total)/el.Seconds()/1e6, mode, srv.NumShards())
+		n, total/n, el.Round(time.Millisecond), float64(total)/el.Seconds()/1e6, mode, srv.NumShards())
+	if nStreams > 1 {
+		fmt.Printf("streams: %d per conn, mix %s, deadline %v\n", nStreams, func() string {
+			names := make([]string, len(modes))
+			for i, m := range modes {
+				names[i] = m.String()
+			}
+			return strings.Join(names, ",")
+		}(), deadline)
+		modeMu.Lock()
+		for name, bytes := range modeDelivered {
+			fmt.Printf("  %-19s %3d streams, %d bytes delivered\n", name+":", modeStreams[name], bytes)
+		}
+		modeMu.Unlock()
+	}
 	for i, c := range clients {
 		fmt.Printf("client[%d]: %v\n", i, c.Stats())
 		if i >= 3 && nClients > 4 {

@@ -26,6 +26,7 @@ func main() {
 	shards := flag.Int("shards", 1, "SO_REUSEPORT shards to run on the port (0 = one per core; falls back to 1 where unsupported)")
 	nogso := flag.Bool("nogso", false, "keep UDP segment offload (GSO/GRO) off even where the kernel supports it")
 	budget := flag.Float64("qos-budget", 0, "max QoS reservation to grant per connection, bytes/s (0 = refuse QoS)")
+	maxStreams := flag.Int("max-streams", 64, "max concurrent streams to grant per connection (0 = refuse stream multiplexing)")
 	out := flag.String("o", "", "write each stream to <prefix>.<connID> (default: discard)")
 	maxConns := flag.Int("max", 0, "exit after serving this many connections (0 = serve forever)")
 	verbose := flag.Bool("v", false, "periodically log endpoint datagram/batch statistics")
@@ -35,6 +36,7 @@ func main() {
 		MaxTargetRate:   *budget,
 		AllowSenderLoss: true,
 		MaxReliability:  2, // full
+		MaxStreams:      *maxStreams,
 	}
 	opts := []qtpnet.Option{qtpnet.WithShards(*shards)}
 	if *nogso {
@@ -78,20 +80,72 @@ func main() {
 	wg.Wait()
 }
 
-// serve drains one connection's stream and reports its outcome.
+// serve drains one connection — the implicit stream 0 plus any
+// multiplexed streams the peer opens, each to its own sink — and
+// reports its outcome.
 func serve(conn *qtpnet.Conn, prefix string) {
 	defer conn.Close()
 
-	var w io.Writer = io.Discard
-	if prefix != "" {
-		f, err := os.Create(fmt.Sprintf("%s.%d", prefix, conn.ID()))
+	sink := func(suffix string) (io.Writer, func()) {
+		if prefix == "" {
+			return io.Discard, func() {}
+		}
+		f, err := os.Create(fmt.Sprintf("%s.%d%s", prefix, conn.ID(), suffix))
 		if err != nil {
 			log.Printf("qtpd: conn %d: %v", conn.ID(), err)
-			return
+			return io.Discard, func() {}
 		}
-		defer f.Close()
-		w = f
+		return f, func() { f.Close() }
 	}
+	w, closeW := sink("")
+	defer closeW()
+
+	// Multiplexed streams announce themselves as their first frames
+	// arrive; drain each to <prefix>.<connID>.s<streamID>.
+	var streamWG sync.WaitGroup
+	streamsDone := make(chan struct{})
+	go func() {
+		defer close(streamsDone)
+		for {
+			s, ok := conn.AcceptStream(time.Second)
+			if !ok {
+				select {
+				case <-conn.Done():
+					return
+				default:
+					if conn.Finished() {
+						return
+					}
+					continue
+				}
+			}
+			streamWG.Add(1)
+			go func() {
+				defer streamWG.Done()
+				sw, closeSW := sink(fmt.Sprintf(".s%d", s.ID()))
+				defer closeSW()
+				for {
+					chunk, ok := s.Read(2 * time.Second)
+					if ok {
+						sw.Write(chunk)
+						s.Release(chunk)
+						continue
+					}
+					select {
+					case <-conn.Done():
+					default:
+						if !conn.Finished() {
+							continue
+						}
+					}
+					st := s.Stats()
+					log.Printf("qtpd: conn %d stream %d (%v): %d bytes delivered, %d skipped",
+						conn.ID(), s.ID(), s.Mode(), st.DeliveredBytes, st.SkippedSegs)
+					return
+				}
+			}()
+		}
+	}()
 
 	total := 0
 	start := time.Now()
@@ -121,6 +175,8 @@ func serve(conn *qtpnet.Conn, prefix string) {
 			return
 		}
 	}
+	<-streamsDone
+	streamWG.Wait()
 	el := time.Since(start).Seconds()
 	fmt.Printf("qtpd: conn %d received %d bytes in %.2fs (%.1f kB/s), finished=%v\n",
 		conn.ID(), total, el, float64(total)/el/1000, conn.Finished())

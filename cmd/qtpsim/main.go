@@ -7,6 +7,13 @@
 //
 //	qtpsim [-profile qtpaf|qtplight|qtplight-rel|classic] [-rate 125000]
 //	       [-g 50000] [-loss 0.01] [-burst] [-rtt 40ms] [-dur 30s] [-seed 1]
+//	       [-streams N [-mix reliable,unordered,expiring] [-deadline 200ms]]
+//
+// With -streams N > 1 the flow negotiates stream multiplexing and runs
+// N concurrent streams over the one connection, delivery modes cycling
+// through -mix, a paced feed on each; the summary becomes a per-stream
+// ledger showing what each mode delivered, skipped and abandoned under
+// the configured loss.
 package main
 
 import (
@@ -17,6 +24,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/netsim"
+	"repro/internal/packet"
 	"repro/internal/qtp"
 	"repro/internal/stats"
 )
@@ -30,6 +38,9 @@ func main() {
 	rtt := flag.Duration("rtt", 40*time.Millisecond, "base round-trip time")
 	dur := flag.Duration("dur", 30*time.Second, "simulated duration")
 	seed := flag.Int64("seed", 1, "random seed")
+	streams := flag.Int("streams", 1, "streams on the connection (>1 = multi-stream mixed-mode run)")
+	mix := flag.String("mix", "reliable,expiring", "delivery modes cycled across streams: reliable | unordered | expiring")
+	deadline := flag.Duration("deadline", 200*time.Millisecond, "retransmission deadline for expiring streams")
 	flag.Parse()
 
 	var prof core.Profile
@@ -65,11 +76,68 @@ func main() {
 		Name: "rev", Rate: 125e6, Delay: *rtt / 2,
 		Queue: &netsim.DropTail{}, Dst: toSend,
 	})
+	multiRun := *streams > 1
+	var modes []packet.StreamMode
+	if multiRun {
+		var err error
+		if modes, err = packet.ParseModes(*mix); err != nil {
+			log.Fatal(err)
+		}
+		if prof.Reliability == packet.ReliabilityNone {
+			// Streams need per-stream scoreboards; lift the profile to
+			// full reliability (stream modes then pick the service).
+			prof.Reliability = packet.ReliabilityFull
+			prof.Deadline = 0
+		}
+		prof.MaxStreams = *streams
+	}
+
 	f := qtp.StartFlow(sim, qtp.FlowConfig{
-		ID: 1, Profile: prof, RTTHint: *rtt, Fwd: fwd, Rev: rev, Bulk: true,
+		ID: 1, Profile: prof, RTTHint: *rtt, Fwd: fwd, Rev: rev, Bulk: !multiRun,
 	})
 	toRecv.Target = f.ReceiverEntry()
 	toSend.Target = f.SenderEntry()
+
+	var streamIDs []uint64
+	if multiRun {
+		// One paced feed per stream: a chunk every 20 ms, the link rate
+		// split evenly, so expiring streams see deadline pressure the
+		// moment loss or queueing delays recovery.
+		chunk := int(*rate / float64(*streams) / 50)
+		if chunk < 200 {
+			chunk = 200
+		}
+		sim.At(0, func() {
+			streamIDs = append(streamIDs, 0)
+			for i := 1; i < *streams; i++ {
+				mode := modes[(i-1)%len(modes)]
+				var dl time.Duration
+				if mode == packet.StreamExpiring {
+					dl = *deadline
+				}
+				id, err := f.Sender.OpenStream(mode, dl)
+				if err != nil {
+					log.Fatalf("open stream: %v", err)
+				}
+				streamIDs = append(streamIDs, id)
+			}
+		})
+		steps := int(*dur / (20 * time.Millisecond))
+		for step := 0; step < steps; step++ {
+			step := step
+			sim.At(time.Duration(step)*20*time.Millisecond+time.Millisecond, func() {
+				for _, id := range streamIDs {
+					f.Sender.WriteStream(id, make([]byte, chunk))
+				}
+				if step == steps-1 {
+					for _, id := range streamIDs {
+						f.Sender.CloseStream(id)
+					}
+				}
+				f.Pump()
+			})
+		}
+	}
 
 	rs := stats.NewRateSeries(time.Second)
 	rs.Add(0, 0)
@@ -86,4 +154,14 @@ func main() {
 	fmt.Printf("\nsummary: sent=%d retx=%d delivered=%d rate=%.0fB/s rtt=%v p=%.5f\n",
 		st.DataBytesSent, st.RetransFrames, f.DeliveredBytes,
 		f.Sender.Rate(), f.Sender.RTT(), f.Sender.LossRate())
+	if multiRun {
+		fmt.Printf("\nper-stream ledger:\n")
+		for _, id := range streamIDs {
+			snd, _ := f.Sender.StreamStats(id)
+			rcv, _ := f.Receiver.StreamStats(id)
+			fmt.Printf("  stream %d %-18v sent=%dB retx=%d abandoned=%d delivered=%dB skipped=%d\n",
+				id, snd.Mode, snd.DataBytesSent, snd.RetransFrames, snd.AbandonedSegs,
+				rcv.DeliveredBytes, rcv.SkippedSegs)
+		}
+	}
 }

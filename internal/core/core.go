@@ -70,6 +70,14 @@ type Profile struct {
 	// SACKBlockBudget caps the SACK blocks carried per acknowledgment
 	// frame (0 = the wire maximum). Ablation A3 studies this trade-off.
 	SACKBlockBudget int
+	// MaxStreams is the stream-multiplexing capability: the greatest
+	// number of concurrent streams (each with its own delivery mode —
+	// reliable-ordered, reliable-unordered, or expiring) the connection
+	// may carry. 0 or 1 selects the single-stream legacy layout; 2+
+	// activates multi-stream framing once both sides agree. Requires a
+	// reliability micro-protocol (Reliability != None): stream
+	// scheduling is built on the per-stream scoreboards.
+	MaxStreams int
 }
 
 // DefaultMSS is the default data payload size, sized so frame+header
@@ -146,6 +154,14 @@ func (p Profile) Normalize() Profile {
 	if p.SACKBlockBudget <= 0 || p.SACKBlockBudget > packet.MaxSACKBlocks {
 		p.SACKBlockBudget = packet.MaxSACKBlocks
 	}
+	if p.MaxStreams > packet.MaxStreams {
+		p.MaxStreams = packet.MaxStreams
+	}
+	if p.MaxStreams < 2 || p.Reliability == packet.ReliabilityNone {
+		// Multi-stream needs per-stream scoreboards; an unreliable
+		// profile (or a trivial stream count) stays on the legacy layout.
+		p.MaxStreams = 0
+	}
 	return p
 }
 
@@ -163,6 +179,12 @@ func (p Profile) Validate() error {
 	if p.TargetRate < 0 {
 		return errors.New("core: negative target rate")
 	}
+	if p.MaxStreams < 0 || p.MaxStreams > packet.MaxStreams {
+		return fmt.Errorf("core: MaxStreams %d out of range [0,%d]", p.MaxStreams, packet.MaxStreams)
+	}
+	if p.MaxStreams >= 2 && p.Reliability == packet.ReliabilityNone {
+		return errors.New("core: multi-stream requires a reliability micro-protocol")
+	}
 	return nil
 }
 
@@ -174,6 +196,7 @@ func (p Profile) Handshake() packet.Handshake {
 		FeedbackMode:     p.Feedback,
 		TargetRate:       uint64(p.TargetRate),
 		MSS:              uint16(p.MSS),
+		MaxStreams:       uint16(p.MaxStreams),
 	}
 }
 
@@ -186,6 +209,7 @@ func ProfileFromHandshake(h packet.Handshake) Profile {
 		TargetRate:  float64(h.TargetRate),
 		MSS:         int(h.MSS),
 		AckEvery:    1,
+		MaxStreams:  int(h.MaxStreams),
 	}.Normalize()
 }
 
@@ -202,6 +226,10 @@ type Constraints struct {
 	MaxReliability packet.ReliabilityMode
 	// MaxMSS caps the segment size (0 = DefaultMSS).
 	MaxMSS int
+	// MaxStreams caps how many concurrent streams an inbound connection
+	// may multiplex (0 = refuse multi-stream, pinning peers to the
+	// single-stream legacy layout).
+	MaxStreams int
 }
 
 // Permissive returns constraints that accept any proposal up to the
@@ -212,6 +240,7 @@ func Permissive(maxTargetRate float64) Constraints {
 		AllowSenderLoss: true,
 		MaxReliability:  packet.ReliabilityFull,
 		MaxMSS:          DefaultMSS,
+		MaxStreams:      packet.MaxStreams,
 	}
 }
 
@@ -245,6 +274,14 @@ func Negotiate(c Constraints, proposal Profile) Profile {
 	}
 	if granted.MSS > maxMSS {
 		granted.MSS = maxMSS
+	}
+	if granted.MaxStreams > c.MaxStreams {
+		granted.MaxStreams = c.MaxStreams
+	}
+	// Re-normalize the stream grant: degraded reliability or a trivial
+	// count falls back to the single-stream layout.
+	if granted.MaxStreams < 2 || granted.Reliability == packet.ReliabilityNone {
+		granted.MaxStreams = 0
 	}
 	return granted
 }

@@ -1,0 +1,45 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/packet"
+)
+
+func TestNegotiateMaxStreams(t *testing.T) {
+	prop := Profile{Reliability: packet.ReliabilityFull, MaxStreams: 16}
+
+	// Capability granted up to the responder's cap.
+	g := Negotiate(Constraints{MaxReliability: packet.ReliabilityFull, MaxStreams: 8}, prop)
+	if g.MaxStreams != 8 {
+		t.Fatalf("granted MaxStreams = %d, want 8", g.MaxStreams)
+	}
+	// A responder that refuses streams pins the connection to legacy.
+	g = Negotiate(Constraints{MaxReliability: packet.ReliabilityFull}, prop)
+	if g.MaxStreams != 0 {
+		t.Fatalf("granted MaxStreams = %d, want 0 (refused)", g.MaxStreams)
+	}
+	// Reliability degraded to none kills the stream grant too.
+	g = Negotiate(Constraints{MaxReliability: packet.ReliabilityNone, MaxStreams: 8}, prop)
+	if g.MaxStreams != 0 {
+		t.Fatalf("granted MaxStreams = %d, want 0 (no reliability)", g.MaxStreams)
+	}
+}
+
+func TestMaxStreamsHandshakeRoundTrip(t *testing.T) {
+	p := Profile{
+		Reliability: packet.ReliabilityPartial, Deadline: 150 * time.Millisecond,
+		MaxStreams: 4,
+	}.Normalize()
+	got := ProfileFromHandshake(p.Handshake())
+	if got.MaxStreams != 4 {
+		t.Fatalf("MaxStreams after handshake = %d, want 4", got.MaxStreams)
+	}
+	// Unreliable profiles never carry the capability.
+	p = QTPLight()
+	p.MaxStreams = 4
+	if n := p.Normalize().MaxStreams; n != 0 {
+		t.Fatalf("unreliable profile normalized MaxStreams = %d, want 0", n)
+	}
+}

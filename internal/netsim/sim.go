@@ -93,6 +93,16 @@ func (s *Sim) RunUntilIdle() {
 	}
 }
 
+// Step executes the next scheduled event, reporting whether one
+// existed. Tests use it to bound runaway event storms.
+func (s *Sim) Step() bool {
+	if len(s.events) == 0 {
+		return false
+	}
+	s.step()
+	return true
+}
+
 func (s *Sim) step() {
 	ev := heap.Pop(&s.events).(*event)
 	s.now = ev.at

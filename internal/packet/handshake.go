@@ -15,6 +15,7 @@ const (
 	optTargetRate   uint8 = 3
 	optMSS          uint8 = 4
 	optConnID       uint8 = 5
+	optStreams      uint8 = 6
 )
 
 // ReliabilityMode selects the reliability micro-protocol.
@@ -79,13 +80,24 @@ type Handshake struct {
 	// frames with whatever ID the header already used, which is the
 	// pre-multiplexing symmetric behaviour.
 	ConnID uint32
+
+	// MaxStreams is the stream-multiplexing capability: the greatest
+	// number of concurrent streams the sender is prepared to run on the
+	// connection. Zero means "not carried": the TLV is omitted, an old
+	// peer never sees it, and the connection stays single-stream with
+	// the pre-stream frame layout. The negotiated value is the minimum
+	// of what both sides offered; multi-stream framing activates at 2+.
+	MaxStreams uint16
 }
 
 // AppendTo appends the encoded handshake to dst and returns the result.
 func (h *Handshake) AppendTo(dst []byte) ([]byte, error) {
 	count := byte(4)
 	if h.ConnID != 0 {
-		count = 5
+		count++
+	}
+	if h.MaxStreams != 0 {
+		count++
 	}
 	dst = append(dst, count)
 	dst = append(dst, optReliability, 5, uint8(h.Reliability))
@@ -98,6 +110,10 @@ func (h *Handshake) AppendTo(dst []byte) ([]byte, error) {
 	if h.ConnID != 0 {
 		dst = append(dst, optConnID, 4)
 		dst = binary.BigEndian.AppendUint32(dst, h.ConnID)
+	}
+	if h.MaxStreams != 0 {
+		dst = append(dst, optStreams, 2)
+		dst = binary.BigEndian.AppendUint16(dst, h.MaxStreams)
 	}
 	return dst, nil
 }
@@ -146,6 +162,11 @@ func (h *Handshake) Parse(b []byte) error {
 				return fmt.Errorf("%w: conn id length %d", ErrOption, ln)
 			}
 			h.ConnID = binary.BigEndian.Uint32(v)
+		case optStreams:
+			if ln != 2 {
+				return fmt.Errorf("%w: streams length %d", ErrOption, ln)
+			}
+			h.MaxStreams = binary.BigEndian.Uint16(v)
 		default:
 			// Unknown option: skip.
 		}

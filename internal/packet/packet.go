@@ -65,6 +65,9 @@ const (
 	FlagRetransmit
 	// FlagExpedited marks data exempt from reliability (never retransmitted).
 	FlagExpedited
+	// FlagStream marks a data frame whose payload begins with a
+	// StreamInfo prefix (multi-stream connections only; see stream.go).
+	FlagStream
 )
 
 // Wire-format errors.
@@ -150,6 +153,9 @@ type Feedback struct {
 	ElapsedUS uint32  // time the frame being echoed spent at the receiver, µs
 	CumAck    seqspace.Seq
 	Blocks    []SACKBlock
+	// Streams is the per-stream cumulative-ack tail (multi-stream
+	// connections only; empty on the wire otherwise).
+	Streams []StreamAck
 }
 
 const feedbackFixedLen = 8 + 4 + 4 + 4 + 1
@@ -166,7 +172,7 @@ func (f *Feedback) AppendTo(dst []byte) ([]byte, error) {
 	binary.BigEndian.PutUint32(b[16:20], uint32(f.CumAck))
 	b[20] = uint8(len(f.Blocks))
 	dst = append(dst, b[:]...)
-	return appendBlocks(dst, f.Blocks), nil
+	return appendStreamAcks(appendBlocks(dst, f.Blocks), f.Streams)
 }
 
 // Parse decodes a receiver report. Blocks are decoded into f.Blocks,
@@ -182,6 +188,10 @@ func (f *Feedback) Parse(b []byte) error {
 	n := int(b[20])
 	var err error
 	f.Blocks, err = parseBlocks(f.Blocks, b[feedbackFixedLen:], n)
+	if err != nil {
+		return err
+	}
+	f.Streams, err = parseStreamAcks(f.Streams, b[feedbackFixedLen+8*n:])
 	return err
 }
 
@@ -192,6 +202,9 @@ type SACK struct {
 	CumAck    seqspace.Seq
 	ElapsedUS uint32 // holding delay of the echoed frame at the receiver, µs
 	Blocks    []SACKBlock
+	// Streams is the per-stream cumulative-ack tail (multi-stream
+	// connections only; empty on the wire otherwise).
+	Streams []StreamAck
 }
 
 const sackFixedLen = 4 + 4 + 1
@@ -206,7 +219,7 @@ func (s *SACK) AppendTo(dst []byte) ([]byte, error) {
 	binary.BigEndian.PutUint32(b[4:8], s.ElapsedUS)
 	b[8] = uint8(len(s.Blocks))
 	dst = append(dst, b[:]...)
-	return appendBlocks(dst, s.Blocks), nil
+	return appendStreamAcks(appendBlocks(dst, s.Blocks), s.Streams)
 }
 
 // Parse decodes an acknowledgment vector, reusing s.Blocks capacity.
@@ -219,6 +232,10 @@ func (s *SACK) Parse(b []byte) error {
 	n := int(b[8])
 	var err error
 	s.Blocks, err = parseBlocks(s.Blocks, b[sackFixedLen:], n)
+	if err != nil {
+		return err
+	}
+	s.Streams, err = parseStreamAcks(s.Streams, b[sackFixedLen+8*n:])
 	return err
 }
 

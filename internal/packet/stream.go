@@ -1,0 +1,232 @@
+package packet
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"strings"
+
+	"repro/internal/seqspace"
+)
+
+// Stream multiplexing wire format.
+//
+// A connection that negotiated the stream capability (the optStreams
+// handshake TLV, see Handshake.MaxStreams) carries N application streams,
+// each with its own delivery mode and sequence space. Data frames on such
+// a connection set FlagStream and prefix their payload with a varint
+// StreamInfo block; acknowledgment frames (Feedback, SACK) append a
+// per-stream cumulative-ack tail after their SACK blocks. Connections
+// that did not negotiate streams emit exactly the pre-stream byte format
+// — the capability costs nothing until it is used, and an old peer that
+// ignores the TLV simply pins the connection to the single-stream layout.
+//
+// The fixed header's Seq field remains the *connection-level* sequence
+// number on every data frame (one per first transmission, shared across
+// streams; retransmissions reuse it, flagged). Rate control and loss
+// estimation keep operating on that space unchanged; the per-stream
+// sequence in StreamInfo orders data within its stream only.
+
+// MaxStreams caps the number of concurrent streams a connection may
+// negotiate; it bounds the per-stream ack tail (count fits a byte with
+// room to spare) and both endpoints' per-stream state.
+const MaxStreams = 64
+
+// StreamMode selects a stream's delivery service.
+type StreamMode uint8
+
+// Stream delivery modes.
+const (
+	// StreamReliableOrdered retransmits until delivery and releases data
+	// to the application in order (the classic byte-stream service).
+	StreamReliableOrdered StreamMode = 0
+	// StreamReliableUnordered retransmits until delivery but releases
+	// each segment as it arrives: a gap in the stream never blocks the
+	// segments behind it (no head-of-line blocking).
+	StreamReliableUnordered StreamMode = 1
+	// StreamExpiring is the partially reliable media mode: segments carry
+	// a deadline; the sender stops retransmitting a segment once it is
+	// older than the deadline and the receiver skips past holes that have
+	// stayed open longer than it, so late data never stalls fresh data.
+	StreamExpiring StreamMode = 2
+
+	streamModeMax = 3
+)
+
+// ParseModes decodes a comma-separated list of delivery-mode names —
+// the shared syntax of the qtpsim/qtpbench -mix flags. Accepted names
+// per mode: reliable|ordered|reliable-ordered, unordered|
+// reliable-unordered, expiring|partial. An empty list defaults to
+// reliable-ordered.
+func ParseModes(list string) ([]StreamMode, error) {
+	var modes []StreamMode
+	for _, m := range strings.Split(list, ",") {
+		switch strings.TrimSpace(strings.ToLower(m)) {
+		case "reliable", "ordered", "reliable-ordered":
+			modes = append(modes, StreamReliableOrdered)
+		case "unordered", "reliable-unordered":
+			modes = append(modes, StreamReliableUnordered)
+		case "expiring", "partial":
+			modes = append(modes, StreamExpiring)
+		case "":
+		default:
+			return nil, fmt.Errorf("unknown delivery mode %q (want reliable|unordered|expiring)", m)
+		}
+	}
+	if len(modes) == 0 {
+		modes = []StreamMode{StreamReliableOrdered}
+	}
+	return modes, nil
+}
+
+func (m StreamMode) String() string {
+	switch m {
+	case StreamReliableOrdered:
+		return "reliable-ordered"
+	case StreamReliableUnordered:
+		return "reliable-unordered"
+	case StreamExpiring:
+		return "expiring"
+	}
+	return fmt.Sprintf("mode(%d)", uint8(m))
+}
+
+// ErrStream reports a malformed stream prefix or ack tail.
+var ErrStream = errors.New("packet: malformed stream extension")
+
+// StreamInfo is the per-frame stream extension carried at the front of a
+// data frame's payload when FlagStream is set.
+type StreamInfo struct {
+	// ID names the stream (0 is the connection's default stream).
+	ID uint64
+	// Seq is the segment's sequence number within the stream.
+	Seq seqspace.Seq
+	// Mode is the stream's delivery mode, repeated on every frame so the
+	// receiver can instantiate the stream from whichever frame arrives
+	// first.
+	Mode StreamMode
+	// DeadlineMS is the stream's retransmission deadline in milliseconds
+	// (expiring mode only): the receiver derives its skip-ahead hold time
+	// from it.
+	DeadlineMS uint32
+	// AckFloor is the sender's lowest unresolved connection-level
+	// sequence number: everything below it is delivered or abandoned, so
+	// the receiver can advance its connection-level cumulative ack past
+	// holes the sender will never fill and keep its ack state bounded.
+	// It is encoded as a delta below the frame's header Seq.
+	AckFloor seqspace.Seq
+}
+
+// AppendTo appends the encoded stream prefix to dst. hdrSeq is the
+// frame's header sequence number, against which AckFloor is
+// delta-encoded (the floor never exceeds the sequence being sent).
+func (si *StreamInfo) AppendTo(dst []byte, hdrSeq seqspace.Seq) []byte {
+	dst = binary.AppendUvarint(dst, si.ID)
+	dst = append(dst, byte(si.Mode))
+	dst = binary.AppendUvarint(dst, uint64(uint32(si.Seq)))
+	dst = binary.AppendUvarint(dst, uint64(uint32(hdrSeq-si.AckFloor)))
+	if si.Mode == StreamExpiring {
+		dst = binary.AppendUvarint(dst, uint64(si.DeadlineMS))
+	}
+	return dst
+}
+
+// Parse decodes a stream prefix from the front of a data payload,
+// returning the application bytes that follow it.
+func (si *StreamInfo) Parse(b []byte, hdrSeq seqspace.Seq) (rest []byte, err error) {
+	id, n := binary.Uvarint(b)
+	if n <= 0 {
+		return nil, ErrStream
+	}
+	b = b[n:]
+	if len(b) < 1 {
+		return nil, ErrStream
+	}
+	mode := StreamMode(b[0])
+	if mode >= streamModeMax {
+		return nil, fmt.Errorf("%w: mode %d", ErrStream, mode)
+	}
+	b = b[1:]
+	seq, n := binary.Uvarint(b)
+	if n <= 0 || seq > 0xffffffff {
+		return nil, ErrStream
+	}
+	b = b[n:]
+	floorDelta, n := binary.Uvarint(b)
+	if n <= 0 || floorDelta > 0xffffffff {
+		return nil, ErrStream
+	}
+	b = b[n:]
+	var deadline uint64
+	if mode == StreamExpiring {
+		deadline, n = binary.Uvarint(b)
+		if n <= 0 || deadline > 0xffffffff {
+			return nil, ErrStream
+		}
+		b = b[n:]
+	}
+	si.ID = id
+	si.Mode = mode
+	si.Seq = seqspace.Seq(seq)
+	si.AckFloor = hdrSeq - seqspace.Seq(floorDelta)
+	si.DeadlineMS = uint32(deadline)
+	return b, nil
+}
+
+// StreamAck is one entry of the per-stream acknowledgment tail on
+// Feedback and SACK frames: the receiver's cumulative ack within that
+// stream's own sequence space. For an expiring stream the cumulative ack
+// is authoritative release — once it passes a hole the sender abandons
+// the segment even before its own deadline fires.
+type StreamAck struct {
+	ID     uint64
+	CumAck seqspace.Seq
+}
+
+// appendStreamAcks appends the per-stream ack tail: a count byte
+// followed by (varint id, u32 cum) entries. An empty tail appends
+// nothing, preserving the pre-stream frame encoding byte for byte.
+func appendStreamAcks(dst []byte, acks []StreamAck) ([]byte, error) {
+	if len(acks) == 0 {
+		return dst, nil
+	}
+	if len(acks) > MaxStreams {
+		return dst, ErrBlockCount
+	}
+	dst = append(dst, uint8(len(acks)))
+	for _, a := range acks {
+		dst = binary.AppendUvarint(dst, a.ID)
+		dst = binary.BigEndian.AppendUint32(dst, uint32(a.CumAck))
+	}
+	return dst, nil
+}
+
+// parseStreamAcks decodes the optional per-stream ack tail, reusing
+// dst's capacity. An absent tail (no bytes remain) is an empty tail.
+func parseStreamAcks(dst []StreamAck, b []byte) ([]StreamAck, error) {
+	dst = dst[:0]
+	if len(b) == 0 {
+		return dst, nil
+	}
+	n := int(b[0])
+	b = b[1:]
+	if n > MaxStreams {
+		return dst, ErrBlockCount
+	}
+	for i := 0; i < n; i++ {
+		id, k := binary.Uvarint(b)
+		if k <= 0 {
+			return dst, ErrStream
+		}
+		b = b[k:]
+		if len(b) < 4 {
+			return dst, ErrStream
+		}
+		dst = append(dst, StreamAck{
+			ID:     id,
+			CumAck: seqspace.Seq(binary.BigEndian.Uint32(b[:4])),
+		})
+		b = b[4:]
+	}
+	return dst, nil
+}

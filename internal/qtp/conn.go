@@ -73,8 +73,14 @@ type Config struct {
 	// stray frame to its owner without shared state; the state machine
 	// itself treats the ID as opaque.
 	LocalID uint32
-	// StartSeq is the first data sequence number (default 1).
+	// StartSeq is the first data sequence number (default 1). On a
+	// multi-stream connection this is the connection-level sequence
+	// space shared by all streams.
 	StartSeq seqspace.Seq
+	// StreamStartSeq is the first sequence number of every stream's own
+	// sequence space (default 1). Tests use it to exercise per-stream
+	// offset wraparound.
+	StreamStartSeq seqspace.Seq
 	// MaxBacklog caps bytes queued in Write before the transport pushes
 	// back (default 1 MiB).
 	MaxBacklog int
@@ -152,6 +158,23 @@ type Conn struct {
 	urgentFB     bool
 	sackPending  bool
 	nextFBAt     time.Duration
+
+	// Stream multiplexing state (multi-stream connections only; see
+	// stream.go). The sender owns sendStreams, the receiver recv* plus
+	// the connection-level ack tracker and the tagged delivery queue.
+	multi        bool
+	sendStreams  []*sendStream
+	sendByID     map[uint64]*sendStream
+	nextStreamID uint64
+	rrRetx       int // round-robin cursors over sendStreams
+	rrData       int
+	recvByID     map[uint64]*recvStream
+	recvOrder    []*recvStream
+	acceptQ      []uint64
+	retired      map[uint64]StreamStats // final snapshots of retired streams
+	ackTrack     *connAckTracker
+	readQ        []streamChunk
+	ackTail      []packet.StreamAck
 
 	// Scratch state for frame building/parsing.
 	scratch  []byte
@@ -237,6 +260,7 @@ func (c *Conn) isSender() bool { return c.cfg.Initiator }
 // combination of the three roles is assembled from the same parts.
 func (c *Conn) buildMachines(now time.Duration) {
 	p := c.profile
+	c.multi = p.MaxStreams >= 2
 	if c.isSender() {
 		c.tfrcSnd = tfrc.NewSender(tfrc.SenderConfig{SegmentSize: p.MSS})
 		if p.TargetRate > 0 {
@@ -244,11 +268,17 @@ func (c *Conn) buildMachines(now time.Duration) {
 		} else {
 			c.rc = c.tfrcSnd
 		}
-		switch p.Reliability {
-		case packet.ReliabilityFull:
-			c.sendBuf = sack.NewSendBuffer(0)
-		case packet.ReliabilityPartial:
-			c.sendBuf = sack.NewSendBuffer(p.Deadline)
+		if c.multi {
+			// Reliability lives per stream: each stream owns a scoreboard
+			// (stream 0 implicit, its mode derived from the profile).
+			c.initStreamSender()
+		} else {
+			switch p.Reliability {
+			case packet.ReliabilityFull:
+				c.sendBuf = sack.NewSendBuffer(0)
+			case packet.ReliabilityPartial:
+				c.sendBuf = sack.NewSendBuffer(p.Deadline)
+			}
 		}
 		if p.Feedback == packet.FeedbackSenderLoss {
 			c.est = tfrc.NewSenderEstimator(tfrc.EstimatorConfig{
@@ -259,16 +289,20 @@ func (c *Conn) buildMachines(now time.Duration) {
 		return
 	}
 	// Receiving side.
-	skip := time.Duration(0)
-	switch p.Reliability {
-	case packet.ReliabilityNone:
-		skip = c.cfg.UnreliableSkip
-	case packet.ReliabilityPartial:
-		// Hold holes a bit past the sender's retransmission deadline so
-		// a last retransmission still has time to arrive.
-		skip = p.Deadline + p.Deadline/2
+	if c.multi {
+		c.initStreamReceiver()
+	} else {
+		skip := time.Duration(0)
+		switch p.Reliability {
+		case packet.ReliabilityNone:
+			skip = c.cfg.UnreliableSkip
+		case packet.ReliabilityPartial:
+			// Hold holes a bit past the sender's retransmission deadline so
+			// a last retransmission still has time to arrive.
+			skip = p.Deadline + p.Deadline/2
+		}
+		c.reasm = sack.NewReassembler(c.cfg.StartSeq, skip)
 	}
-	c.reasm = sack.NewReassembler(c.cfg.StartSeq, skip)
 	if p.Feedback == packet.FeedbackReceiverLoss {
 		c.tfrcRecv = tfrc.NewReceiver(tfrc.ReceiverConfig{
 			SegmentSize: p.MSS,
@@ -321,6 +355,9 @@ func (c *Conn) LossRate() float64 {
 // Write queues application data for transmission, returning how many
 // bytes were accepted (bounded by the backlog cap).
 func (c *Conn) Write(p []byte) int {
+	if c.multi {
+		return c.WriteStream(0, p)
+	}
 	if !c.isSender() || !c.sendOpen || c.state == StateClosed {
 		return 0
 	}
@@ -335,18 +372,42 @@ func (c *Conn) Write(p []byte) int {
 	return len(p)
 }
 
-// BacklogLen returns the bytes queued but not yet transmitted.
-func (c *Conn) BacklogLen() int { return len(c.backlog) }
+// BacklogLen returns the bytes queued but not yet transmitted, summed
+// across streams on a multi-stream connection.
+func (c *Conn) BacklogLen() int {
+	if c.multi {
+		n := 0
+		for _, s := range c.sendStreams {
+			n += len(s.backlog)
+		}
+		return n
+	}
+	return len(c.backlog)
+}
 
 // CloseSend marks the end of the data stream: the final segment carries
 // FIN and, once reliability resolves everything, the connection closes.
-func (c *Conn) CloseSend() { c.sendOpen = false }
+// On a multi-stream connection it closes the implicit stream 0; the
+// connection tears down once every stream is closed and resolved.
+func (c *Conn) CloseSend() {
+	if c.multi {
+		c.CloseStream(0)
+		return
+	}
+	c.sendOpen = false
+}
 
 // Read returns the next in-order chunk delivered to the application.
 // Chunks are drawn from bufpool's chunk pool; the application owns the
 // returned slice and should release it with bufpool.PutChunk once the
-// data has been consumed.
+// data has been consumed. On a multi-stream connection Read drains
+// chunks from every stream without saying which; use ReadAny where the
+// stream identity matters.
 func (c *Conn) Read() ([]byte, bool) {
+	if c.multi {
+		_, p, ok := c.ReadAny()
+		return p, ok
+	}
 	if c.reasm == nil {
 		return nil, false
 	}
@@ -358,8 +419,12 @@ func (c *Conn) Read() ([]byte, bool) {
 }
 
 // Finished reports whether the receive stream has delivered everything
-// through FIN.
+// through FIN — on a multi-stream connection, whether every stream that
+// carried data has.
 func (c *Conn) Finished() bool {
+	if c.multi {
+		return c.finishedMulti()
+	}
 	return c.reasm != nil && c.reasm.Finished()
 }
 

@@ -59,8 +59,13 @@ type Flow struct {
 
 	// DeliveredBytes counts application bytes read at the receiver.
 	DeliveredBytes int
+	// StreamDelivered counts delivered bytes per stream (stream 0 on
+	// single-stream flows).
+	StreamDelivered map[uint64]int
 	// DeliveredAt, if non-nil, observes every delivered chunk.
 	DeliveredAt func(now netsim.Time, n int)
+	// StreamDeliveredAt, if non-nil, additionally observes the stream.
+	StreamDeliveredAt func(now netsim.Time, id uint64, n int)
 }
 
 // StartFlow creates the endpoints, registers them, and schedules the
@@ -126,13 +131,20 @@ func (f *Flow) ReceiverEntry() netsim.Handler {
 
 func (f *Flow) drainReads() {
 	for {
-		chunk, ok := f.Receiver.Read()
+		id, chunk, ok := f.Receiver.ReadAny()
 		if !ok {
 			return
 		}
 		f.DeliveredBytes += len(chunk)
+		if f.StreamDelivered == nil {
+			f.StreamDelivered = make(map[uint64]int)
+		}
+		f.StreamDelivered[id] += len(chunk)
 		if f.DeliveredAt != nil {
 			f.DeliveredAt(f.sim.Now(), len(chunk))
+		}
+		if f.StreamDeliveredAt != nil {
+			f.StreamDeliveredAt(f.sim.Now(), id, len(chunk))
 		}
 		// Delivered chunks are pooled; the flow is its own application.
 		bufpool.PutChunk(chunk)
@@ -182,6 +194,11 @@ func (f *Flow) CloseSend() {
 	f.Sender.CloseSend()
 	f.pumpSender()
 }
+
+// Pump re-drives the sender after out-of-band calls on f.Sender (e.g.
+// WriteStream/CloseStream on a multi-stream flow): frames the call made
+// due are transmitted and the wake-up timer rescheduled.
+func (f *Flow) Pump() { f.pumpSender() }
 
 // pumpSender drains outgoing frames from the sender endpoint and
 // schedules its next wake-up.

@@ -1,6 +1,7 @@
 package qtp
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
@@ -124,8 +125,17 @@ func (c *Conn) onConfirm(now time.Duration, hdr *packet.Header) error {
 }
 
 func (c *Conn) onData(now time.Duration, hdr *packet.Header, payload []byte) error {
+	if c.multi {
+		return c.onDataMulti(now, hdr, payload)
+	}
 	if c.reasm == nil {
 		return ErrBadState
+	}
+	if hdr.Flags&packet.FlagStream != 0 {
+		// A stream-framed payload on a connection that never negotiated
+		// streams would be misread as application bytes.
+		c.stats.DecodeErrors++
+		return errors.New("qtp: unexpected stream prefix on single-stream connection")
 	}
 	c.peerSeen = true
 	fin := hdr.Flags&packet.FlagFIN != 0
@@ -170,7 +180,9 @@ func (c *Conn) onFeedback(now time.Duration, hdr *packet.Header, payload []byte)
 	c.rc.OnFeedback(now, tfrc.FeedbackInfo{
 		XRecv: float64(f.XRecv), P: f.LossRate, RTTSample: sample,
 	})
-	if c.sendBuf != nil {
+	if c.multi {
+		c.onStreamAcks(now, f.CumAck, blocksToRanges(f.Blocks, &c.blockBuf), f.Streams)
+	} else if c.sendBuf != nil {
 		c.sendBuf.OnSACK(now, f.CumAck, blocksToRanges(f.Blocks, &c.blockBuf))
 	}
 	return nil
@@ -192,7 +204,9 @@ func (c *Conn) onSACK(now time.Duration, hdr *packet.Header, payload []byte) err
 		rtt = sample
 	}
 	c.est.OnAckVector(now, s.CumAck, ranges, rtt)
-	if c.sendBuf != nil {
+	if c.multi {
+		c.onStreamAcks(now, s.CumAck, ranges, s.Streams)
+	} else if c.sendBuf != nil {
 		c.sendBuf.OnSACK(now, s.CumAck, ranges)
 	}
 	// Update the rate machine once per RTT, like classic feedback — but

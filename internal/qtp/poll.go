@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"repro/internal/packet"
+	"repro/internal/sack"
 	"repro/internal/seqspace"
 )
 
@@ -54,7 +55,11 @@ func (c *Conn) PollFrameAppend(now time.Duration, dst []byte) (frame []byte, ok 
 	}
 	// 3. Sender side: paced data.
 	if c.started && c.state == StateEstablished && now >= c.nextSendAt {
-		if f, ok := c.buildData(now, dst); ok {
+		if c.multi {
+			if f, ok := c.buildDataMulti(now, dst); ok {
+				return f, true
+			}
+		} else if f, ok := c.buildData(now, dst); ok {
 			return f, true
 		}
 	}
@@ -71,6 +76,17 @@ func (c *Conn) advance(now time.Duration) {
 	if c.reasm != nil {
 		c.reasm.OnDeadline(now)
 	}
+	if c.multi && !c.isSender() {
+		// Expiring streams skip stale frontier holes on their own clock;
+		// whatever that frees up is queued for the application.
+		for _, rs := range c.recvOrder {
+			rs.onDeadline(now)
+			c.drainRecv(rs)
+		}
+	}
+	if c.multi {
+		c.retireStreams()
+	}
 	// Stream completion: queue Close once everything is resolved. A
 	// stream closed before any data was written closes without a FIN.
 	if c.closeReady() {
@@ -83,6 +99,9 @@ func (c *Conn) advance(now time.Duration) {
 // closeReady reports whether the sender has nothing left to deliver and
 // should initiate teardown.
 func (c *Conn) closeReady() bool {
+	if c.multi {
+		return c.closeReadyMulti()
+	}
 	if !c.isSender() || c.state != StateEstablished || !c.started ||
 		c.sendOpen || len(c.backlog) != 0 || c.ctrlPending != 0 {
 		return false
@@ -161,16 +180,19 @@ func (c *Conn) buildFeedback(now time.Duration, dst []byte) []byte {
 	fb := packet.Feedback{
 		XRecv:    uint64(xRecv),
 		LossRate: p,
-		CumAck:   c.reasm.CumAck(),
+		CumAck:   c.recvCumAck(),
 	}
 	if c.havePeerTS {
 		fb.ElapsedUS = uint32((now - c.lastPeerTSAt) / time.Microsecond)
 	}
-	if c.profile.Reliability != packet.ReliabilityNone {
-		c.blockBuf = c.reasm.Blocks(c.blockBuf[:0], c.profile.SACKBlockBudget)
+	if c.profile.Reliability != packet.ReliabilityNone || c.multi {
+		c.blockBuf = c.recvBlocks(c.blockBuf[:0], c.profile.SACKBlockBudget)
 		for _, r := range c.blockBuf {
 			fb.Blocks = append(fb.Blocks, packet.SACKBlock{Lo: r.Lo, Hi: r.Hi})
 		}
+	}
+	if c.multi {
+		fb.Streams = c.streamAckTail()
 	}
 	payload, _ := fb.AppendTo(c.scratch[:0])
 	c.scratch = payload
@@ -197,13 +219,16 @@ func (c *Conn) buildFeedback(now time.Duration, dst []byte) []byte {
 // lookups.
 func (c *Conn) buildSACK(now time.Duration, dst []byte) []byte {
 	c.sackPending = false
-	s := packet.SACK{CumAck: c.reasm.CumAck()}
+	s := packet.SACK{CumAck: c.recvCumAck()}
 	if c.havePeerTS {
 		s.ElapsedUS = uint32((now - c.lastPeerTSAt) / time.Microsecond)
 	}
-	c.blockBuf = c.reasm.Blocks(c.blockBuf[:0], c.profile.SACKBlockBudget)
+	c.blockBuf = c.recvBlocks(c.blockBuf[:0], c.profile.SACKBlockBudget)
 	for _, r := range c.blockBuf {
 		s.Blocks = append(s.Blocks, packet.SACKBlock{Lo: r.Lo, Hi: r.Hi})
+	}
+	if c.multi {
+		s.Streams = c.streamAckTail()
 	}
 	payload, _ := s.AppendTo(c.scratch[:0])
 	c.scratch = payload
@@ -337,15 +362,21 @@ func (c *Conn) NextWake(now time.Duration) (at time.Duration, ok bool) {
 			merge(t)
 		}
 	}
+	for _, rs := range c.recvOrder {
+		if t, dok := rs.nextDeadline(); dok {
+			merge(t)
+		}
+	}
 	if c.started && c.state == StateEstablished {
-		if len(c.backlog) > 0 {
+		if len(c.backlog) > 0 || c.sendWorkPending() {
 			merge(c.nextSendAt)
 		}
 		if c.rc != nil {
 			merge(c.rc.NoFeedbackDeadline())
 		}
-		if c.sendBuf != nil {
-			if t, bok := c.sendBuf.NextTimeout(c.retxTimeout()); bok {
+		rto := c.retxTimeout()
+		mergeRetx := func(b *sack.SendBuffer) {
+			if t, bok := b.NextTimeout(rto); bok {
 				// Retransmissions are paced like data: due no earlier
 				// than the pacing boundary.
 				if t < c.nextSendAt {
@@ -353,6 +384,12 @@ func (c *Conn) NextWake(now time.Duration) (at time.Duration, ok bool) {
 				}
 				merge(t)
 			}
+		}
+		if c.sendBuf != nil {
+			mergeRetx(c.sendBuf)
+		}
+		for _, s := range c.sendStreams {
+			mergeRetx(s.buf)
 		}
 		if c.closeReady() {
 			merge(now)

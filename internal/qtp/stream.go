@@ -1,0 +1,814 @@
+package qtp
+
+import (
+	"errors"
+	"time"
+
+	"repro/internal/bufpool"
+	"repro/internal/packet"
+	"repro/internal/sack"
+	"repro/internal/seqspace"
+)
+
+// Stream multiplexing: a connection that negotiated the streams
+// capability (core.Profile.MaxStreams >= 2) carries N application
+// streams, each with its own delivery mode and its own sequence space,
+// over one congestion-controlled connection.
+//
+// The split of responsibilities:
+//
+//   - The frame header's Seq stays the connection-level sequence number
+//     — one per first transmission across all streams, reused by
+//     retransmissions — so TFRC/gTFRC rate control and the QTPlight
+//     sender-side loss estimator operate exactly as on a single-stream
+//     connection. Rate is a connection resource; streams share it.
+//   - Reliability moves per stream: each send stream owns a
+//     sack.SendBuffer (scoreboard keyed by the stream's own sequence
+//     space, segments remembering their connection-level number for ack
+//     matching), and each receive stream owns a mode-appropriate
+//     receiver — a Reassembler for ordered and expiring streams, an
+//     UnorderedReceiver for no-HoL-blocking delivery.
+//   - Acknowledgments stay connection-level (the CumAck/Blocks every
+//     feedback frame already carries) plus a small per-stream
+//     cumulative-ack tail. The sender stamps an "ack floor" — its lowest
+//     unresolved connection sequence — on every data frame so the
+//     receiver can advance its connection-level ack past holes that
+//     belong to abandoned expiring segments and keep its state bounded;
+//     holes below a reliable segment's number are never passed, because
+//     the floor never moves beyond an unresolved segment.
+//   - Scheduling is round-robin across streams, retransmissions first,
+//     one frame per pacing slot, so a backlogged bulk stream cannot
+//     starve a paced media stream sharing the connection.
+
+// streamStartSeq is the first sequence number of every stream's own
+// sequence space (overridable per connection for wrap tests via
+// Config.StreamStartSeq).
+const streamStartSeq = 1
+
+// Stream-layer errors.
+var (
+	ErrNoStreams     = errors.New("qtp: stream multiplexing not negotiated")
+	ErrStreamLimit   = errors.New("qtp: stream limit reached")
+	ErrUnknownStream = errors.New("qtp: unknown stream")
+)
+
+// StreamStats is a per-stream counter snapshot. Sender-side counters are
+// populated on the sending endpoint, receiver-side ones on the
+// receiving endpoint.
+type StreamStats struct {
+	ID   uint64
+	Mode packet.StreamMode
+
+	// Sender side.
+	DataFramesSent int
+	DataBytesSent  int // payload bytes, first transmissions
+	RetransFrames  int
+	RetransBytes   int
+	AbandonedSegs  int // expiring segments given up past their deadline
+
+	// Receiver side.
+	DeliveredBytes int // bytes released to the application
+	SkippedSegs    int // expiring holes skipped past (never delivered)
+	DuplicateSegs  int
+}
+
+// sendStream is the sender half of one stream.
+type sendStream struct {
+	id       uint64
+	mode     packet.StreamMode
+	deadline time.Duration // expiring mode: retransmission bound
+
+	buf     *sack.SendBuffer
+	backlog []byte
+	nextSeq seqspace.Seq // next stream-level sequence number
+
+	open    bool // Write still allowed
+	sentAny bool
+	finSet  bool
+	finSeq  seqspace.Seq
+
+	frames, bytes           int
+	retransFrames, retransB int
+}
+
+func newSendStream(id uint64, mode packet.StreamMode, deadline time.Duration, start seqspace.Seq) *sendStream {
+	var bufDeadline time.Duration
+	if mode == packet.StreamExpiring {
+		bufDeadline = deadline
+	}
+	return &sendStream{
+		id: id, mode: mode, deadline: deadline,
+		buf: sack.NewSendBuffer(bufDeadline), nextSeq: start, open: true,
+	}
+}
+
+// needFin reports whether the stream still owes the wire a FIN: closed,
+// drained, data was sent, but the final segment has not been built. The
+// scheduler then emits an empty FIN segment (a stream that never sent
+// anything closes invisibly, like an unused legacy connection).
+func (s *sendStream) needFin() bool {
+	return !s.open && !s.finSet && s.sentAny && len(s.backlog) == 0
+}
+
+// done reports whether the stream is fully resolved: closed, drained,
+// FIN out (or nothing ever sent) and every segment acked or abandoned.
+func (s *sendStream) done() bool {
+	if s.open || len(s.backlog) != 0 || s.needFin() {
+		return false
+	}
+	return !s.buf.Unresolved()
+}
+
+// recvStream is the receiver half of one stream.
+type recvStream struct {
+	id       uint64
+	mode     packet.StreamMode
+	deadline time.Duration
+
+	reasm *sack.Reassembler       // ordered and expiring modes
+	unord *sack.UnorderedReceiver // unordered mode
+
+	// finalAcked marks that the stream's final cumulative ack has been
+	// advertised to the sender since it finished; the stream then stops
+	// riding the per-stream ack tail and becomes retirable. A late
+	// duplicate arrival clears it so the final ack is re-advertised.
+	finalAcked bool
+}
+
+func newRecvStream(id uint64, mode packet.StreamMode, deadline time.Duration, start seqspace.Seq) *recvStream {
+	rs := &recvStream{id: id, mode: mode, deadline: deadline}
+	switch mode {
+	case packet.StreamReliableUnordered:
+		rs.unord = sack.NewUnorderedReceiver(start)
+	case packet.StreamExpiring:
+		// Hold holes a bit past the sender's retransmission deadline so a
+		// last retransmission still has time to arrive (mirrors the legacy
+		// partial-reliability receiver).
+		rs.reasm = sack.NewReassembler(start, deadline+deadline/2)
+	default:
+		rs.reasm = sack.NewReassembler(start, 0)
+	}
+	return rs
+}
+
+func (rs *recvStream) onData(now time.Duration, seq seqspace.Seq, payload []byte, fin bool) bool {
+	if rs.unord != nil {
+		return rs.unord.OnData(seq, payload, fin)
+	}
+	return rs.reasm.OnData(now, seq, payload, fin)
+}
+
+func (rs *recvStream) pop() ([]byte, bool) {
+	if rs.unord != nil {
+		return rs.unord.Pop()
+	}
+	return rs.reasm.Pop()
+}
+
+func (rs *recvStream) cumAck() seqspace.Seq {
+	if rs.unord != nil {
+		return rs.unord.CumAck()
+	}
+	return rs.reasm.CumAck()
+}
+
+func (rs *recvStream) onDeadline(now time.Duration) {
+	if rs.reasm != nil {
+		rs.reasm.OnDeadline(now)
+	}
+}
+
+func (rs *recvStream) nextDeadline() (time.Duration, bool) {
+	if rs.reasm != nil {
+		return rs.reasm.NextDeadline()
+	}
+	return 0, false
+}
+
+func (rs *recvStream) finished() bool {
+	if rs.unord != nil {
+		return rs.unord.Finished()
+	}
+	return rs.reasm.Finished()
+}
+
+// connAckTracker is the receiver's connection-level acknowledgment
+// state on a multi-stream connection: which connection sequence numbers
+// have arrived, independent of which stream they carried. It feeds the
+// CumAck/Blocks of every feedback frame — the currency rate control and
+// the sender's scoreboards resolve against — while the sender-stamped
+// ack floor lets it discard state for holes that will never fill.
+type connAckTracker struct {
+	cum      seqspace.Seq
+	received seqspace.IntervalSet
+}
+
+func (t *connAckTracker) onData(seq seqspace.Seq) {
+	if seq.Less(t.cum) || t.received.Contains(seq) {
+		return
+	}
+	t.received.AddSeq(seq)
+	t.cum = t.received.FirstMissingAfter(t.cum)
+	t.received.RemoveBefore(t.cum)
+}
+
+// advanceFloor moves the cumulative point up to the sender's ack floor:
+// everything below it is resolved or abandoned at the sender, so
+// reporting it would be wasted bytes and holding it wasted state.
+func (t *connAckTracker) advanceFloor(floor seqspace.Seq) {
+	if !t.cum.Less(floor) {
+		return
+	}
+	t.cum = floor
+	t.received.RemoveBefore(t.cum)
+	t.cum = t.received.FirstMissingAfter(t.cum)
+	t.received.RemoveBefore(t.cum)
+}
+
+func (t *connAckTracker) blocks(dst []seqspace.Range, max int) []seqspace.Range {
+	for _, rg := range t.received.Ranges() {
+		if len(dst) >= max {
+			break
+		}
+		dst = append(dst, rg)
+	}
+	return dst
+}
+
+// streamChunk is one delivered payload tagged with its stream.
+type streamChunk struct {
+	id      uint64
+	payload []byte
+}
+
+// ---- Conn: stream-layer construction ----------------------------------
+
+// stream0Mode maps the negotiated connection profile onto the implicit
+// stream 0's delivery mode.
+func (c *Conn) stream0Mode() (packet.StreamMode, time.Duration) {
+	if c.profile.Reliability == packet.ReliabilityPartial {
+		return packet.StreamExpiring, c.profile.Deadline
+	}
+	return packet.StreamReliableOrdered, 0
+}
+
+func (c *Conn) streamStart() seqspace.Seq {
+	if c.cfg.StreamStartSeq != 0 {
+		return c.cfg.StreamStartSeq
+	}
+	return streamStartSeq
+}
+
+// initStreamSender instantiates the sender's stream layer with the
+// implicit stream 0. Application state accumulated before the handshake
+// settled on the multi-stream layout — Write buffers into the legacy
+// backlog until the Accept arrives — migrates onto stream 0.
+func (c *Conn) initStreamSender() {
+	mode, dl := c.stream0Mode()
+	s0 := newSendStream(0, mode, dl, c.streamStart())
+	if len(c.backlog) > 0 {
+		s0.backlog = append(s0.backlog, c.backlog...)
+		c.backlog = nil
+	}
+	if !c.sendOpen {
+		s0.open = false
+	}
+	c.sendStreams = []*sendStream{s0}
+	c.sendByID = map[uint64]*sendStream{0: s0}
+	c.nextStreamID = 1
+}
+
+// initStreamReceiver instantiates the receiver's stream layer. Receive
+// streams are created lazily from the first frame naming them.
+func (c *Conn) initStreamReceiver() {
+	c.ackTrack = &connAckTracker{cum: c.cfg.StartSeq}
+	c.recvByID = make(map[uint64]*recvStream)
+}
+
+// retireStreams reclaims finished streams so MaxStreams caps
+// *concurrent* streams, not lifetime ones, and dead scoreboards stop
+// costing per-frame scans and ack-tail bytes. A retired stream leaves a
+// final stats snapshot behind (ledgers read stats after completion) and,
+// on the receiver, a tombstone that swallows stragglers instead of
+// letting a late retransmission resurrect the stream as fresh data.
+func (c *Conn) retireStreams() {
+	for i := 0; i < len(c.sendStreams); {
+		s := c.sendStreams[i]
+		// Stream 0 is the connection's implicit default and never retires.
+		if s.id == 0 || !s.done() {
+			i++
+			continue
+		}
+		if c.retired == nil {
+			c.retired = make(map[uint64]StreamStats)
+		}
+		st, _ := c.StreamStats(s.id)
+		c.retired[s.id] = st
+		delete(c.sendByID, s.id)
+		c.sendStreams = append(c.sendStreams[:i], c.sendStreams[i+1:]...)
+	}
+	for i := 0; i < len(c.recvOrder); {
+		rs := c.recvOrder[i]
+		if rs.id == 0 || !rs.finished() || !rs.finalAcked {
+			i++
+			continue
+		}
+		if c.retired == nil {
+			c.retired = make(map[uint64]StreamStats)
+		}
+		st, _ := c.StreamStats(rs.id)
+		c.retired[rs.id] = st
+		delete(c.recvByID, rs.id)
+		c.recvOrder = append(c.recvOrder[:i], c.recvOrder[i+1:]...)
+	}
+}
+
+// ---- Conn: stream application API -------------------------------------
+
+// MultiStream reports whether the connection negotiated stream
+// multiplexing.
+func (c *Conn) MultiStream() bool { return c.multi }
+
+// OpenStream creates a new outbound stream with the given delivery mode
+// (sender side, established multi-stream connections only). deadline is
+// the retransmission bound for StreamExpiring and must be positive for
+// it; it is ignored for the reliable modes. The new stream's ID is
+// returned; the receiver learns of the stream from its first frame.
+func (c *Conn) OpenStream(mode packet.StreamMode, deadline time.Duration) (uint64, error) {
+	if !c.isSender() {
+		return 0, ErrNotSender
+	}
+	if !c.multi {
+		return 0, ErrNoStreams
+	}
+	if c.state != StateEstablished {
+		return 0, ErrBadState
+	}
+	if len(c.sendStreams) >= c.profile.MaxStreams {
+		return 0, ErrStreamLimit
+	}
+	if mode == packet.StreamExpiring && deadline <= 0 {
+		return 0, errors.New("qtp: expiring stream requires a deadline")
+	}
+	if mode != packet.StreamExpiring {
+		deadline = 0
+	}
+	id := c.nextStreamID
+	c.nextStreamID++
+	s := newSendStream(id, mode, deadline, c.streamStart())
+	c.sendStreams = append(c.sendStreams, s)
+	c.sendByID[id] = s
+	return id, nil
+}
+
+// WriteStream queues application data on the given stream, returning
+// how many bytes were accepted (the backlog cap is shared across
+// streams, so one unserviced stream cannot monopolize the buffer).
+func (c *Conn) WriteStream(id uint64, p []byte) int {
+	if !c.multi {
+		if id == 0 {
+			return c.Write(p)
+		}
+		return 0
+	}
+	if !c.isSender() || c.state == StateClosed {
+		return 0
+	}
+	s := c.sendByID[id]
+	if s == nil || !s.open {
+		return 0
+	}
+	total := 0
+	for _, t := range c.sendStreams {
+		total += len(t.backlog)
+	}
+	room := c.cfg.MaxBacklog - total
+	if room <= 0 {
+		return 0
+	}
+	if len(p) > room {
+		p = p[:room]
+	}
+	s.backlog = append(s.backlog, p...)
+	return len(p)
+}
+
+// CloseStream marks the end of one stream: its final segment carries
+// FIN within the stream's own sequence space. The connection closes
+// once every stream is closed and resolved.
+func (c *Conn) CloseStream(id uint64) error {
+	if !c.multi {
+		if id == 0 {
+			c.CloseSend()
+			return nil
+		}
+		return ErrUnknownStream
+	}
+	s := c.sendByID[id]
+	if s == nil {
+		return ErrUnknownStream
+	}
+	s.open = false
+	return nil
+}
+
+// StreamBacklogLen returns the bytes queued but not yet transmitted on
+// one stream.
+func (c *Conn) StreamBacklogLen(id uint64) int {
+	if !c.multi {
+		if id == 0 {
+			return len(c.backlog)
+		}
+		return 0
+	}
+	if s := c.sendByID[id]; s != nil {
+		return len(s.backlog)
+	}
+	return 0
+}
+
+// ReadAny returns the next delivered chunk from any stream along with
+// the stream it belongs to. On single-stream connections it is Read
+// with a constant stream ID of 0. Chunks are pooled; release with
+// bufpool.PutChunk once consumed.
+func (c *Conn) ReadAny() (id uint64, p []byte, ok bool) {
+	if !c.multi {
+		p, ok = c.Read()
+		return 0, p, ok
+	}
+	if len(c.readQ) == 0 {
+		return 0, nil, false
+	}
+	ch := c.readQ[0]
+	c.readQ = c.readQ[1:]
+	c.stats.DeliveredBytes += len(ch.payload)
+	return ch.id, ch.payload, true
+}
+
+// AcceptStreamID pops the ID of a newly seen inbound stream (receiver
+// side). Stream 0 is implicit and never announced.
+func (c *Conn) AcceptStreamID() (uint64, bool) {
+	if len(c.acceptQ) == 0 {
+		return 0, false
+	}
+	id := c.acceptQ[0]
+	c.acceptQ = c.acceptQ[1:]
+	return id, true
+}
+
+// StreamIDs returns the IDs of every stream known to this endpoint, in
+// creation order (send streams on the sender, receive streams on the
+// receiver).
+func (c *Conn) StreamIDs() []uint64 {
+	var ids []uint64
+	for _, s := range c.sendStreams {
+		ids = append(ids, s.id)
+	}
+	for _, rs := range c.recvOrder {
+		ids = append(ids, rs.id)
+	}
+	return ids
+}
+
+// StreamStats snapshots one stream's counters. Retired (finished and
+// reclaimed) streams report their final snapshot.
+func (c *Conn) StreamStats(id uint64) (StreamStats, bool) {
+	if st, ok := c.retired[id]; ok {
+		return st, true
+	}
+	if s, ok := c.sendByID[id]; ok {
+		return StreamStats{
+			ID: s.id, Mode: s.mode,
+			DataFramesSent: s.frames, DataBytesSent: s.bytes,
+			RetransFrames: s.retransFrames, RetransBytes: s.retransB,
+			AbandonedSegs: s.buf.AbandonedSegs,
+		}, true
+	}
+	if rs, ok := c.recvByID[id]; ok {
+		st := StreamStats{ID: rs.id, Mode: rs.mode}
+		if rs.unord != nil {
+			st.DeliveredBytes = rs.unord.DeliveredBytes
+			st.DuplicateSegs = rs.unord.DuplicateSegs
+		} else {
+			st.DeliveredBytes = rs.reasm.DeliveredBytes
+			st.SkippedSegs = rs.reasm.SkippedSegs
+			st.DuplicateSegs = rs.reasm.DuplicateSegs
+		}
+		return st, true
+	}
+	return StreamStats{}, false
+}
+
+// ---- Conn: stream receive path ----------------------------------------
+
+// onDataMulti is the multi-stream data path: parse the stream prefix,
+// feed the connection-level ack tracker and the stream's receiver, and
+// queue whatever became deliverable.
+func (c *Conn) onDataMulti(now time.Duration, hdr *packet.Header, payload []byte) error {
+	if hdr.Flags&packet.FlagStream == 0 {
+		c.stats.DecodeErrors++
+		return errors.New("qtp: data frame without stream prefix on multi-stream connection")
+	}
+	var si packet.StreamInfo
+	data, err := si.Parse(payload, hdr.Seq)
+	if err != nil {
+		c.stats.DecodeErrors++
+		return err
+	}
+	rs := c.recvByID[si.ID]
+	if rs == nil {
+		if st, ok := c.retired[si.ID]; ok {
+			// Straggler for a retired stream (a late retransmission that
+			// crossed our final ack): acknowledge it at the connection
+			// level so the sender resolves it, but never resurrect the
+			// stream — its data was all delivered or skipped already.
+			c.peerSeen = true
+			c.ackTrack.onData(hdr.Seq)
+			c.ackTrack.advanceFloor(si.AckFloor)
+			st.DuplicateSegs++
+			c.retired[si.ID] = st
+			return nil
+		}
+		if len(c.recvByID) >= c.profile.MaxStreams {
+			c.stats.DecodeErrors++
+			return ErrStreamLimit
+		}
+		rs = newRecvStream(si.ID, si.Mode,
+			time.Duration(si.DeadlineMS)*time.Millisecond, c.streamStart())
+		c.recvByID[si.ID] = rs
+		c.recvOrder = append(c.recvOrder, rs)
+		if si.ID != 0 {
+			c.acceptQ = append(c.acceptQ, si.ID)
+		}
+	}
+	c.peerSeen = true
+	fin := hdr.Flags&packet.FlagFIN != 0
+	retx := hdr.Flags&packet.FlagRetransmit != 0
+
+	c.ackTrack.onData(hdr.Seq)
+	c.ackTrack.advanceFloor(si.AckFloor)
+	if !rs.onData(now, si.Seq, data, fin) {
+		// A duplicate means the sender may have missed our final ack;
+		// put the stream's cum back on the tail until it lands.
+		rs.finalAcked = false
+	}
+	c.drainRecv(rs)
+
+	if c.tfrcRecv != nil {
+		if retx {
+			c.tfrcRecv.OnRetransmit(now, len(payload)+packet.HeaderLen)
+		} else {
+			urgent := c.tfrcRecv.OnData(now, hdr.Seq, len(payload)+packet.HeaderLen,
+				time.Duration(hdr.RTTUS)*time.Microsecond)
+			if urgent {
+				c.urgentFB = true
+			}
+		}
+		if c.nextFBAt == 0 {
+			c.nextFBAt = now + c.tfrcRecv.FeedbackInterval()
+		}
+	}
+	if c.profile.Feedback == packet.FeedbackSenderLoss {
+		c.ackCountdown--
+		if c.ackCountdown <= 0 {
+			c.ackCountdown = c.profile.AckEvery
+			c.sackPending = true
+		}
+	}
+	return nil
+}
+
+// drainRecv moves one stream's deliverable chunks onto the connection's
+// read queue. Zero-length chunks (bare FIN markers) are recycled, not
+// delivered.
+func (c *Conn) drainRecv(rs *recvStream) {
+	for {
+		p, ok := rs.pop()
+		if !ok {
+			return
+		}
+		if len(p) == 0 {
+			bufpool.PutChunk(p)
+			continue
+		}
+		c.readQ = append(c.readQ, streamChunk{id: rs.id, payload: p})
+	}
+}
+
+// recvCumAck returns the cumulative ack carried by feedback frames: the
+// connection-level tracker's on multi-stream connections, the
+// reassembler's otherwise.
+func (c *Conn) recvCumAck() seqspace.Seq {
+	if c.multi {
+		return c.ackTrack.cum
+	}
+	return c.reasm.CumAck()
+}
+
+// recvBlocks appends up to max SACK blocks for feedback frames from
+// whichever structure tracks received sequences on this connection.
+func (c *Conn) recvBlocks(dst []seqspace.Range, max int) []seqspace.Range {
+	if c.multi {
+		return c.ackTrack.blocks(dst, max)
+	}
+	return c.reasm.Blocks(dst, max)
+}
+
+// streamAckTail builds the per-stream cumulative-ack tail for a
+// feedback frame. A finished stream advertises its final cum once and
+// then drops off the tail (re-advertised if a duplicate arrival shows
+// the sender missed it), so long-lived connections do not pay ack bytes
+// for every stream they ever carried.
+func (c *Conn) streamAckTail() []packet.StreamAck {
+	c.ackTail = c.ackTail[:0]
+	for _, rs := range c.recvOrder {
+		if len(c.ackTail) >= packet.MaxStreams {
+			break
+		}
+		if rs.finished() {
+			if rs.finalAcked {
+				continue
+			}
+			rs.finalAcked = true
+		}
+		c.ackTail = append(c.ackTail, packet.StreamAck{ID: rs.id, CumAck: rs.cumAck()})
+	}
+	return c.ackTail
+}
+
+// finishedMulti reports whether every stream that carried data has
+// delivered through its FIN. An expiring stream whose tail (FIN
+// included) was lost and abandoned can never deliver it; once the peer
+// has initiated the connection close — its signal that every stream is
+// resolved on the sending side — whatever such a stream still misses is
+// by definition expired, so it counts as finished.
+func (c *Conn) finishedMulti() bool {
+	if len(c.recvOrder) == 0 {
+		// Only retired (hence finished) streams remain, if any.
+		return len(c.retired) > 0
+	}
+	peerDone := c.state == StateClosing || c.state == StateClosed
+	for _, rs := range c.recvOrder {
+		if rs.finished() {
+			continue
+		}
+		if rs.mode == packet.StreamExpiring && peerDone {
+			continue
+		}
+		return false
+	}
+	return true
+}
+
+// ---- Conn: stream send path -------------------------------------------
+
+// onStreamAcks folds a feedback frame's acknowledgment state into every
+// stream scoreboard: the connection-level vector resolves segments by
+// their connection sequence, then each per-stream cumulative ack
+// applies receiver-authoritative release (an expiring stream's receiver
+// skipping a stale hole moves its cum past the hole, telling the sender
+// to stop caring even before its own deadline fires).
+func (c *Conn) onStreamAcks(now time.Duration, cum seqspace.Seq, ranges []seqspace.Range, acks []packet.StreamAck) {
+	for _, s := range c.sendStreams {
+		s.buf.OnConnSACK(now, cum, ranges)
+	}
+	for _, a := range acks {
+		if s := c.sendByID[a.ID]; s != nil {
+			s.buf.OnSACK(now, a.CumAck, nil)
+		}
+	}
+}
+
+// ackFloor returns the sender's lowest unresolved connection-level
+// sequence number, stamped on outgoing data frames.
+func (c *Conn) ackFloor() seqspace.Seq {
+	floor := c.nextSeq
+	for _, s := range c.sendStreams {
+		if m, ok := s.buf.MinUnresolvedConn(); ok && m.Less(floor) {
+			floor = m
+		}
+	}
+	return floor
+}
+
+// buildDataMulti emits one paced data frame chosen round-robin across
+// streams: any stream's due retransmission first, otherwise a fresh
+// segment from the next stream with queued data (or an owed FIN).
+func (c *Conn) buildDataMulti(now time.Duration, dst []byte) ([]byte, bool) {
+	rto := c.retxTimeout()
+	n := len(c.sendStreams)
+	for k := 0; k < n; k++ {
+		s := c.sendStreams[(c.rrRetx+k)%n]
+		seq, conn, payload, ok := s.buf.NextRetransmitSeg(now, rto)
+		if !ok {
+			continue
+		}
+		c.rrRetx = (c.rrRetx + k + 1) % n
+		fin := s.finSet && seq == s.finSeq
+		frame := c.streamDataFrame(now, dst, s, conn, seq, payload, true, fin)
+		c.stats.RetransFrames++
+		c.stats.RetransBytes += len(payload)
+		s.retransFrames++
+		s.retransB += len(payload)
+		c.pace(now, len(frame)-len(dst))
+		return frame, true
+	}
+	for k := 0; k < n; k++ {
+		s := c.sendStreams[(c.rrData+k)%n]
+		if len(s.backlog) == 0 && !s.needFin() {
+			continue
+		}
+		c.rrData = (c.rrData + k + 1) % n
+		nb := c.profile.MSS
+		if nb > len(s.backlog) {
+			nb = len(s.backlog)
+		}
+		payload := append([]byte(nil), s.backlog[:nb]...)
+		s.backlog = s.backlog[:copy(s.backlog, s.backlog[nb:])]
+
+		seq := s.nextSeq
+		s.nextSeq = seq.Next()
+		conn := c.nextSeq
+		c.nextSeq = conn.Next()
+		fin := !s.open && len(s.backlog) == 0
+		if fin {
+			s.finSeq = seq
+			s.finSet = true
+		}
+		s.sentAny = true
+		s.buf.AddStream(now, seq, conn, payload)
+		if c.est != nil {
+			c.est.OnSent(now, conn, len(payload)+packet.HeaderLen)
+		}
+		frame := c.streamDataFrame(now, dst, s, conn, seq, payload, false, fin)
+		c.stats.DataFramesSent++
+		c.stats.DataBytesSent += len(payload)
+		s.frames++
+		s.bytes += len(payload)
+		c.pace(now, len(frame)-len(dst))
+		return frame, true
+	}
+	return nil, false
+}
+
+// streamDataFrame encodes one multi-stream data frame: fixed header,
+// varint stream prefix, payload.
+func (c *Conn) streamDataFrame(now time.Duration, dst []byte, s *sendStream,
+	connSeq, streamSeq seqspace.Seq, payload []byte, retx, fin bool) []byte {
+
+	si := packet.StreamInfo{
+		ID: s.id, Seq: streamSeq, Mode: s.mode, AckFloor: c.ackFloor(),
+	}
+	if s.mode == packet.StreamExpiring {
+		si.DeadlineMS = uint32(s.deadline / time.Millisecond)
+	}
+	prefix := si.AppendTo(c.scratch[:0], connSeq)
+	c.scratch = prefix
+
+	hdr := packet.Header{
+		Type:       packet.TypeData,
+		Flags:      packet.FlagStream,
+		ConnID:     c.remoteID,
+		Seq:        connSeq,
+		Timestamp:  nowUS(now),
+		RTTUS:      uint32(c.rc.RTT() / time.Microsecond),
+		PayloadLen: uint16(len(prefix) + len(payload)),
+	}
+	if c.havePeerTS {
+		hdr.TSEcho = c.lastPeerTS
+	}
+	if retx {
+		hdr.Flags |= packet.FlagRetransmit
+	}
+	if fin {
+		hdr.Flags |= packet.FlagFIN
+	}
+	frame := hdr.AppendTo(dst)
+	frame = append(frame, prefix...)
+	return append(frame, payload...)
+}
+
+// closeReadyMulti is closeReady for multi-stream senders: teardown once
+// every stream is closed, drained, FIN'd and resolved.
+func (c *Conn) closeReadyMulti() bool {
+	if !c.isSender() || c.state != StateEstablished || !c.started || c.ctrlPending != 0 {
+		return false
+	}
+	for _, s := range c.sendStreams {
+		if !s.done() {
+			return false
+		}
+	}
+	return true
+}
+
+// sendWorkPending reports whether any stream has queued data or an owed
+// FIN (the multi-stream analogue of len(backlog) > 0).
+func (c *Conn) sendWorkPending() bool {
+	for _, s := range c.sendStreams {
+		if len(s.backlog) > 0 || s.needFin() {
+			return true
+		}
+	}
+	return false
+}

@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/bufpool"
 	"repro/internal/core"
+	"repro/internal/packet"
 	"repro/internal/qtp"
 )
 
@@ -29,7 +30,16 @@ type Conn struct {
 	mu    sync.Mutex
 	inner *qtp.Conn
 
-	readCh      chan []byte
+	readCh chan []byte
+
+	// Stream multiplexing: streams holds every known stream (opened
+	// locally or announced by the peer), guarded by mu; acceptStreams
+	// queues peer-announced streams for AcceptStream. Stream 0 is
+	// implicit — its data rides readCh so legacy Conn.Read keeps
+	// working on multi-stream connections.
+	streams       map[uint64]*Stream
+	acceptStreams chan *Stream
+
 	established chan struct{}
 	estOnce     sync.Once
 	closedCh    chan struct{}
@@ -63,15 +73,17 @@ type Conn struct {
 
 func newConn(e *Endpoint, peer netip.AddrPort, id uint32) *Conn {
 	return &Conn{
-		ep:          e,
-		peer:        peer,
-		localID:     id,
-		remoteID:    id,
-		readCh:      make(chan []byte, e.cfg.ReadQueue),
-		established: make(chan struct{}),
-		closedCh:    make(chan struct{}),
-		reaped:      make(chan struct{}),
-		heapIdx:     -1,
+		ep:            e,
+		peer:          peer,
+		localID:       id,
+		remoteID:      id,
+		readCh:        make(chan []byte, e.cfg.ReadQueue),
+		streams:       make(map[uint64]*Stream),
+		acceptStreams: make(chan *Stream, packet.MaxStreams),
+		established:   make(chan struct{}),
+		closedCh:      make(chan struct{}),
+		reaped:        make(chan struct{}),
+		heapIdx:       -1,
 	}
 }
 
@@ -101,13 +113,15 @@ func (c *Conn) Stats() qtp.Stats {
 	return c.inner.Stats()
 }
 
-// Write queues application data, blocking while the transport applies
-// backpressure. It returns early if the connection dies.
-func (c *Conn) Write(p []byte) (int, error) {
+// writeStream is the shared backpressure loop behind Conn.Write and
+// Stream.Write: queue onto the given stream, flush, poll while the
+// transport pushes back, bail if the connection dies. Stream 0 routes
+// through qtp's legacy write path on single-stream connections.
+func (c *Conn) writeStream(id uint64, p []byte) (int, error) {
 	total := 0
 	for len(p) > 0 {
 		c.mu.Lock()
-		n := c.inner.Write(p)
+		n := c.inner.WriteStream(id, p)
 		c.mu.Unlock()
 		total += n
 		p = p[n:]
@@ -126,28 +140,25 @@ func (c *Conn) Write(p []byte) (int, error) {
 	return total, nil
 }
 
-// CloseSend signals end of stream; the FIN is delivered reliably under
-// full reliability.
-func (c *Conn) CloseSend() {
+// closeSendStream is the shared end-of-stream signal behind
+// Conn.CloseSend and Stream.CloseSend.
+func (c *Conn) closeSendStream(id uint64) {
 	c.mu.Lock()
-	c.inner.CloseSend()
+	c.inner.CloseStream(id)
 	c.mu.Unlock()
 	c.ep.serviceFlush(c)
 }
 
-// Read returns the next in-order chunk, blocking until data arrives,
-// the connection dies (nil, false), or the timeout passes. The chunk is
-// pool-backed: hand it back with Release once consumed so steady-state
-// delivery allocates nothing (skipping Release costs a pool miss, never
-// a leak).
-func (c *Conn) Read(timeout time.Duration) ([]byte, bool) {
+// readFrom is the shared delivery wait behind Conn.Read and
+// Stream.Read: block until a chunk lands on ch, the connection dies
+// (draining anything already queued first), or the timeout passes.
+func (c *Conn) readFrom(ch chan []byte, timeout time.Duration) ([]byte, bool) {
 	select {
-	case p := <-c.readCh:
+	case p := <-ch:
 		return p, true
 	case <-c.closedCh:
-		// Drain anything already queued.
 		select {
-		case p := <-c.readCh:
+		case p := <-ch:
 			return p, true
 		default:
 			return nil, false
@@ -155,6 +166,23 @@ func (c *Conn) Read(timeout time.Duration) ([]byte, bool) {
 	case <-time.After(timeout):
 		return nil, false
 	}
+}
+
+// Write queues application data, blocking while the transport applies
+// backpressure. It returns early if the connection dies.
+func (c *Conn) Write(p []byte) (int, error) { return c.writeStream(0, p) }
+
+// CloseSend signals end of stream; the FIN is delivered reliably under
+// full reliability.
+func (c *Conn) CloseSend() { c.closeSendStream(0) }
+
+// Read returns the next in-order chunk, blocking until data arrives,
+// the connection dies (nil, false), or the timeout passes. The chunk is
+// pool-backed: hand it back with Release once consumed so steady-state
+// delivery allocates nothing (skipping Release costs a pool miss, never
+// a leak).
+func (c *Conn) Read(timeout time.Duration) ([]byte, bool) {
+	return c.readFrom(c.readCh, timeout)
 }
 
 // Release returns a chunk obtained from Read to the delivery pool.

@@ -896,8 +896,25 @@ func (e *Endpoint) service(c *Conn) (produced bool) {
 	if st == qtp.StateEstablished || st == qtp.StateClosing {
 		c.estOnce.Do(func() { close(c.established) })
 	}
+	// New inbound streams announced by the peer's first frame: register
+	// them so their data routes, and queue them for AcceptStream.
 	for {
-		chunk, ok := c.inner.Read()
+		id, ok := c.inner.AcceptStreamID()
+		if !ok {
+			break
+		}
+		sst, _ := c.inner.StreamStats(id)
+		s := newNetStream(c, id, sst.Mode)
+		c.streams[id] = s
+		select {
+		case c.acceptStreams <- s:
+		default:
+			// Cannot happen: the queue is sized at the stream cap. Keep
+			// the stream routable regardless.
+		}
+	}
+	for {
+		id, chunk, ok := c.inner.ReadAny()
 		if !ok {
 			break
 		}
@@ -908,19 +925,29 @@ func (e *Endpoint) service(c *Conn) (produced bool) {
 			bufpool.PutChunk(chunk)
 			continue
 		}
+		ch := c.readCh
+		if id != 0 {
+			s := c.streams[id]
+			if s == nil {
+				e.recvDrops.Add(1)
+				bufpool.PutChunk(chunk)
+				continue
+			}
+			ch = s.readCh
+		}
 		select {
-		case c.readCh <- chunk:
+		case ch <- chunk:
 		default:
 			// Application is slow; drop oldest so one stalled reader
 			// cannot wedge the endpoint that serves everyone else.
 			select {
-			case old := <-c.readCh:
+			case old := <-ch:
 				e.recvDrops.Add(1)
 				bufpool.PutChunk(old)
 			default:
 			}
 			select {
-			case c.readCh <- chunk:
+			case ch <- chunk:
 			default:
 				e.recvDrops.Add(1)
 				bufpool.PutChunk(chunk)

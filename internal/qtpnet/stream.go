@@ -1,0 +1,133 @@
+package qtpnet
+
+import (
+	"time"
+
+	"repro/internal/bufpool"
+	"repro/internal/packet"
+	"repro/internal/qtp"
+)
+
+// Stream delivery modes, re-exported so applications using qtpnet need
+// not import the wire-format package.
+type StreamMode = packet.StreamMode
+
+// Delivery modes for OpenStream.
+const (
+	StreamReliableOrdered   = packet.StreamReliableOrdered
+	StreamReliableUnordered = packet.StreamReliableUnordered
+	StreamExpiring          = packet.StreamExpiring
+)
+
+// Stream is one application stream multiplexed on a Conn that
+// negotiated the streams capability (core.Profile.MaxStreams >= 2).
+// The initiating side opens streams with Conn.OpenStream and writes;
+// the responding side learns of them through Conn.AcceptStream and
+// reads. Stream 0 is implicit and keeps riding the Conn's own
+// Write/Read methods, so single-stream code works unchanged on a
+// multi-stream connection.
+type Stream struct {
+	c    *Conn
+	id   uint64
+	mode StreamMode
+
+	readCh chan []byte
+}
+
+func newNetStream(c *Conn, id uint64, mode StreamMode) *Stream {
+	return &Stream{c: c, id: id, mode: mode, readCh: make(chan []byte, c.ep.cfg.ReadQueue)}
+}
+
+// ID returns the stream's identifier on its connection.
+func (s *Stream) ID() uint64 { return s.id }
+
+// Mode returns the stream's delivery mode.
+func (s *Stream) Mode() StreamMode { return s.mode }
+
+// Conn returns the connection the stream rides on.
+func (s *Stream) Conn() *Conn { return s.c }
+
+// Write queues application data on the stream, blocking while the
+// transport applies backpressure (the backlog budget is shared across
+// the connection's streams). It returns early if the connection dies.
+func (s *Stream) Write(p []byte) (int, error) { return s.c.writeStream(s.id, p) }
+
+// CloseSend signals the end of the stream; its FIN is delivered with
+// the stream's own reliability. The connection tears down once every
+// stream is closed and resolved.
+func (s *Stream) CloseSend() { s.c.closeSendStream(s.id) }
+
+// Read returns the stream's next delivered chunk — in order on a
+// reliable-ordered stream, in arrival order on unordered and expiring
+// streams — blocking until data arrives, the connection dies
+// (nil, false), or the timeout passes. Chunks are pool-backed: hand
+// them back with Release once consumed.
+func (s *Stream) Read(timeout time.Duration) ([]byte, bool) {
+	return s.c.readFrom(s.readCh, timeout)
+}
+
+// Release returns a chunk obtained from Read to the delivery pool.
+func (s *Stream) Release(p []byte) { bufpool.PutChunk(p) }
+
+// Stats snapshots the stream's counters.
+func (s *Stream) Stats() qtp.StreamStats {
+	s.c.mu.Lock()
+	defer s.c.mu.Unlock()
+	st, _ := s.c.inner.StreamStats(s.id)
+	return st
+}
+
+// Done returns a channel closed when the underlying connection is torn
+// down.
+func (s *Stream) Done() <-chan struct{} { return s.c.closedCh }
+
+// OpenStream creates a new outbound stream with the given delivery mode
+// (initiator side; requires the negotiated streams capability).
+// deadline is the retransmission bound for StreamExpiring, ignored
+// otherwise.
+func (c *Conn) OpenStream(mode StreamMode, deadline time.Duration) (*Stream, error) {
+	c.mu.Lock()
+	id, err := c.inner.OpenStream(mode, deadline)
+	if err != nil {
+		c.mu.Unlock()
+		return nil, err
+	}
+	s := newNetStream(c, id, mode)
+	c.streams[id] = s
+	c.mu.Unlock()
+	return s, nil
+}
+
+// AcceptStream blocks until the peer's first frame announces a new
+// stream, the timeout passes (nil, false), or the connection dies.
+func (c *Conn) AcceptStream(timeout time.Duration) (*Stream, bool) {
+	select {
+	case s := <-c.acceptStreams:
+		return s, true
+	default:
+	}
+	select {
+	case s := <-c.acceptStreams:
+		return s, true
+	case <-c.closedCh:
+		return nil, false
+	case <-time.After(timeout):
+		return nil, false
+	}
+}
+
+// MultiStream reports whether the connection negotiated the streams
+// capability.
+func (c *Conn) MultiStream() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.inner.MultiStream()
+}
+
+// StreamStats snapshots one stream's counters by ID (0 is the implicit
+// default stream).
+func (c *Conn) StreamStats(id uint64) (qtp.StreamStats, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.inner.StreamStats(id)
+}

@@ -20,6 +20,7 @@ import (
 // segment is one sent-but-unresolved data frame in the scoreboard.
 type segment struct {
 	seq       seqspace.Seq
+	conn      seqspace.Seq // connection-level sequence of the first transmission
 	payload   []byte
 	firstSent time.Duration
 	lastSent  time.Duration
@@ -61,6 +62,16 @@ func NewSendBuffer(deadline time.Duration) *SendBuffer {
 // added in sequence order; the payload is retained until resolved (the
 // buffer owns it — callers must not reuse the slice).
 func (b *SendBuffer) Add(now time.Duration, seq seqspace.Seq, payload []byte) {
+	b.AddStream(now, seq, seq, payload)
+}
+
+// AddStream registers the first transmission of a segment whose
+// connection-level sequence differs from its stream-level one: seq
+// orders the segment within its stream (the scoreboard's key), conn is
+// the connection-level number stamped in the frame header, against
+// which connection-level SACK vectors resolve it (see OnConnSACK). The
+// single-stream Add is AddStream with the two spaces coinciding.
+func (b *SendBuffer) AddStream(now time.Duration, seq, conn seqspace.Seq, payload []byte) {
 	if !b.started {
 		b.started = true
 		b.cumAck = seq
@@ -69,7 +80,7 @@ func (b *SendBuffer) Add(now time.Duration, seq seqspace.Seq, payload []byte) {
 	}
 	b.nextSeq = seq.Next()
 	b.segs = append(b.segs, segment{
-		seq: seq, payload: payload, firstSent: now, lastSent: now,
+		seq: seq, conn: conn, payload: payload, firstSent: now, lastSent: now,
 	})
 }
 
@@ -107,8 +118,53 @@ func (b *SendBuffer) OnSACK(now time.Duration, cum seqspace.Seq, blocks []seqspa
 		}
 	}
 	b.AckedBytes += newly
-	// Dup-threshold loss marking: a segment is lost once DupThresh
-	// segments above it are SACKed.
+	b.markLost()
+	return newly
+}
+
+// OnConnSACK folds a *connection-level* acknowledgment vector into the
+// scoreboard: cum and blocks live in the connection sequence space that
+// frame headers are stamped with, and each segment is matched through
+// the conn number recorded by AddStream. Segments whose conn precedes
+// cum are released — the receiver either received them contiguously or
+// echoed the sender's own ack floor, which only passes segments already
+// resolved or abandoned here. It returns the bytes newly resolved.
+func (b *SendBuffer) OnConnSACK(now time.Duration, cum seqspace.Seq, blocks []seqspace.Range) int {
+	newly := 0
+	// Release the prefix below the connection-level cumulative point.
+	// Within one stream, connection numbers increase with stream order,
+	// so the prefix property holds.
+	i := 0
+	for i < len(b.segs) && b.segs[i].conn.Less(cum) {
+		if !b.segs[i].sacked {
+			newly += len(b.segs[i].payload)
+		}
+		i++
+	}
+	if i > 0 {
+		if next := b.segs[i-1].seq.Next(); b.cumAck.Less(next) {
+			b.cumAck = next
+		}
+		b.segs = b.segs[:copy(b.segs, b.segs[i:])]
+	}
+	for _, blk := range blocks {
+		for i := range b.segs {
+			s := &b.segs[i]
+			if blk.Contains(s.conn) && !s.sacked {
+				s.sacked = true
+				s.lost = false
+				newly += len(s.payload)
+			}
+		}
+	}
+	b.AckedBytes += newly
+	b.markLost()
+	return newly
+}
+
+// markLost applies the dup-threshold rule: a segment is lost once
+// DupThresh segments above it are SACKed.
+func (b *SendBuffer) markLost() {
 	dt := b.DupThresh
 	if dt <= 0 {
 		dt = 3
@@ -124,7 +180,20 @@ func (b *SendBuffer) OnSACK(now time.Duration, cum seqspace.Seq, blocks []seqspa
 			s.lost = true
 		}
 	}
-	return newly
+}
+
+// MinUnresolvedConn returns the connection-level sequence of the oldest
+// segment still awaiting acknowledgment or abandonment; ok is false when
+// everything is resolved. It is the stream's contribution to the ack
+// floor senders stamp on multi-stream data frames.
+func (b *SendBuffer) MinUnresolvedConn() (conn seqspace.Seq, ok bool) {
+	for i := range b.segs {
+		s := &b.segs[i]
+		if !s.sacked && !s.abandoned {
+			return s.conn, true
+		}
+	}
+	return 0, false
 }
 
 // NextRetransmit returns the oldest segment due for retransmission —
@@ -133,6 +202,15 @@ func (b *SendBuffer) OnSACK(now time.Duration, cum seqspace.Seq, blocks []seqspa
 // the deadline are abandoned instead of returned. ok is false when
 // nothing is due.
 func (b *SendBuffer) NextRetransmit(now time.Duration, rto time.Duration) (seq seqspace.Seq, payload []byte, ok bool) {
+	seq, _, payload, ok = b.NextRetransmitSeg(now, rto)
+	return seq, payload, ok
+}
+
+// NextRetransmitSeg is NextRetransmit exposing both sequence spaces of
+// the due segment: seq within the stream and conn at the connection
+// level (a retransmission reuses the original connection number, so
+// rate control keeps seeing one sequence per first transmission).
+func (b *SendBuffer) NextRetransmitSeg(now time.Duration, rto time.Duration) (seq, conn seqspace.Seq, payload []byte, ok bool) {
 	for i := range b.segs {
 		s := &b.segs[i]
 		if s.sacked || s.abandoned {
@@ -151,10 +229,10 @@ func (b *SendBuffer) NextRetransmit(now time.Duration, rto time.Duration) (seq s
 			s.lastSent = now
 			s.retx++
 			b.Retransmits++
-			return s.seq, s.payload, true
+			return s.seq, s.conn, s.payload, true
 		}
 	}
-	return 0, nil, false
+	return 0, 0, nil, false
 }
 
 // NextTimeout returns the earliest instant at which NextRetransmit would

@@ -1,0 +1,87 @@
+package sack
+
+import (
+	"repro/internal/seqspace"
+)
+
+// UnorderedReceiver is the receiver side of a reliable-unordered stream:
+// every new segment is released to the application the moment it
+// arrives, so a hole never blocks the data behind it (no head-of-line
+// blocking), while the received interval set still drives SACK blocks
+// and the cumulative ack so the sender retransmits exactly the missing
+// segments. Late retransmissions are delivered like any other arrival —
+// nothing is ever skipped, which is what distinguishes this mode from an
+// expiring stream.
+//
+// Like the Reassembler, delivered payloads are copied into pooled chunks
+// the application returns with bufpool.PutChunk.
+type UnorderedReceiver struct {
+	cumAck   seqspace.Seq // first segment not yet received
+	received seqspace.IntervalSet
+	ready    [][]byte
+
+	finSeq  seqspace.Seq
+	haveFin bool
+
+	// Counters.
+	DeliveredBytes int
+	DuplicateSegs  int
+}
+
+// NewUnorderedReceiver returns a receiver expecting the stream to begin
+// at sequence number start.
+func NewUnorderedReceiver(start seqspace.Seq) *UnorderedReceiver {
+	return &UnorderedReceiver{cumAck: start}
+}
+
+// OnData processes a data segment, returning true if it was new. New
+// segments are queued for immediate delivery regardless of ordering.
+func (u *UnorderedReceiver) OnData(seq seqspace.Seq, payload []byte, fin bool) bool {
+	if fin {
+		u.finSeq = seq
+		u.haveFin = true
+	}
+	if seq.Less(u.cumAck) || u.received.Contains(seq) {
+		u.DuplicateSegs++
+		return false
+	}
+	u.received.AddSeq(seq)
+	u.ready = append(u.ready, chunkCopy(payload))
+	u.DeliveredBytes += len(payload)
+	// The cumulative ack advances only over segments actually received —
+	// unordered is still fully reliable, so holes are never passed.
+	u.cumAck = u.received.FirstMissingAfter(u.cumAck)
+	u.received.RemoveBefore(u.cumAck)
+	return true
+}
+
+// Pop returns the next delivered payload, if any (arrival order).
+func (u *UnorderedReceiver) Pop() ([]byte, bool) {
+	if len(u.ready) == 0 {
+		return nil, false
+	}
+	p := u.ready[0]
+	u.ready = u.ready[1:]
+	return p, true
+}
+
+// CumAck returns the first sequence number not yet received.
+func (u *UnorderedReceiver) CumAck() seqspace.Seq { return u.cumAck }
+
+// Blocks appends up to max SACK blocks describing received data above
+// the cumulative ack, nearest-first.
+func (u *UnorderedReceiver) Blocks(dst []seqspace.Range, max int) []seqspace.Range {
+	for _, rg := range u.received.Ranges() {
+		if len(dst) >= max {
+			break
+		}
+		dst = append(dst, rg)
+	}
+	return dst
+}
+
+// Finished reports whether a FIN has been seen and every segment up to
+// and including it has been received.
+func (u *UnorderedReceiver) Finished() bool {
+	return u.haveFin && u.finSeq.Less(u.cumAck)
+}

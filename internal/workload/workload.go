@@ -201,22 +201,32 @@ func NewVideo(fps float64, meanFrame, gopLen int, iScale float64, duration time.
 
 // Next implements Source. Each call emits one frame.
 func (v *Video) Next() (time.Duration, int, bool) {
+	at, n, _, ok := v.NextFrame()
+	return at, n, ok
+}
+
+// NextFrame is Next also reporting whether the emitted frame is the
+// GOP's leading I-frame — applications that map frame classes onto
+// transport streams (reliable key frames, expiring delta frames) route
+// on it.
+func (v *Video) NextFrame() (at time.Duration, size int, key bool, ok bool) {
 	if v.now >= v.until {
-		return 0, 0, false
+		return 0, 0, false, false
 	}
-	size := float64(v.meanFrame)
-	if v.frame%v.gopLen == 0 {
-		size *= v.iScale
+	key = v.frame%v.gopLen == 0
+	fsize := float64(v.meanFrame)
+	if key {
+		fsize *= v.iScale
 	}
-	size *= 0.75 + 0.5*v.rng.Float64() // ±25% jitter
-	at := v.now
+	fsize *= 0.75 + 0.5*v.rng.Float64() // ±25% jitter
+	at = v.now
 	v.now += v.frameGap
 	v.frame++
-	n := int(size)
-	if n < 1 {
-		n = 1
+	size = int(fsize)
+	if size < 1 {
+		size = 1
 	}
-	return at, n, true
+	return at, size, key, true
 }
 
 // Total drains src and returns the total bytes and event count it yields.
