@@ -1,8 +1,9 @@
 // Command benchgate is the CI bench trend gate: it compares a fresh
 // `go test -bench` run against the committed history in
 // BENCH_endpoint.json and fails (exit 1) when a watched benchmark
-// regressed beyond the threshold — by default >25% worse ns/op or >25%
-// fewer datagrams per receive syscall for BenchmarkEndpointFanout.
+// regressed beyond the threshold — by default >25% worse ns/op, >25%
+// fewer datagrams per receive syscall, or (where the history commits a
+// baseline for it) >25% more wakeups per op for BenchmarkEndpointFanout.
 // The comparison is written to -out for upload as a CI artifact.
 //
 // Usage:
@@ -35,9 +36,13 @@ func main() {
 	name := flag.String("name", "BenchmarkEndpointFanout", "benchmark to gate")
 	threshold := flag.Float64("threshold", 0.25, "relative regression that fails the gate")
 	nsThreshold := flag.Float64("ns-threshold", 0, "separate tolerance for ns/op (0 = same as -threshold); CI sets this wider because wall-clock baselines do not transfer across machines the way the structural dgrams-per-syscall ratio does")
+	wakeupsThreshold := flag.Float64("wakeups-threshold", 0, "separate tolerance for wakeups/op (0 = same as -threshold); wakeup counts depend on core count and scheduler, so CI widens this like ns/op while still catching structural blowups such as a lapsed multishot degenerating to one wakeup per datagram")
 	flag.Parse()
 	if *nsThreshold == 0 {
 		*nsThreshold = *threshold
+	}
+	if *wakeupsThreshold == 0 {
+		*wakeupsThreshold = *threshold
 	}
 	if *bench == "" {
 		fmt.Fprintln(os.Stderr, "benchgate: -bench is required")
@@ -67,7 +72,7 @@ func main() {
 		os.Exit(2)
 	}
 
-	report, regressed := compare(*name, runs, base, baseDesc, *threshold, *nsThreshold)
+	report, regressed := compare(*name, runs, base, baseDesc, *threshold, *nsThreshold, *wakeupsThreshold)
 	fmt.Print(report)
 	if err := os.WriteFile(*out, []byte(report), 0o644); err != nil {
 		fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
@@ -135,8 +140,9 @@ func median(runs []map[string]float64, unit string) (float64, bool) {
 // baseline is the committed reference for one benchmark: the metric
 // names mirror the JSON history fields.
 type baseline struct {
-	NsPerOp    float64 `json:"ns_per_op"`
-	DgramPerRx float64 `json:"dgram_per_rx_syscall"`
+	NsPerOp      float64 `json:"ns_per_op"`
+	DgramPerRx   float64 `json:"dgram_per_rx_syscall"`
+	WakeupsPerOp float64 `json:"wakeups_per_op"`
 }
 
 // latestBaseline walks the history newest-first for the most recent
@@ -180,11 +186,13 @@ func latestBaseline(historyJSON []byte, name string) (*baseline, string, error) 
 }
 
 // compare renders the trend report and decides the gate. Regression
-// rules: median ns/op above baseline by more than nsThreshold, or
-// median dgram/rxcall below baseline by more than threshold.
-// Improvements and missing data pass (with a note), so the gate only
-// ever bites on a measured regression against committed numbers.
-func compare(name string, runs []map[string]float64, base *baseline, baseDesc string, threshold, nsThreshold float64) (string, bool) {
+// rules: median ns/op above baseline by more than nsThreshold, median
+// dgram/rxcall below baseline by more than threshold, or median
+// wakeups/op above a committed wakeups baseline by more than
+// wakeupsThreshold. Improvements and missing data pass (with a note),
+// so the gate only ever bites on a measured regression against
+// committed numbers.
+func compare(name string, runs []map[string]float64, base *baseline, baseDesc string, threshold, nsThreshold, wakeupsThreshold float64) (string, bool) {
 	var b strings.Builder
 	fmt.Fprintf(&b, "benchgate: %s, threshold %.0f%% (ns/op %.0f%%)\n", name, threshold*100, nsThreshold*100)
 	if len(runs) == 0 {
@@ -218,6 +226,12 @@ func compare(name string, runs []map[string]float64, base *baseline, baseDesc st
 	}
 	check("ns/op", base.NsPerOp, nsThreshold, true)
 	check("dgram/rxcall", base.DgramPerRx, threshold, false)
+	// Wakeups per op only gates entries that committed a baseline for
+	// it (the io_uring data path's structural metric); zero means the
+	// entry predates the metric and the check stays silent.
+	if base.WakeupsPerOp > 0 {
+		check("wakeups/op", base.WakeupsPerOp, wakeupsThreshold, true)
+	}
 	if regressed {
 		fmt.Fprintf(&b, "  FAIL: regression beyond tolerance against committed history\n")
 	} else {

@@ -6,7 +6,7 @@
 // Usage:
 //
 //	qtpbench [-quick] [-seed N] [-only E1,E4,...]
-//	qtpbench -loopback [-conns N] [-mbytes M] [-nobatch] [-nogso] [-shards N]
+//	qtpbench -loopback [-conns N] [-mbytes M] [-nobatch] [-nogso] [-nouring] [-shards N]
 //	         [-streams N -mix reliable,unordered,expiring [-deadline D]]
 package main
 
@@ -35,6 +35,7 @@ func main() {
 	rate := flag.Float64("rate", 4e6, "loopback: per-connection QoS target, bytes/s (keep the aggregate under what loopback can carry or loss recovery dominates)")
 	nobatch := flag.Bool("nobatch", false, "loopback: force the single-datagram socket path")
 	nogso := flag.Bool("nogso", false, "loopback: keep UDP segment offload (GSO/GRO) off, pinning sends to plain sendmmsg")
+	nouring := flag.Bool("nouring", false, "loopback: keep the io_uring data path off, pinning I/O to recvmmsg/sendmmsg")
 	shards := flag.Int("shards", 1, "loopback: SO_REUSEPORT server shards (0 = one per core); >1 gives every conn its own client socket so the kernel hash can spread flows")
 	streams := flag.Int("streams", 1, "loopback: streams per connection (>1 negotiates stream multiplexing and spreads each connection's bytes across them)")
 	mix := flag.String("mix", "reliable", "loopback: comma-separated delivery modes cycled across streams: reliable | unordered | expiring")
@@ -46,7 +47,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		runLoopback(*conns, *mbytes<<20, *rate, *nobatch, *nogso, *shards,
+		runLoopback(*conns, *mbytes<<20, *rate, *nobatch, *nogso, *nouring, *shards,
 			*streams, modes, *deadline)
 		return
 	}
@@ -90,7 +91,7 @@ func main() {
 // stream multiplexing and splits its bytes across that many streams,
 // delivery modes cycling through the -mix list, so the bench exercises
 // the round-robin stream scheduler under real socket load.
-func runLoopback(n, perConn int, rate float64, nobatch, nogso bool, shards,
+func runLoopback(n, perConn int, rate float64, nobatch, nogso, nouring bool, shards,
 	nStreams int, modes []qtpnet.StreamMode, deadline time.Duration) {
 
 	cfg := qtpnet.EndpointConfig{
@@ -98,6 +99,7 @@ func runLoopback(n, perConn int, rate float64, nobatch, nogso bool, shards,
 		Constraints:    core.Permissive(rate),
 		DisableBatchIO: nobatch,
 		DisableGSO:     nogso,
+		DisableUring:   nouring,
 	}
 	srv, err := qtpnet.NewShardedEndpoint("127.0.0.1:0", cfg, shards)
 	if err != nil {
@@ -113,6 +115,7 @@ func runLoopback(n, perConn int, rate float64, nobatch, nogso bool, shards,
 		clients[i], err = qtpnet.NewEndpoint("127.0.0.1:0", qtpnet.EndpointConfig{
 			DisableBatchIO: nobatch,
 			DisableGSO:     nogso,
+			DisableUring:   nouring,
 		})
 		if err != nil {
 			log.Fatal(err)
@@ -288,6 +291,12 @@ func runLoopback(n, perConn int, rate float64, nobatch, nogso bool, shards,
 	mode := "recvmmsg/sendmmsg"
 	if clients[0].GSOEnabled() {
 		mode = "recvmmsg/sendmmsg + GSO/GRO"
+	}
+	if clients[0].UringEnabled() {
+		mode = "io_uring multishot"
+		if clients[0].TxTimeEnabled() {
+			mode = "io_uring multishot + SO_TXTIME"
+		}
 	}
 	if nobatch {
 		mode = "single-datagram fallback"

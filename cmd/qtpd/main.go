@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	qtpd [-listen :9000] [-shards n] [-nogso] [-qos-budget bytesPerSec] [-o prefix] [-max n] [-v]
+//	qtpd [-listen :9000] [-shards n] [-nogso] [-nouring] [-qos-budget bytesPerSec] [-o prefix] [-max n] [-v]
 package main
 
 import (
@@ -25,6 +25,7 @@ func main() {
 	listen := flag.String("listen", ":9000", "UDP address to listen on")
 	shards := flag.Int("shards", 1, "SO_REUSEPORT shards to run on the port (0 = one per core; falls back to 1 where unsupported)")
 	nogso := flag.Bool("nogso", false, "keep UDP segment offload (GSO/GRO) off even where the kernel supports it")
+	nouring := flag.Bool("nouring", false, "keep the io_uring data path off even where the kernel supports it")
 	budget := flag.Float64("qos-budget", 0, "max QoS reservation to grant per connection, bytes/s (0 = refuse QoS)")
 	maxStreams := flag.Int("max-streams", 64, "max concurrent streams to grant per connection (0 = refuse stream multiplexing)")
 	out := flag.String("o", "", "write each stream to <prefix>.<connID> (default: discard)")
@@ -42,6 +43,9 @@ func main() {
 	if *nogso {
 		opts = append(opts, qtpnet.WithNoGSO())
 	}
+	if *nouring {
+		opts = append(opts, qtpnet.WithNoUring())
+	}
 	l, err := qtpnet.Listen(*listen, cons, opts...)
 	if err != nil {
 		log.Fatal(err)
@@ -52,8 +56,12 @@ func main() {
 	ep := l.Endpoint()
 	log.Printf("qtpd: segment offload: gso=%v gro=%v (per shard; -nogso or QTPNET_NOGSO to force off)",
 		ep.GSOEnabled(), ep.GROEnabled())
+	log.Printf("qtpd: io_uring data path: uring=%v txtime=%v (per shard; -nouring or QTPNET_NOURING to force off)",
+		ep.UringEnabled(), ep.TxTimeEnabled())
 
 	if *verbose {
+		rcv, snd := ep.SocketBufSizes()
+		log.Printf("qtpd: effective socket buffers: rcvbuf=%d sndbuf=%d", rcv, snd)
 		go func() {
 			for {
 				time.Sleep(10 * time.Second)

@@ -182,12 +182,14 @@ func BenchmarkEndpointLoopback(b *testing.B) {
 // per receive/send syscall on the server endpoint — the number batching
 // exists to raise (the fallback path pins it at 1). Segment offload is
 // on where the kernel supports it, exactly as in production.
-func BenchmarkEndpointFanout(b *testing.B) { benchFanout(b, false, false, 64, 256<<10, 2e6) }
+func BenchmarkEndpointFanout(b *testing.B) { benchFanout(b, false, false, false, 64, 256<<10, 2e6) }
 
 // BenchmarkEndpointFanoutNoBatch is the same load on the forced
 // single-datagram socket path: the difference against
 // BenchmarkEndpointFanout is what recvmmsg/sendmmsg buy.
-func BenchmarkEndpointFanoutNoBatch(b *testing.B) { benchFanout(b, true, false, 64, 256<<10, 2e6) }
+func BenchmarkEndpointFanoutNoBatch(b *testing.B) {
+	benchFanout(b, true, false, false, 64, 256<<10, 2e6)
+}
 
 // BenchmarkGSOFanout is BenchmarkEndpointFanout with segment offload
 // explicitly exercised (it skips where the kernel has no UDP_SEGMENT):
@@ -216,16 +218,57 @@ func benchGSOFanout(b *testing.B, nogso bool) {
 	// Hotter per-connection rate than the EndpointFanout shape: trains
 	// and GRO merges only form when flush queues and receive bursts
 	// outgrow what one mmsg message can carry, which is exactly the
-	// regime segment offload exists for.
-	benchFanout(b, false, nogso, 32, 256<<10, 5e6)
+	// regime segment offload exists for. The uring rung would hide the
+	// mmsg-vs-GSO contrast, so it sits out this pair.
+	benchFanout(b, false, nogso, true, 32, 256<<10, 5e6)
 }
 
-func benchFanout(b *testing.B, nobatch, nogso bool, nConns, perConn int, rate float64) {
+// BenchmarkUringFanout is the fan-out load on the io_uring data path
+// (multishot receive, batched SQE sends, SO_TXTIME pacing where the
+// kernel grants it); it skips where the ring probe refuses. Against
+// BenchmarkUringFanoutNoUring — the same load pinned to mmsg+GSO — the
+// wakeups/op metric is the headline: completions drained from the ring
+// without entering the kernel are receive syscalls that no longer
+// happen.
+func BenchmarkUringFanout(b *testing.B) { benchUringFanout(b, false) }
+
+// BenchmarkUringFanoutNoUring is the mmsg+GSO baseline for
+// BenchmarkUringFanout (ring disabled, everything else identical).
+func BenchmarkUringFanoutNoUring(b *testing.B) { benchUringFanout(b, true) }
+
+func benchUringFanout(b *testing.B, nouring bool) {
+	probe, err := qtpnet.NewEndpoint("127.0.0.1:0", qtpnet.EndpointConfig{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	uring := probe.UringEnabled()
+	probe.Close()
+	if !uring {
+		b.Skip("kernel without a usable io_uring; nothing to measure")
+	}
+	// Hot per-connection rate, same reasoning as the GSO pair: the ring
+	// only beats a blocking recvmmsg when completions pile up while the
+	// endpoint is busy draining the previous batch, i.e. under sustained
+	// arrival pressure. GRO sits this pair out — symmetric to the GSO
+	// pair sitting uring out — because kernel merging already collapses
+	// a 40-datagram burst into one delivery for either rung, which
+	// hides the ring-vs-recvmmsg wakeup contrast this pair measures.
+	benchFanout(b, false, true, nouring, 64, 256<<10, 5e6)
+}
+
+func benchFanout(b *testing.B, nobatch, nogso, nouring bool, nConns, perConn int, rate float64) {
 	srv, err := qtpnet.NewEndpoint("127.0.0.1:0", qtpnet.EndpointConfig{
 		AcceptInbound:  true,
 		Constraints:    core.Permissive(rate),
 		DisableBatchIO: nobatch,
 		DisableGSO:     nogso,
+		DisableUring:   nouring,
+		// Deep enough for a whole per-conn transfer: on a saturated
+		// single-core box the reader goroutines are scheduled long after
+		// the data path has delivered, and the default queue's
+		// drop-oldest overflow would turn scheduling jitter into missing
+		// bytes. The bench measures the data path, not reader latency.
+		ReadQueue: perConn/1200 + 16,
 	})
 	if err != nil {
 		b.Fatal(err)
@@ -234,6 +277,7 @@ func benchFanout(b *testing.B, nobatch, nogso bool, nConns, perConn int, rate fl
 	client, err := qtpnet.NewEndpoint("127.0.0.1:0", qtpnet.EndpointConfig{
 		DisableBatchIO: nobatch,
 		DisableGSO:     nogso,
+		DisableUring:   nouring,
 	})
 	if err != nil {
 		b.Fatal(err)
@@ -309,7 +353,8 @@ func benchFanout(b *testing.B, nobatch, nogso bool, nConns, perConn int, rate fl
 		}
 		for j := 0; j < nConns; j++ {
 			if n := <-srvDone; n != perConn {
-				b.Fatalf("stream delivered %d bytes, want %d", n, perConn)
+				b.Fatalf("stream delivered %d bytes, want %d (srv err %v, client err %v)",
+					n, perConn, srv.Err(), client.Err())
 			}
 		}
 	}
@@ -323,6 +368,15 @@ func benchFanout(b *testing.B, nobatch, nogso bool, nConns, perConn int, rate fl
 	// floor, and GroMerged on the server shows the receive half.
 	cst := client.Stats()
 	b.ReportMetric(cst.AvgSendBatch(), "c-dgram/txcall")
+	// Wakeups are the io_uring headline: times the receive path actually
+	// blocked into the kernel. On mmsg every batch is a wakeup; on the
+	// ring only an empty completion queue is, so wakeups/op falling below
+	// the mmsg line measures syscalls the ring deleted.
+	b.ReportMetric(float64(st.Wakeups+cst.Wakeups)/float64(b.N), "wakeups/op")
+	if st.UringSubmits > 0 || cst.UringSubmits > 0 {
+		b.ReportMetric(float64(st.UringSubmits+cst.UringSubmits)/float64(b.N), "submits/op")
+		b.ReportMetric(float64(cst.TxTimeSends)/float64(b.N), "c-txtime/op")
+	}
 	if cst.GsoTrains > 0 || st.GroMerged > 0 {
 		b.ReportMetric(float64(cst.GsoSegs)/float64(b.N), "c-gsosegs/op")
 		b.ReportMetric(float64(st.GroMerged)/float64(b.N), "gromerged/op")

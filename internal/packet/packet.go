@@ -33,21 +33,22 @@ type Type uint8
 
 // Frame types.
 const (
-	TypeInvalid  Type = iota
-	TypeConnect       // client hello carrying the proposed profile
-	TypeAccept        // server response carrying the agreed profile
-	TypeConfirm       // client confirmation; connection established
-	TypeData          // application payload
-	TypeFeedback      // RFC 3448 receiver report (+ optional SACK blocks)
-	TypeSACK          // QTPlight light feedback: SACK vector only
-	TypeClose         // sender has no more data
-	TypeCloseAck      // close acknowledgment
+	TypeInvalid     Type = iota
+	TypeConnect          // client hello carrying the proposed profile
+	TypeAccept           // server response carrying the agreed profile
+	TypeConfirm          // client confirmation; connection established
+	TypeData             // application payload
+	TypeFeedback         // RFC 3448 receiver report (+ optional SACK blocks)
+	TypeSACK             // QTPlight light feedback: SACK vector only
+	TypeClose            // sender has no more data
+	TypeCloseAck         // close acknowledgment
+	TypeStreamReset      // forward-FIN: terminate one expiring stream standalone
 	typeMax
 )
 
 var typeNames = [...]string{
 	"invalid", "connect", "accept", "confirm", "data",
-	"feedback", "sack", "close", "closeack",
+	"feedback", "sack", "close", "closeack", "streamreset",
 }
 
 func (t Type) String() string {

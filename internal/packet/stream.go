@@ -173,6 +173,69 @@ func (si *StreamInfo) Parse(b []byte, hdrSeq seqspace.Seq) (rest []byte, err err
 	return b, nil
 }
 
+// StreamReset is the payload of a TypeStreamReset frame: a forward FIN
+// for one expiring stream. A sender whose stream ran out its deadline
+// with the FIN (or trailing segments) unacknowledged tells the receiver
+// where the stream ends, so the receiver can finish it standalone —
+// skipping the lost tail — instead of holding it open until connection
+// close. Reliable streams never emit it: their FIN is retransmitted
+// until acknowledged.
+type StreamReset struct {
+	// ID names the stream being terminated.
+	ID uint64
+	// Mode is the stream's delivery mode, repeated (like StreamInfo.Mode)
+	// so a receiver that lost every data frame can still instantiate and
+	// immediately finish the stream.
+	Mode StreamMode
+	// FinSeq is the stream-level sequence number of the final segment:
+	// the receiver's reassembler finishes at FinSeq, abandoning any holes
+	// at or below it.
+	FinSeq seqspace.Seq
+	// DeadlineMS echoes the stream's expiry deadline, for symmetry with
+	// StreamInfo (a fresh receiver-side stream needs it to instantiate).
+	DeadlineMS uint32
+}
+
+// AppendTo appends the encoded reset payload to dst.
+func (sr *StreamReset) AppendTo(dst []byte) []byte {
+	dst = binary.AppendUvarint(dst, sr.ID)
+	dst = append(dst, byte(sr.Mode))
+	dst = binary.AppendUvarint(dst, uint64(uint32(sr.FinSeq)))
+	dst = binary.AppendUvarint(dst, uint64(sr.DeadlineMS))
+	return dst
+}
+
+// Parse decodes a reset payload.
+func (sr *StreamReset) Parse(b []byte) error {
+	id, n := binary.Uvarint(b)
+	if n <= 0 {
+		return ErrStream
+	}
+	b = b[n:]
+	if len(b) < 1 {
+		return ErrStream
+	}
+	mode := StreamMode(b[0])
+	if mode >= streamModeMax {
+		return fmt.Errorf("%w: mode %d", ErrStream, mode)
+	}
+	b = b[1:]
+	seq, n := binary.Uvarint(b)
+	if n <= 0 || seq > 0xffffffff {
+		return ErrStream
+	}
+	b = b[n:]
+	deadline, n := binary.Uvarint(b)
+	if n <= 0 || deadline > 0xffffffff {
+		return ErrStream
+	}
+	sr.ID = id
+	sr.Mode = mode
+	sr.FinSeq = seqspace.Seq(seq)
+	sr.DeadlineMS = uint32(deadline)
+	return nil
+}
+
 // StreamAck is one entry of the per-stream acknowledgment tail on
 // Feedback and SACK frames: the receiver's cumulative ack within that
 // stream's own sequence space. For an expiring stream the cumulative ack

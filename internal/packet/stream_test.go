@@ -275,3 +275,39 @@ func FuzzFrame(f *testing.F) {
 		}
 	})
 }
+
+func TestStreamResetRoundTrip(t *testing.T) {
+	cases := []StreamReset{
+		{ID: 0, Mode: StreamExpiring, FinSeq: 1, DeadlineMS: 150},
+		{ID: 3, Mode: StreamExpiring, FinSeq: 0xfffffffe, DeadlineMS: 1},
+		{ID: 1 << 40, Mode: StreamReliableOrdered, FinSeq: 0, DeadlineMS: 0xffffffff},
+	}
+	for _, in := range cases {
+		enc := in.AppendTo(nil)
+		var out StreamReset
+		if err := out.Parse(enc); err != nil {
+			t.Fatalf("%+v: %v", in, err)
+		}
+		if out != in {
+			t.Fatalf("round trip mismatch:\n in=%+v\nout=%+v", in, out)
+		}
+	}
+}
+
+// TestStreamResetMalformed pins the decoder's rejections: truncation at
+// every boundary, and a mode byte outside the known delivery modes.
+func TestStreamResetMalformed(t *testing.T) {
+	good := (&StreamReset{ID: 7, Mode: StreamExpiring, FinSeq: 42, DeadlineMS: 99}).AppendTo(nil)
+	for n := 0; n < len(good); n++ {
+		var sr StreamReset
+		if err := sr.Parse(good[:n]); err == nil {
+			t.Fatalf("truncation to %d of %d bytes parsed", n, len(good))
+		}
+	}
+	bad := append([]byte(nil), good...)
+	bad[1] = streamModeMax // mode byte follows the 1-byte varint ID
+	var sr StreamReset
+	if err := sr.Parse(bad); err == nil {
+		t.Fatal("unknown stream mode parsed")
+	}
+}

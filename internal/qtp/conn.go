@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/bufpool"
 	"repro/internal/core"
 	"repro/internal/gtfrc"
 	"repro/internal/packet"
@@ -109,6 +110,9 @@ type Stats struct {
 	FramesReceived int
 	DeliveredBytes int
 	DecodeErrors   int
+
+	StreamResetsSent int // forward FINs emitted for expired streams
+	StreamResetsRcvd int // forward FINs applied to receive streams
 }
 
 // Conn is one endpoint of a QTP connection. It is not safe for
@@ -411,11 +415,19 @@ func (c *Conn) Read() ([]byte, bool) {
 	if c.reasm == nil {
 		return nil, false
 	}
-	p, ok := c.reasm.Pop()
-	if ok {
+	for {
+		p, ok := c.reasm.Pop()
+		if !ok {
+			return nil, false
+		}
+		if len(p) == 0 {
+			// Bare FIN marker (empty final segment): recycle, not deliver.
+			bufpool.PutChunk(p)
+			continue
+		}
 		c.stats.DeliveredBytes += len(p)
+		return p, true
 	}
-	return p, ok
 }
 
 // Finished reports whether the receive stream has delivered everything

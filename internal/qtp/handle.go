@@ -56,6 +56,8 @@ func (c *Conn) HandleFrame(now time.Duration, frame []byte) error {
 		return c.onClose(now)
 	case packet.TypeCloseAck:
 		return c.onCloseAck()
+	case packet.TypeStreamReset:
+		return c.onStreamReset(now, payload)
 	}
 	return fmt.Errorf("qtp: unhandled frame type %v", hdr.Type)
 }

@@ -34,9 +34,15 @@ func (c *Conn) PollFrame(now time.Duration) (frame []byte, ok bool) {
 func (c *Conn) PollFrameAppend(now time.Duration, dst []byte) (frame []byte, ok bool) {
 	c.advance(now)
 
-	// 1. Control plane (handshake, close) has priority.
+	// 1. Control plane (handshake, close) has priority; a forward FIN
+	// owed to the peer rides just behind it.
 	if c.ctrlPending != 0 && now >= c.ctrlDue {
 		return c.buildControl(now, dst), true
+	}
+	if c.multi {
+		if f, ok := c.pollStreamReset(now, dst); ok {
+			return f, true
+		}
 	}
 	// 2. Receiver side: acknowledgments.
 	if c.urgentFB {
@@ -84,6 +90,9 @@ func (c *Conn) advance(now time.Duration) {
 			c.drainRecv(rs)
 		}
 	}
+	if c.multi && c.isSender() {
+		c.armStreamResets(now)
+	}
 	if c.multi {
 		c.retireStreams()
 	}
@@ -94,6 +103,16 @@ func (c *Conn) advance(now time.Duration) {
 		c.ctrlPending = packet.TypeClose
 		c.ctrlDue = now
 	}
+}
+
+// needFinSingle reports whether the legacy single-stream sender still
+// owes the wire a FIN: CloseSend landed only after the backlog had fully
+// drained, so the final data segment left without the flag and an empty
+// FIN segment must follow (multi-stream connections track the same
+// condition per stream via sendStream.needFin).
+func (c *Conn) needFinSingle() bool {
+	return !c.multi && c.isSender() && !c.sendOpen && !c.finSet &&
+		c.stats.DataFramesSent > 0 && len(c.backlog) == 0
 }
 
 // closeReady reports whether the sender has nothing left to deliver and
@@ -264,7 +283,26 @@ func (c *Conn) buildData(now time.Duration, dst []byte) ([]byte, bool) {
 		}
 	}
 	if len(c.backlog) == 0 {
-		return nil, false
+		if !c.needFinSingle() {
+			return nil, false
+		}
+		// CloseSend arrived after the last data segment went out: the
+		// stream end must travel as an empty FIN segment, retransmitted
+		// like data when reliability is on.
+		seq := c.nextSeq
+		c.nextSeq = seq.Next()
+		c.finSeq = seq
+		c.finSet = true
+		if c.sendBuf != nil {
+			c.sendBuf.Add(now, seq, nil)
+		}
+		if c.est != nil {
+			c.est.OnSent(now, seq, packet.HeaderLen)
+		}
+		frame := c.dataFrame(now, dst, seq, nil, false, true)
+		c.stats.DataFramesSent++
+		c.pace(now, len(frame)-len(dst))
+		return frame, true
 	}
 	n := c.profile.MSS
 	if n > len(c.backlog) {
@@ -368,7 +406,7 @@ func (c *Conn) NextWake(now time.Duration) (at time.Duration, ok bool) {
 		}
 	}
 	if c.started && c.state == StateEstablished {
-		if len(c.backlog) > 0 || c.sendWorkPending() {
+		if len(c.backlog) > 0 || c.sendWorkPending() || c.needFinSingle() {
 			merge(c.nextSendAt)
 		}
 		if c.rc != nil {
@@ -390,6 +428,9 @@ func (c *Conn) NextWake(now time.Duration) (at time.Duration, ok bool) {
 		}
 		for _, s := range c.sendStreams {
 			mergeRetx(s.buf)
+			if s.resetPending {
+				merge(s.resetDue)
+			}
 		}
 		if c.closeReady() {
 			merge(now)

@@ -377,3 +377,41 @@ func TestHandleFrameRejectsGarbage(t *testing.T) {
 		t.Fatalf("DecodeErrors = %d", c.Stats().DecodeErrors)
 	}
 }
+
+// TestLateCloseSendEmitsBareFIN is the regression for the single-stream
+// close stall: when CloseSend lands only after the backlog has fully
+// drained, the last data segment already left the wire without the FIN
+// flag, so the close must travel as an empty FIN segment of its own.
+// Before the fix the sender had no way to produce it — both endpoints
+// blocked forever with every byte delivered.
+func TestLateCloseSendEmitsBareFIN(t *testing.T) {
+	p := newTestPath(31, 250_000, 10*time.Millisecond, netsim.NewDropTail(64), nil)
+	const total = 20_000
+	f := p.startFlow(FlowConfig{
+		Profile: core.QTPAF(100_000),
+		RTTHint: 20 * time.Millisecond,
+	})
+	p.sim.At(10*time.Millisecond, func() {
+		f.Sender.Write(make([]byte, total))
+		f.Pump()
+	})
+	// Five seconds in, the transfer has long finished draining; only now
+	// does the application close its end.
+	p.sim.At(5*time.Second, func() {
+		if n := f.Sender.BacklogLen(); n != 0 {
+			t.Fatalf("backlog still holds %d bytes; the test needs a fully drained sender", n)
+		}
+		f.CloseSend()
+	})
+	p.sim.Run(30 * time.Second)
+
+	if f.DeliveredBytes != total {
+		t.Fatalf("delivered %d bytes, want %d", f.DeliveredBytes, total)
+	}
+	if !f.Receiver.Finished() {
+		t.Fatal("receiver never saw the stream end: bare FIN not emitted or not delivered")
+	}
+	if st := f.Sender.State(); st != StateClosed && st != StateClosing {
+		t.Fatalf("sender state = %v, want closing/closed", st)
+	}
+}

@@ -87,6 +87,21 @@ type sendStream struct {
 	finSet  bool
 	finSeq  seqspace.Seq
 
+	// Forward FIN (expiring mode): an expiring stream whose tail —
+	// including the FIN — expired unacknowledged stops retransmitting,
+	// so the receiver would hold the stream open until connection close.
+	// Once such a stream is locally resolved with abandoned segments and
+	// the receiver has not reported its cum past the FIN, a StreamReset
+	// frame announces where the stream ends. resetPending keeps done()
+	// false until the reset is answered (receiver cum crosses the FIN)
+	// or retries run out.
+	resetArmed   bool          // reset sequence initiated, never re-armed
+	resetPending bool          // reset frames still being emitted
+	resetTries   int           // StreamReset frames sent so far
+	resetDue     time.Duration // next emission instant
+	peerCum      seqspace.Seq  // highest receiver-reported stream cum ack
+	peerCumSet   bool
+
 	frames, bytes           int
 	retransFrames, retransB int
 }
@@ -111,9 +126,10 @@ func (s *sendStream) needFin() bool {
 }
 
 // done reports whether the stream is fully resolved: closed, drained,
-// FIN out (or nothing ever sent) and every segment acked or abandoned.
+// FIN out (or nothing ever sent), every segment acked or abandoned, and
+// no forward FIN still owed to the receiver.
 func (s *sendStream) done() bool {
-	if s.open || len(s.backlog) != 0 || s.needFin() {
+	if s.open || len(s.backlog) != 0 || s.needFin() || s.resetPending {
 		return false
 	}
 	return !s.buf.Unresolved()
@@ -675,8 +691,136 @@ func (c *Conn) onStreamAcks(now time.Duration, cum seqspace.Seq, ranges []seqspa
 	for _, a := range acks {
 		if s := c.sendByID[a.ID]; s != nil {
 			s.buf.OnSACK(now, a.CumAck, nil)
+			if !s.peerCumSet || s.peerCum.Less(a.CumAck) {
+				s.peerCum, s.peerCumSet = a.CumAck, true
+			}
+			if s.resetPending && s.finSet && s.finSeq.Less(s.peerCum) {
+				// The receiver crossed the FIN: the forward FIN is
+				// answered, stop retrying and let the stream resolve.
+				s.resetPending = false
+			}
 		}
 	}
+}
+
+// streamResetMaxTries bounds StreamReset retransmissions: once spent,
+// the receiver almost certainly saw one, and the connection close stops
+// waiting on an answer.
+const streamResetMaxTries = 4
+
+// armStreamResets scans for expiring streams that resolved with
+// abandoned segments while the receiver's reported cumulative ack never
+// crossed the FIN: their tail (FIN included) expired on the wire, so
+// without help the receiver would hold the stream open until connection
+// close. Each such stream starts a forward-FIN sequence exactly once.
+func (c *Conn) armStreamResets(now time.Duration) {
+	for _, s := range c.sendStreams {
+		if s.resetArmed || s.mode != packet.StreamExpiring {
+			continue
+		}
+		if s.open || len(s.backlog) != 0 || s.needFin() || !s.finSet {
+			continue
+		}
+		if s.buf.Unresolved() || s.buf.AbandonedSegs == 0 {
+			continue
+		}
+		if s.peerCumSet && s.finSeq.Less(s.peerCum) {
+			continue // receiver already delivered (or skipped) past the FIN
+		}
+		s.resetArmed = true
+		s.resetPending = true
+		s.resetDue = now
+	}
+}
+
+// pollStreamReset emits one due StreamReset frame, if any stream owes
+// the receiver a forward FIN.
+func (c *Conn) pollStreamReset(now time.Duration, dst []byte) ([]byte, bool) {
+	if !c.multi || !c.isSender() {
+		return nil, false
+	}
+	for _, s := range c.sendStreams {
+		if !s.resetPending || now < s.resetDue {
+			continue
+		}
+		sr := packet.StreamReset{
+			ID: s.id, Mode: s.mode, FinSeq: s.finSeq,
+			DeadlineMS: uint32(s.deadline / time.Millisecond),
+		}
+		payload := sr.AppendTo(c.scratch[:0])
+		c.scratch = payload
+		hdr := packet.Header{
+			Type:       packet.TypeStreamReset,
+			ConnID:     c.remoteID,
+			Timestamp:  nowUS(now),
+			PayloadLen: uint16(len(payload)),
+		}
+		if c.havePeerTS {
+			hdr.TSEcho = c.lastPeerTS
+		}
+		frame := hdr.AppendTo(dst)
+		frame = append(frame, payload...)
+		s.resetTries++
+		if s.resetTries >= streamResetMaxTries {
+			s.resetPending = false
+		} else {
+			s.resetDue = now + c.retxTimeout()
+		}
+		c.stats.StreamResetsSent++
+		return frame, true
+	}
+	return nil, false
+}
+
+// onStreamReset applies a forward FIN: the sender terminated one
+// expiring stream whose tail it abandoned, so the stream finishes now —
+// holes at or below the FIN will never fill — instead of holding until
+// connection close.
+func (c *Conn) onStreamReset(now time.Duration, payload []byte) error {
+	if !c.multi {
+		c.stats.DecodeErrors++
+		return errors.New("qtp: stream reset on single-stream connection")
+	}
+	var sr packet.StreamReset
+	if err := sr.Parse(payload); err != nil {
+		c.stats.DecodeErrors++
+		return err
+	}
+	c.peerSeen = true
+	if _, ok := c.retired[sr.ID]; ok {
+		return nil // already finished and reclaimed
+	}
+	rs := c.recvByID[sr.ID]
+	if rs == nil {
+		// Every data frame was lost: instantiate the stream just to
+		// finish it, so AcceptStreamID and Finished stay consistent.
+		if len(c.recvByID) >= c.profile.MaxStreams {
+			c.stats.DecodeErrors++
+			return ErrStreamLimit
+		}
+		rs = newRecvStream(sr.ID, sr.Mode,
+			time.Duration(sr.DeadlineMS)*time.Millisecond, c.streamStart())
+		c.recvByID[sr.ID] = rs
+		c.recvOrder = append(c.recvOrder, rs)
+		if sr.ID != 0 {
+			c.acceptQ = append(c.acceptQ, sr.ID)
+		}
+	}
+	if rs.reasm == nil {
+		return nil // reliable-unordered streams never legitimately reset
+	}
+	rs.reasm.ForceFin(now, sr.FinSeq)
+	rs.finalAcked = false // (re-)advertise the final cum until it lands
+	c.drainRecv(rs)
+	c.stats.StreamResetsRcvd++
+	// Answer promptly: the sender retries until it sees our cum cross
+	// the FIN.
+	if c.tfrcRecv != nil {
+		c.urgentFB = true
+	} else if c.profile.Feedback == packet.FeedbackSenderLoss {
+		c.sackPending = true
+	}
+	return nil
 }
 
 // ackFloor returns the sender's lowest unresolved connection-level

@@ -1,6 +1,7 @@
 package qtp
 
 import (
+	"math/rand"
 	"testing"
 	"time"
 
@@ -387,5 +388,86 @@ func TestStreamLimitEnforced(t *testing.T) {
 	c2.StartDirect(0, prof, 10*time.Millisecond)
 	if _, err := c2.OpenStream(packet.StreamExpiring, 0); err == nil {
 		t.Fatal("expiring stream without deadline accepted")
+	}
+}
+
+// blackout is a togglable total-loss model: while *on it eats every
+// forward packet, which engineers a deterministically lost stream tail.
+type blackout struct{ on *bool }
+
+func (b blackout) Lose(rng *rand.Rand, p *netsim.Packet) bool { return *b.on }
+
+// TestExpiringStreamForwardFIN is the forward-FIN regression: an
+// expiring stream whose final chunk AND FIN vanish into a link blackout
+// that outlasts the retransmission deadline. The sender abandons the
+// whole tail, so no data retransmission will ever carry the FIN again —
+// only the StreamReset forward FIN can tell the receiver where the
+// stream ends. Before it existed, the receiver held the stream open
+// (and the connection with it) forever.
+func TestExpiringStreamForwardFIN(t *testing.T) {
+	drop := false
+	p := newTestPath(26, 250_000, 10*time.Millisecond, &netsim.DropTail{},
+		blackout{&drop})
+	f := p.startFlow(FlowConfig{
+		Profile: multiProfile(),
+		RTTHint: 20 * time.Millisecond,
+	})
+
+	const deadline = 150 * time.Millisecond
+	var exp uint64
+	p.sim.At(10*time.Millisecond, func() {
+		id, err := f.Sender.OpenStream(packet.StreamExpiring, deadline)
+		if err != nil {
+			t.Fatalf("OpenStream: %v", err)
+		}
+		exp = id
+		f.Sender.WriteStream(0, make([]byte, 20_000))
+		f.Sender.CloseStream(0)
+		f.Pump()
+	})
+	// Feed the expiring stream over a clean link...
+	for i := 0; i < 10; i++ {
+		p.sim.At(time.Duration(20+20*i)*time.Millisecond, func() {
+			f.Sender.WriteStream(exp, make([]byte, 1000))
+			f.Pump()
+		})
+	}
+	// ...then black out the forward path exactly as the tail goes out.
+	p.sim.At(300*time.Millisecond, func() {
+		drop = true
+		f.Sender.WriteStream(exp, make([]byte, 1000))
+		f.Sender.CloseStream(exp)
+		f.Pump()
+	})
+	// Restore the link only after the tail's retransmission deadline has
+	// long run out: every data copy of the FIN is abandoned by now.
+	p.sim.At(600*time.Millisecond, func() { drop = false })
+	p.sim.Run(60 * time.Second)
+
+	ss, ok := f.Sender.StreamStats(exp)
+	if !ok || ss.AbandonedSegs == 0 {
+		t.Fatalf("blackout did not force tail abandonment (stats %+v ok=%v)", ss, ok)
+	}
+	if got := f.Sender.Stats().StreamResetsSent; got == 0 {
+		t.Fatal("sender abandoned the FIN but sent no forward FIN")
+	}
+	if got := f.Receiver.Stats().StreamResetsRcvd; got == 0 {
+		t.Fatal("receiver never applied a forward FIN")
+	}
+	rs, ok := f.Receiver.StreamStats(exp)
+	if !ok {
+		t.Fatal("receiver has no expiring stream stats")
+	}
+	if rs.SkippedSegs == 0 {
+		t.Fatal("forward FIN applied but no tail segments skipped")
+	}
+	if !f.Receiver.Finished() {
+		t.Fatal("receiver did not finish: forward FIN lost or ignored")
+	}
+	if got := f.StreamDelivered[0]; got != 20_000 {
+		t.Fatalf("reliable stream delivered %d bytes, want 20000", got)
+	}
+	if st := f.Sender.State(); st != StateClosed && st != StateClosing {
+		t.Fatalf("sender state = %v, want closing/closed", st)
 	}
 }

@@ -33,6 +33,18 @@ type ioMsg struct {
 	n       int
 	addr    netip.AddrPort
 	segSize int
+
+	// gapNs is the TFRC inter-packet spacing this message should keep
+	// from its predecessor on the same flow, set by the scheduler at
+	// enqueue time. Zero means "send as soon as possible" (control
+	// frames, non-paced traffic). For a segment train it is the sum of
+	// the member gaps.
+	gapNs uint32
+	// txTime, when non-zero and the writer supports SO_TXTIME, is the
+	// CLOCK_MONOTONIC nanosecond instant the kernel should release the
+	// datagram at (stamped by the scheduler from gapNs at flush time).
+	// Writers without TXTIME support ignore it and send immediately.
+	txTime uint64
 }
 
 // wireCount returns how many on-the-wire datagrams m represents: one,
@@ -84,10 +96,56 @@ type segmentOffloader interface {
 	gsoFallbacks() uint64
 }
 
+// txTimeWriter is the optional batchIO extension for SO_TXTIME pacing
+// offload: the scheduler stamps ioMsg.txTime release instants (computed
+// from TFRC inter-packet gaps against the writer's clock) and the
+// writer attaches them as SCM_TXTIME cmsgs, letting the kernel's fq/etf
+// qdisc release each datagram on schedule instead of the whole flush
+// leaving as one micro-burst.
+type txTimeWriter interface {
+	// txTimeOn reports whether SO_TXTIME is active on the socket (the
+	// setsockopt probe succeeded and the knob is not disabled).
+	txTimeOn() bool
+	// txTimeSendCount counts datagrams sent with a TXTIME stamp.
+	txTimeSendCount() uint64
+	// nowNs returns the writer's pacing clock (CLOCK_MONOTONIC ns),
+	// the time base txTime stamps must be computed against.
+	nowNs() uint64
+}
+
+// ioCloser is the optional batchIO extension for implementations that
+// own kernel resources beyond the socket (io_uring rings, registered
+// buffers). The endpoint calls closeIO after stopping the send
+// scheduler and before closing the socket, so a reader blocked in the
+// ring can be woken and the rings torn down in order.
+type ioCloser interface {
+	closeIO()
+}
+
+// uringStatser is the optional batchIO extension exposing io_uring
+// structural counters: how many times the read loop actually had to
+// block (wakeups), and submission/completion volume through the rings.
+type uringStatser interface {
+	uringWakeups() uint64
+	uringSubmits() uint64
+	uringCompletions() uint64
+}
+
+// batchOpts collects the per-socket data-path knobs: each rung of the
+// ladder (batching, segment offload, io_uring, TXTIME pacing) can be
+// disabled independently, by config or environment, without touching
+// the rungs below it.
+type batchOpts struct {
+	noBatch  bool // force the portable single-datagram fallback
+	noGSO    bool // never probe UDP_SEGMENT/UDP_GRO
+	noUring  bool // never probe io_uring
+	noTxTime bool // never probe SO_TXTIME
+}
+
 // newBatchIO picks the best available implementation for the socket.
-func newBatchIO(pc *net.UDPConn, maxBatch int, disable, disableGSO bool) batchIO {
-	if !disable {
-		if bio := newPlatformBatchIO(pc, maxBatch, disableGSO); bio != nil {
+func newBatchIO(pc *net.UDPConn, maxBatch int, o batchOpts) batchIO {
+	if !o.noBatch {
+		if bio := newPlatformBatchIO(pc, maxBatch, o); bio != nil {
 			return bio
 		}
 	}

@@ -36,11 +36,15 @@ import (
 // up to 64 wire packets.
 type mmsgIO struct {
 	rc syscall.RawConn
+	fd int  // raw socket fd (valid for the socket's lifetime)
 	v6 bool // AF_INET6 socket: v4 destinations need mapping
 
 	gsoOK   atomic.Bool // UDP_SEGMENT accepted; cleared on send refusal
 	gro     bool        // UDP_GRO enabled on the socket
 	gsoFell atomic.Uint64
+
+	txtOK    atomic.Bool // SO_TXTIME accepted: pacing stamps are honored
+	txtSends atomic.Uint64
 
 	// Receive-side scratch, reused every syscall.
 	rhdr []mmsghdr
@@ -85,20 +89,45 @@ const (
 	// gsoCmsgSpace is CMSG_SPACE(sizeof(uint16)): one cmsghdr plus the
 	// segment size, padded to the 8-byte cmsg alignment.
 	gsoCmsgSpace = syscall.SizeofCmsghdr + 8
+
+	// soTxTime/scmTxTime are SOL_SOCKET option and cmsg type for
+	// earliest-departure-time pacing (kernel 4.19); the syscall package
+	// predates them. SCM_TXTIME == SO_TXTIME by definition.
+	soTxTime  = 61
+	scmTxTime = 61
+
+	// clockMonotonic is CLOCK_MONOTONIC, the clock SO_TXTIME stamps and
+	// the fq qdisc's pacing horizon are expressed in.
+	clockMonotonic = 1
+
+	// txtimeCmsgSpace is CMSG_SPACE(sizeof(uint64)) for the SCM_TXTIME
+	// release instant.
+	txtimeCmsgSpace = syscall.SizeofCmsghdr + 8
 )
+
+// sockTxTime mirrors struct sock_txtime, the SO_TXTIME setsockopt
+// argument: the clock stamps are read against, plus flags (none used —
+// best-effort release, no error reporting, so a missing fq qdisc
+// degrades to immediate sends rather than failures).
+type sockTxTime struct {
+	clockid int32
+	flags   uint32
+}
 
 // newPlatformBatchIO returns the mmsg implementation, or nil when the
 // socket cannot be driven through a RawConn (forcing the fallback).
 // Segment offload is probed here, once per socket: each socket — and
 // therefore each shard of a ShardedEndpoint — carries its own
 // independent GSO/GRO capability and fallback state.
-func newPlatformBatchIO(pc *net.UDPConn, maxBatch int, disableGSO bool) batchIO {
+func newPlatformBatchIO(pc *net.UDPConn, maxBatch int, o batchOpts) batchIO {
 	rc, err := pc.SyscallConn()
 	if err != nil {
 		return nil
 	}
 	domain := syscall.AF_INET
+	sockFD := -1
 	cerr := rc.Control(func(fd uintptr) {
+		sockFD = int(fd)
 		if d, err := syscall.GetsockoptInt(int(fd), syscall.SOL_SOCKET, syscall.SO_DOMAIN); err == nil {
 			domain = d
 		}
@@ -112,6 +141,7 @@ func newPlatformBatchIO(pc *net.UDPConn, maxBatch int, disableGSO bool) batchIO 
 	}
 	m := &mmsgIO{
 		rc:   rc,
+		fd:   sockFD,
 		v6:   domain == syscall.AF_INET6,
 		rhdr: make([]mmsghdr, maxBatch),
 		riov: make([]syscall.Iovec, maxBatch),
@@ -122,10 +152,52 @@ func newPlatformBatchIO(pc *net.UDPConn, maxBatch int, disableGSO bool) batchIO 
 		wsa:  make([]syscall.RawSockaddrInet6, wn),
 		wctl: make([]ctlBuf, wn),
 	}
-	if !disableGSO {
+	if !o.noGSO {
 		m.probeOffload()
 	}
+	if !o.noTxTime {
+		m.probeTxTime()
+	}
+	if !o.noUring {
+		// The top rung: multishot receive and batched submission over
+		// io_uring, sharing all of mmsgIO's offload/pacing state. The
+		// probe tears itself down and answers nil wherever the kernel
+		// lacks uring UDP multishot, leaving the mmsg path in charge.
+		if u := newUringIO(m, maxBatch); u != nil {
+			return u
+		}
+	}
 	return m
+}
+
+// probeTxTime detects SO_TXTIME support (kernel 4.19) by enabling it:
+// release instants ride CLOCK_MONOTONIC, flags stay zero so pacing is
+// best-effort (without an fq qdisc on the egress path the stamps are
+// simply ignored — never an error). Old kernels answer ENOPROTOOPT and
+// the capability stays off.
+func (m *mmsgIO) probeTxTime() {
+	m.rc.Control(func(fd uintptr) {
+		tt := sockTxTime{clockid: clockMonotonic}
+		_, _, e := syscall.Syscall6(syscall.SYS_SETSOCKOPT, fd,
+			uintptr(syscall.SOL_SOCKET), soTxTime,
+			uintptr(unsafe.Pointer(&tt)), unsafe.Sizeof(tt), 0)
+		if e == 0 {
+			m.txtOK.Store(true)
+		}
+	})
+}
+
+func (m *mmsgIO) txTimeOn() bool          { return m.txtOK.Load() }
+func (m *mmsgIO) txTimeSendCount() uint64 { return m.txtSends.Load() }
+func (m *mmsgIO) nowNs() uint64           { return monoNowNs() }
+
+// monoNowNs reads CLOCK_MONOTONIC directly: TXTIME stamps must share
+// the kernel's pacing clock, which time.Now()'s wall reading is not.
+func monoNowNs() uint64 {
+	var ts syscall.Timespec
+	syscall.Syscall(syscall.SYS_CLOCK_GETTIME, clockMonotonic,
+		uintptr(unsafe.Pointer(&ts)), 0)
+	return uint64(ts.Sec)*1e9 + uint64(ts.Nsec)
 }
 
 // probeOffload detects UDP_SEGMENT support (a getsockopt that old
@@ -237,6 +309,18 @@ func putGSOCmsg(ctl *ctlBuf, segSize uint16) int {
 	return gsoCmsgSpace
 }
 
+// putTxTimeCmsg appends the SCM_TXTIME cmsg carrying a datagram's
+// release instant at offset off in ctl (off must be cmsg-aligned — the
+// GSO cmsg space is), returning the new control length.
+func putTxTimeCmsg(ctl *ctlBuf, off int, txTime uint64) int {
+	h := (*syscall.Cmsghdr)(unsafe.Pointer(&ctl.b[off]))
+	h.Len = syscall.SizeofCmsghdr + 8
+	h.Level = syscall.SOL_SOCKET
+	h.Type = scmTxTime
+	*(*uint64)(unsafe.Pointer(&ctl.b[off+syscall.SizeofCmsghdr])) = txTime
+	return off + txtimeCmsgSpace
+}
+
 // cmsgAlign rounds a cmsg length up to the kernel's 8-byte boundary.
 func cmsgAlign(n int) int { return (n + 7) &^ 7 }
 
@@ -255,6 +339,7 @@ func (m *mmsgIO) writeBatch(ms []ioMsg) (int, error) {
 		n = len(m.whdr)
 	}
 	gso := m.gsoOK.Load()
+	txt := m.txtOK.Load()
 	prep := 0
 	for prep < n {
 		if ms[prep].segSize > 0 && ms[prep].n > ms[prep].segSize && !gso {
@@ -279,8 +364,14 @@ func (m *mmsgIO) writeBatch(ms []ioMsg) (int, error) {
 			Iov:     &m.wiov[prep],
 			Iovlen:  1,
 		}}
+		clen := 0
 		if ms[prep].segSize > 0 && ms[prep].n > ms[prep].segSize {
-			clen := putGSOCmsg(&m.wctl[prep], uint16(ms[prep].segSize))
+			clen = putGSOCmsg(&m.wctl[prep], uint16(ms[prep].segSize))
+		}
+		if txt && ms[prep].txTime > 0 {
+			clen = putTxTimeCmsg(&m.wctl[prep], clen, ms[prep].txTime)
+		}
+		if clen > 0 {
 			m.whdr[prep].hdr.Control = &m.wctl[prep].b[0]
 			m.whdr[prep].hdr.SetControllen(clen)
 		}
@@ -316,6 +407,13 @@ func (m *mmsgIO) writeBatch(ms []ioMsg) (int, error) {
 			return m.sendSegments(&ms[0])
 		}
 		return sent, os.NewSyscallError("sendmmsg", errno)
+	}
+	if txt {
+		for i := 0; i < sent; i++ {
+			if ms[i].txTime > 0 {
+				m.txtSends.Add(1)
+			}
+		}
 	}
 	return sent, nil
 }
@@ -421,4 +519,19 @@ func saToAddrPort(sa *syscall.RawSockaddrInet6) netip.AddrPort {
 func htons(p uint16) uint16 {
 	b := [2]byte{byte(p >> 8), byte(p)}
 	return *(*uint16)(unsafe.Pointer(&b[0]))
+}
+
+// socketBufSizes reports the effective SO_RCVBUF/SO_SNDBUF values as
+// the kernel holds them (doubled request, or clamped by rmem_max), so
+// callers can log whether the configured sizes actually took.
+func socketBufSizes(pc *net.UDPConn) (rcv, snd int) {
+	rc, err := pc.SyscallConn()
+	if err != nil {
+		return 0, 0
+	}
+	rc.Control(func(fd uintptr) {
+		rcv, _ = syscall.GetsockoptInt(int(fd), syscall.SOL_SOCKET, syscall.SO_RCVBUF)
+		snd, _ = syscall.GetsockoptInt(int(fd), syscall.SOL_SOCKET, syscall.SO_SNDBUF)
+	})
+	return rcv, snd
 }

@@ -5,8 +5,14 @@ package qtpnet
 import "net"
 
 // newPlatformBatchIO reports that no batched syscall implementation
-// (and therefore no segment offload) exists here; the endpoint uses
-// the portable single-datagram fallback.
-func newPlatformBatchIO(pc *net.UDPConn, maxBatch int, disableGSO bool) batchIO {
+// (and therefore no segment offload, io_uring or TXTIME pacing) exists
+// here; the endpoint uses the portable single-datagram fallback.
+func newPlatformBatchIO(pc *net.UDPConn, maxBatch int, o batchOpts) batchIO {
 	return nil
+}
+
+// socketBufSizes reports the effective SO_RCVBUF/SO_SNDBUF values, for
+// logging that the requested sizes actually took; unavailable here.
+func socketBufSizes(pc *net.UDPConn) (rcv, snd int) {
+	return 0, 0
 }

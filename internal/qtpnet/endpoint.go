@@ -41,9 +41,13 @@ const closeGrace = 3 * time.Second
 // all three to exercise the fallback data paths on linux, where the
 // batch, reuseport and offload implementations would otherwise always
 // win. Read per construction, not at init, so tests can flip them.
+// envNoUring (QTPNET_NOURING) and envNoTxTime (QTPNET_NOTXTIME) do the
+// same for the io_uring data path and SO_TXTIME pacing offload.
 func envNoBatchIO() bool   { return os.Getenv("QTPNET_NOBATCH") != "" }
 func envNoReusePort() bool { return os.Getenv("QTPNET_NOREUSEPORT") != "" }
 func envNoGSO() bool       { return os.Getenv("QTPNET_NOGSO") != "" }
+func envNoUring() bool     { return os.Getenv("QTPNET_NOURING") != "" }
+func envNoTxTime() bool    { return os.Getenv("QTPNET_NOTXTIME") != "" }
 
 // ErrEndpointClosed is returned by calls on a closed endpoint.
 var ErrEndpointClosed = errors.New("qtpnet: endpoint closed")
@@ -76,14 +80,26 @@ type EndpointConfig struct {
 	// QTPNET_NOGSO environment override; semantics are identical either
 	// way, which the equivalence tests prove.
 	DisableGSO bool
+	// DisableUring keeps the io_uring data path (multishot receive,
+	// batched SQE submission) off this endpoint even on capable
+	// kernels, pinning it to the recvmmsg/sendmmsg rung. Implied by
+	// DisableBatchIO and by the QTPNET_NOURING environment override;
+	// delivery is byte-identical either way.
+	DisableUring bool
+	// DisableTxTime keeps SO_TXTIME pacing offload off the socket, so
+	// flushes leave as kernel-scheduled bursts rather than fq-paced
+	// release instants. Implied by DisableBatchIO and QTPNET_NOTXTIME.
+	DisableTxTime bool
 	// SocketBufferBytes asks the kernel for this much receive and send
-	// buffering on the socket (default 2 MiB, negative to leave the
-	// system default). Best-effort: the kernel clamps to
-	// net.core.{r,w}mem_max. Matters once segment offload is in play —
-	// a single GRO super-datagram can be 64 KiB, a third of the usual
-	// 208 KiB default, so an unlucky burst tail-drops whole trains
-	// (dozens of frames in one loss event) where the per-frame path
-	// would have shed a few packets.
+	// buffering on the socket (negative to leave the system default).
+	// The default is 2 MiB — or 1 MiB when SO_TXTIME pacing is active,
+	// since fq-paced trains arrive spread out instead of as micro-
+	// bursts and need less burst absorption. Best-effort: the kernel
+	// clamps to net.core.{r,w}mem_max. Matters once segment offload is
+	// in play — a single GRO super-datagram can be 64 KiB, a third of
+	// the usual 208 KiB default, so an unlucky burst tail-drops whole
+	// trains (dozens of frames in one loss event) where the per-frame
+	// path would have shed a few packets.
 	SocketBufferBytes int
 }
 
@@ -115,6 +131,21 @@ type EndpointStats struct {
 	GsoSegs      uint64
 	GroMerged    uint64
 	GsoFallbacks uint64
+
+	// Wakeups counts the times the receive path actually blocked into
+	// the kernel for more data — the structural cost batching and
+	// io_uring exist to amortize. On the mmsg/single paths every read
+	// syscall is a wakeup (Wakeups == RecvBatches); on the io_uring
+	// path completions drain without syscalls and Wakeups counts only
+	// the empty-queue blocks, so Wakeups < RecvBatches measures what
+	// the ring saved. UringSubmits/UringCompletions count SQE
+	// submission syscalls and reaped CQEs (zero off the uring path);
+	// TxTimeSends counts datagrams sent with an SO_TXTIME release
+	// stamp (zero without TXTIME pacing).
+	Wakeups          uint64
+	UringSubmits     uint64
+	UringCompletions uint64
+	TxTimeSends      uint64
 
 	// Cross-shard traffic (always zero on unsharded endpoints): frames
 	// the kernel hashed to a shard other than the one their connection
@@ -153,6 +184,14 @@ func (s EndpointStats) String() string {
 		str += fmt.Sprintf(" gso trains %d segs %d fallback %d gro merged %d",
 			s.GsoTrains, s.GsoSegs, s.GsoFallbacks, s.GroMerged)
 	}
+	str += fmt.Sprintf(" wakeups %d", s.Wakeups)
+	if s.UringSubmits > 0 || s.UringCompletions > 0 {
+		str += fmt.Sprintf(" uring submits %d completions %d",
+			s.UringSubmits, s.UringCompletions)
+	}
+	if s.TxTimeSends > 0 {
+		str += fmt.Sprintf(" txtime sends %d", s.TxTimeSends)
+	}
 	return str
 }
 
@@ -177,6 +216,10 @@ func (s EndpointStats) add(o EndpointStats) EndpointStats {
 	s.GsoSegs += o.GsoSegs
 	s.GroMerged += o.GroMerged
 	s.GsoFallbacks += o.GsoFallbacks
+	s.Wakeups += o.Wakeups
+	s.UringSubmits += o.UringSubmits
+	s.UringCompletions += o.UringCompletions
+	s.TxTimeSends += o.TxTimeSends
 	s.CrossShardFwd += o.CrossShardFwd
 	s.CrossShardRecv += o.CrossShardRecv
 	s.CrossShardDrops += o.CrossShardDrops
@@ -294,8 +337,27 @@ func newEndpointOn(pc *net.UDPConn, cfg EndpointConfig, sh shardEnv) *Endpoint {
 	if envNoGSO() {
 		cfg.DisableGSO = true
 	}
+	if envNoUring() {
+		cfg.DisableUring = true
+	}
+	if envNoTxTime() {
+		cfg.DisableTxTime = true
+	}
+	// The data path is built before the socket buffers are sized: with
+	// SO_TXTIME pacing active, flushes leave the socket as fq-scheduled
+	// release instants instead of micro-bursts, so the burst-absorption
+	// floor halves.
+	bio := newBatchIO(pc, rxBatch, batchOpts{
+		noBatch:  cfg.DisableBatchIO,
+		noGSO:    cfg.DisableGSO,
+		noUring:  cfg.DisableUring,
+		noTxTime: cfg.DisableTxTime,
+	})
 	if cfg.SocketBufferBytes == 0 {
 		cfg.SocketBufferBytes = 2 << 20
+		if tw, ok := bio.(txTimeWriter); ok && tw.txTimeOn() {
+			cfg.SocketBufferBytes = 1 << 20
+		}
 	}
 	if cfg.SocketBufferBytes > 0 {
 		// Best-effort: the kernel clamps to its rmem_max/wmem_max caps,
@@ -306,7 +368,7 @@ func newEndpointOn(pc *net.UDPConn, cfg EndpointConfig, sh shardEnv) *Endpoint {
 	}
 	e := &Endpoint{
 		pc:       pc,
-		bio:      newBatchIO(pc, rxBatch, cfg.DisableBatchIO, cfg.DisableGSO),
+		bio:      bio,
 		epoch:    time.Now(),
 		cfg:      cfg,
 		shard:    sh,
@@ -361,6 +423,18 @@ func (e *Endpoint) Stats() EndpointStats {
 	if so, ok := e.bio.(segmentOffloader); ok {
 		st.GsoFallbacks = so.gsoFallbacks()
 	}
+	// On the mmsg/single paths every read syscall blocks, so wakeups
+	// and receive syscalls coincide; the uring path reports how often
+	// it actually had to block.
+	st.Wakeups = st.RecvBatches
+	if us, ok := e.bio.(uringStatser); ok {
+		st.Wakeups = us.uringWakeups()
+		st.UringSubmits = us.uringSubmits()
+		st.UringCompletions = us.uringCompletions()
+	}
+	if tw, ok := e.bio.(txTimeWriter); ok {
+		st.TxTimeSends = tw.txTimeSendCount()
+	}
 	return st
 }
 
@@ -382,6 +456,34 @@ func (e *Endpoint) GROEnabled() bool {
 		return so.groOn()
 	}
 	return false
+}
+
+// UringEnabled reports whether the endpoint's data path runs over
+// io_uring (multishot receive, batched SQE submission) — true only on
+// a capable kernel (~6.0 for UDP multishot) with the path neither
+// disabled (DisableUring, QTPNET_NOURING) nor refused at probe time.
+func (e *Endpoint) UringEnabled() bool {
+	_, ok := e.bio.(uringStatser)
+	return ok
+}
+
+// TxTimeEnabled reports whether sends may carry SO_TXTIME release
+// stamps, i.e. whether the kernel accepted the pacing setsockopt and
+// the knob (DisableTxTime, QTPNET_NOTXTIME) is off. Actual on-wire
+// spacing additionally needs an fq qdisc on the egress path; without
+// one the stamps are ignored and sends leave immediately.
+func (e *Endpoint) TxTimeEnabled() bool {
+	if tw, ok := e.bio.(txTimeWriter); ok {
+		return tw.txTimeOn()
+	}
+	return false
+}
+
+// SocketBufSizes reports the effective SO_RCVBUF/SO_SNDBUF values as
+// the kernel holds them, so callers (qtpd -v) can verify the
+// configured request actually took. Zero where unavailable.
+func (e *Endpoint) SocketBufSizes() (rcv, snd int) {
+	return socketBufSizes(e.pc)
 }
 
 // Err returns the persistent socket error that shut the endpoint down,
@@ -474,6 +576,13 @@ func (e *Endpoint) Close() error {
 		e.mu.Unlock()
 		close(e.done)
 		e.tx.stop()
+		// With the scheduler stopped nothing submits to the rings: wake
+		// the read loop out of the kernel and release ring resources
+		// before the socket itself closes (an armed multishot holds a
+		// socket reference until its ring goes away).
+		if cl, ok := e.bio.(ioCloser); ok {
+			cl.closeIO()
+		}
 		for _, c := range conns {
 			c.teardown()
 		}
@@ -878,6 +987,12 @@ func (e *Endpoint) service(c *Conn) (produced bool) {
 	var txb []byte
 	c.mu.Lock()
 	now := e.now()
+	// The connection's TFRC rate converts data-frame lengths into the
+	// inter-packet gaps the scheduler stamps as SO_TXTIME release
+	// instants on capable sockets. Control and feedback frames stay
+	// unpaced — an ack held back by the qdisc would inflate the peer's
+	// RTT sample for nothing.
+	rate := c.inner.Rate()
 	for {
 		if txb == nil {
 			txb = bufpool.Get()
@@ -886,7 +1001,12 @@ func (e *Endpoint) service(c *Conn) (produced bool) {
 		if !ok {
 			break
 		}
-		e.tx.enqueue(c.peer, frame)
+		var gapNs uint32
+		if rate > 0 && len(frame) > 0 &&
+			packet.Type(frame[0]&0x0f) == packet.TypeData {
+			gapNs = paceGapNs(len(frame), rate)
+		}
+		e.tx.enqueuePaced(c.peer, frame, gapNs)
 		produced = true
 		if cap(frame) == cap(txb) {
 			txb = nil // the scheduler owns the pooled buffer now

@@ -69,10 +69,18 @@ func TestEndpointManyConns(t *testing.T) {
 					s.n += len(chunk)
 					conn.Release(chunk)
 				}
-				for { // drain the queue
+				for { // drain the queue (content-checked like the main loop:
+					// a fast transfer can finish before the first Read above)
 					chunk, ok := conn.Read(50 * time.Millisecond)
 					if !ok {
 						break
+					}
+					for _, b := range chunk {
+						if s.tag == 0xff {
+							s.tag = b
+						} else if b != s.tag {
+							s.err = fmt.Errorf("mixed stream: tag %d saw byte %d", s.tag, b)
+						}
 					}
 					s.n += len(chunk)
 					conn.Release(chunk)
@@ -116,8 +124,10 @@ func TestEndpointManyConns(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	if n := client.ConnCount(); n != nConns {
-		t.Errorf("client endpoint carries %d conns, want %d", n, nConns)
+	// Connections whose close handshake already completed have
+	// legitimately left the table; only an excess would mean a leak.
+	if n := client.ConnCount(); n > nConns {
+		t.Errorf("client endpoint carries %d conns, want at most %d", n, nConns)
 	}
 
 	seen := make(map[byte]bool)

@@ -35,8 +35,9 @@ import (
 type Option func(*epOptions)
 
 type epOptions struct {
-	shards int
-	noGSO  bool
+	shards  int
+	noGSO   bool
+	noUring bool
 }
 
 // WithShards runs the endpoint as n SO_REUSEPORT shards (one socket,
@@ -56,6 +57,14 @@ func WithNoGSO() Option {
 	return func(o *epOptions) { o.noGSO = true }
 }
 
+// WithNoUring keeps the io_uring data path off the endpoint's
+// socket(s), pinning I/O to recvmmsg/sendmmsg even on capable kernels
+// (see EndpointConfig.DisableUring; the QTPNET_NOURING environment
+// variable forces the same process-wide).
+func WithNoUring() Option {
+	return func(o *epOptions) { o.noUring = true }
+}
+
 func applyOptions(opts []Option) epOptions {
 	o := epOptions{shards: 1}
 	for _, opt := range opts {
@@ -72,7 +81,7 @@ func applyOptions(opts []Option) epOptions {
 func Dial(addr string, profile core.Profile, timeout time.Duration, opts ...Option) (*Conn, error) {
 	o := applyOptions(opts)
 	if o.shards != 1 {
-		se, err := NewShardedEndpoint(":0", EndpointConfig{DisableGSO: o.noGSO}, o.shards)
+		se, err := NewShardedEndpoint(":0", EndpointConfig{DisableGSO: o.noGSO, DisableUring: o.noUring}, o.shards)
 		if err != nil {
 			return nil, err
 		}
@@ -84,7 +93,7 @@ func Dial(addr string, profile core.Profile, timeout time.Duration, opts ...Opti
 		c.owner = se
 		return c, nil
 	}
-	e, err := NewEndpoint(":0", EndpointConfig{DisableGSO: o.noGSO})
+	e, err := NewEndpoint(":0", EndpointConfig{DisableGSO: o.noGSO, DisableUring: o.noUring})
 	if err != nil {
 		return nil, err
 	}
@@ -106,6 +115,7 @@ func Listen(addr string, constraints core.Constraints, opts ...Option) (*Listene
 		AcceptInbound: true,
 		Constraints:   constraints,
 		DisableGSO:    o.noGSO,
+		DisableUring:  o.noUring,
 	}, o.shards)
 	if err != nil {
 		return nil, fmt.Errorf("qtpnet: listen %s: %w", addr, err)

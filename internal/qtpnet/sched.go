@@ -20,7 +20,41 @@ const (
 	// persistent one: a socket that fails this many datagrams in a row
 	// is dead for every connection sharing it.
 	maxConsecSendErrs = 64
+
+	// maxPaceGapNs clamps a single frame's inter-packet gap. TFRC rates
+	// can dip arbitrarily low after a loss event; a gap beyond this is
+	// better served by the sender's own timer than by parking datagrams
+	// in the qdisc.
+	maxPaceGapNs = 50_000_000 // 50ms
+	// maxTxHorizonNs bounds how far into the future the per-destination
+	// pacing clock may run ahead of real time. Without a horizon a long
+	// paced burst would schedule its tail seconds out, turning the qdisc
+	// into a second (invisible) send queue.
+	maxTxHorizonNs = 5_000_000 // 5ms
+	// paceMaxTrainSegs caps segment-train length while TXTIME pacing is
+	// active: a train leaves the NIC back-to-back no matter what stamp it
+	// carries, so shorter trains keep the wire spacing close to what
+	// TFRC asked for while still amortizing most of the syscall cost.
+	paceMaxTrainSegs = 8
+	// txClockMaxEntries bounds the per-destination pacing clock map; a
+	// long-lived endpoint talking to churning peers prunes rather than
+	// grows without bound.
+	txClockMaxEntries = 4096
 )
+
+// paceGapNs converts a frame length and a TFRC allowed rate (bytes/sec)
+// into the inter-packet spacing the kernel should keep after releasing
+// the frame, clamped to maxPaceGapNs.
+func paceGapNs(frameLen int, rate float64) uint32 {
+	if rate <= 0 || frameLen <= 0 {
+		return 0
+	}
+	gap := float64(frameLen) * 1e9 / rate
+	if gap >= maxPaceGapNs {
+		return maxPaceGapNs
+	}
+	return uint32(gap)
+}
 
 // sendScheduler is the shared transmit path of an endpoint: connections
 // never write to the socket from their timer/ack paths; they enqueue
@@ -58,6 +92,13 @@ type sendScheduler struct {
 	// flush path then coalesces same-destination, same-size frames
 	// into UDP_SEGMENT super-datagrams.
 	gso segmentWriter
+
+	// txt is non-nil when the writer can attach SO_TXTIME release
+	// stamps; the flush path then converts each message's gapNs into an
+	// absolute CLOCK_MONOTONIC instant against the per-destination
+	// pacing clock below. Both are guarded by the flushing token.
+	txt     txTimeWriter
+	txClock map[netip.AddrPort]uint64
 
 	flushing  atomic.Bool
 	batch     []ioMsg // flush scratch, guarded by the flushing token
@@ -117,6 +158,10 @@ func newSendScheduler(w batchWriter, maxBatch int, maxDelay time.Duration, onFat
 	if g, ok := w.(segmentWriter); ok {
 		s.gso = g
 	}
+	if t, ok := w.(txTimeWriter); ok {
+		s.txt = t
+		s.txClock = make(map[netip.AddrPort]uint64)
+	}
 	return s
 }
 
@@ -127,13 +172,22 @@ func newSendScheduler(w batchWriter, maxBatch int, maxDelay time.Duration, onFat
 // mode the caller promises a flushIfFull/flushPending once its current
 // frame-production pass is done.
 func (s *sendScheduler) enqueue(addr netip.AddrPort, frame []byte) {
+	s.enqueuePaced(addr, frame, 0)
+}
+
+// enqueuePaced is enqueue with a TFRC inter-packet gap attached: when
+// the writer supports SO_TXTIME, the flush path converts gapNs into an
+// absolute release stamp so the kernel spaces this frame gapNs after
+// its predecessor on the same flow. Writers without TXTIME (and a gap
+// of zero) degrade to plain enqueue.
+func (s *sendScheduler) enqueuePaced(addr netip.AddrPort, frame []byte, gapNs uint32) {
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
 		bufpool.Put(frame)
 		return
 	}
-	s.q = append(s.q, ioMsg{buf: frame, n: len(frame), addr: addr})
+	s.q = append(s.q, ioMsg{buf: frame, n: len(frame), addr: addr, gapNs: gapNs})
 	n := len(s.q)
 	s.mu.Unlock()
 	if s.maxDelay > 0 {
@@ -176,10 +230,20 @@ func (s *sendScheduler) flushPending() {
 				break
 			}
 			b := s.batch
+			pacing := s.txt != nil && s.txt.txTimeOn()
 			if s.gso != nil {
 				if maxSegs := s.gso.gsoMaxSegs(); maxSegs > 1 {
+					// While pacing, cap train length: a train leaves the
+					// NIC back-to-back regardless of its stamp, so long
+					// trains would undo the spacing TXTIME buys.
+					if pacing && maxSegs > paceMaxTrainSegs {
+						maxSegs = paceMaxTrainSegs
+					}
 					b = s.coalesce(b, maxSegs)
 				}
+			}
+			if pacing {
+				s.stampTxTimes(b)
 			}
 			s.flush(b)
 		}
@@ -271,6 +335,46 @@ func (s *sendScheduler) take(dst []ioMsg) []ioMsg {
 	return dst
 }
 
+// stampTxTimes converts per-message gaps into absolute SO_TXTIME
+// release instants against a per-destination virtual clock: each paced
+// frame is released at the later of "now" and the destination's clock,
+// and the clock advances by the frame's gap — so a flush of N frames
+// for one flow leaves the qdisc as N spaced datagrams instead of one
+// micro-burst. The clock is capped at a short horizon past real time
+// so the qdisc never becomes a deep second send queue, and unpaced
+// frames (gapNs == 0: control, feedback) pass through unstamped.
+//
+// Runs only the flush-token holder, which also owns txClock.
+func (s *sendScheduler) stampTxTimes(batch []ioMsg) {
+	now := s.txt.nowNs()
+	for i := range batch {
+		m := &batch[i]
+		if m.gapNs == 0 {
+			continue
+		}
+		c := s.txClock[m.addr]
+		if c < now {
+			c = now
+		}
+		m.txTime = c
+		c += uint64(m.gapNs)
+		if max := now + maxTxHorizonNs; c > max {
+			c = max
+		}
+		s.txClock[m.addr] = c
+	}
+	if len(s.txClock) > txClockMaxEntries {
+		// Stale destinations' clocks are at worst maxTxHorizonNs ahead
+		// of a past "now", i.e. already behind real time; dropping them
+		// only costs one flush of unspaced lead-off frames.
+		for addr, c := range s.txClock {
+			if c <= now {
+				delete(s.txClock, addr)
+			}
+		}
+	}
+}
+
 // coalesce rewrites one flush batch for a segment-offload-capable
 // writer: runs of frames bound for the same destination with the same
 // size (the last of a run may be shorter — the kernel's short-tail
@@ -332,14 +436,22 @@ func (s *sendScheduler) coalesce(batch []ioMsg, maxSegs int) []ioMsg {
 			train := bufpool.Get()
 			off := 0
 			addr := batch[idx[k]].addr
+			var gap uint64
 			for r := 0; r < run; r++ {
 				f := &batch[idx[k+r]]
 				off += copy(train[off:], f.buf[:f.n])
+				gap += uint64(f.gapNs)
 				bufpool.Put(f.buf)
 				*f = ioMsg{}
 				used[idx[k+r]] = true
 			}
-			out = append(out, ioMsg{buf: train[:off], n: off, addr: addr, segSize: segSize})
+			// The train inherits the sum of its members' gaps: it leaves
+			// the NIC as one burst, so the whole run's spacing budget
+			// lands between this train and the next.
+			if gap > maxPaceGapNs*uint64(run) {
+				gap = maxPaceGapNs * uint64(run)
+			}
+			out = append(out, ioMsg{buf: train[:off], n: off, addr: addr, segSize: segSize, gapNs: uint32(gap)})
 			s.gsoTrains.Add(1)
 			s.gsoSegs.Add(uint64(run))
 			k += run

@@ -1,0 +1,891 @@
+//go:build linux && (amd64 || arm64)
+
+package qtpnet
+
+import (
+	"errors"
+	"net"
+	"os"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+	"unsafe"
+)
+
+// uringIO is the top rung of the data-path ladder: the batchIO seam
+// implemented over io_uring. The receive side arms one multishot
+// recvmsg against a registered buffer ring, so the kernel delivers a
+// completion — source address, GRO control data and payload already in
+// a shared buffer — for every datagram without a syscall; the read loop
+// only enters the kernel when the completion queue is empty, which
+// makes "wakeups" a structural metric distinct from datagrams. The send
+// side turns a scheduler flush (mmsg batch or GSO train mix) into one
+// batch of linked SQEs and a single io_uring_enter.
+//
+// uringIO wraps the mmsgIO built for the same socket and delegates
+// everything that is not ring mechanics to it: address encoding,
+// GSO/GRO capability and fallback state, SO_TXTIME pacing state, and
+// the segment-by-segment resend path. A socket whose kernel fails any
+// part of the probe (io_uring itself, PBUF_RING registration ~5.19,
+// UDP multishot receive ~6.0) simply keeps the mmsgIO — per socket,
+// which on a ShardedEndpoint means per shard, exactly like GSO.
+type uringIO struct {
+	mm     *mmsgIO
+	sockFD int
+
+	closed atomic.Bool
+
+	// Receive ring: owned by the endpoint's read loop goroutine. rxMu
+	// guards only SQ production (the loop's re-arm vs the close-time
+	// NOP wake) and teardown; the blocking io_uring_enter itself runs
+	// outside the lock so closeIO can always get in to wake it.
+	rxMu    sync.Mutex
+	rx      *uring
+	rxBufs  *pbufRing
+	rxHdr   syscall.Msghdr // persistent multishot template
+	rxArmed bool           // multishot request outstanding (read-loop only)
+	rxHot   bool           // last wake reaped a burst: use timed batch-waits
+	rxGone  bool           // rx ring torn down (guarded by rxMu)
+	rxOnce  sync.Once
+
+	// Send ring and its per-flight scratch, serialized by txMu. The
+	// msghdr/iovec/sockaddr/cmsg arrays are referenced by the kernel
+	// between submit and completion, and writeBatch holds txMu (and
+	// waits for every completion) across that window.
+	txMu   sync.Mutex
+	tx     *uring
+	txGone bool
+	txDead bool // hard enter failure: sends take the mmsg path instead
+	txRes  [uringTxSq]int32
+	wsa    []syscall.RawSockaddrInet6
+	wiov   []syscall.Iovec
+	whdr   []syscall.Msghdr
+	wctl   []ctlBuf
+
+	wakeups     atomic.Uint64
+	rearms      atomic.Uint64 // multishot lapses re-armed (ENOBUFS, cancel)
+	submits     atomic.Uint64
+	completions atomic.Uint64
+}
+
+// io_uring ABI. Syscall numbers and struct layout are identical on
+// amd64 and arm64; the syscall package predates the interface.
+const (
+	sysIoUringSetup    = 425
+	sysIoUringEnter    = 426
+	sysIoUringRegister = 427
+
+	uringOpNop     = 0
+	uringOpSendmsg = 9
+	uringOpRecvmsg = 10
+
+	uringSqeIOLink       = 4  // IOSQE_IO_LINK
+	uringSqeBufferSelect = 32 // IOSQE_BUFFER_SELECT
+
+	uringRecvMultishot = 1 << 1 // IORING_RECV_MULTISHOT, in sqe.ioprio
+
+	uringEnterGetevents   = 1      // IORING_ENTER_GETEVENTS
+	uringEnterExtArg      = 1 << 3 // IORING_ENTER_EXT_ARG (5.11+)
+	uringSetupCqsize      = 1 << 3 // IORING_SETUP_CQSIZE
+	uringSetupCoopTaskrun = 1 << 8 // IORING_SETUP_COOP_TASKRUN (5.19+)
+	uringFeatSingleMmap   = 1 << 0 // IORING_FEAT_SINGLE_MMAP
+	uringFeatExtArg       = 1 << 8 // IORING_FEAT_EXT_ARG
+
+	uringRegisterPbufRing = 22 // IORING_REGISTER_PBUF_RING
+
+	uringCqeFBuffer = 1 // IORING_CQE_F_BUFFER: buffer id in flags >> 16
+	uringCqeFMore   = 2 // IORING_CQE_F_MORE: multishot still armed
+
+	uringOffSqes = 0x10000000 // IORING_OFF_SQES mmap offset
+)
+
+// Ring geometry. The rx SQ only ever holds a re-arm and a close NOP;
+// the rx CQ absorbs a burst of multishot completions. The tx SQ bounds
+// one writeBatch; its CQ is double that so a reap never overflows.
+const (
+	uringRxSq = 16
+	uringRxCq = uringRxBufs * 2
+	uringTxSq = txBatch * 2
+	uringTxCq = uringTxSq * 2
+)
+
+// Batched wait tuning. A reader blocked at min_complete=1 is woken by
+// the first datagram of every burst, so under a steady trickle (ack
+// feedback is the worst case: small, evenly spaced) it pays one wakeup
+// per datagram and the completion queue never amortizes anything.
+// While the ring looks hot — the last wake reaped at least
+// uringRxHotAt completions — the wait instead asks for uringRxWaitFor
+// completions bounded by uringRxWaitNs, trading at most that much
+// added latency for collecting the burst in one wake. A timed wait
+// that reaps nothing drops back to the indefinite min_complete=1 wait,
+// so an idle socket neither spins nor taxes lone datagrams.
+const (
+	uringRxWaitFor = 16
+	uringRxWaitNs  = 300_000
+	uringRxHotAt   = 2
+)
+
+// Multishot receive buffer layout. Each buffer in the registered ring
+// receives one datagram as: struct io_uring_recvmsg_out (16 bytes),
+// then the name, control and payload regions sized by the *armed*
+// msghdr's msg_namelen/msg_controllen. The name region is padded past
+// sizeof(sockaddr_in6) (28) to 32 so the control region — and the
+// Cmsghdr casts parseGROSegSize performs on it — lands 8-aligned, and
+// the payload 16-aligned.
+const (
+	uringRxNameLen = 32
+	uringRxCtlLen  = 64
+	uringRxHdrLen  = 16 + uringRxNameLen + uringRxCtlLen // payload offset
+	uringRxStride  = uringRxHdrLen + maxDatagram
+	// Buffer-ring depth (power of two). The registered ring is the only
+	// accumulator the multishot has — running it dry ENOBUFS-cancels the
+	// shot and the re-arm churn costs a syscall per burst, exactly what
+	// the ring exists to avoid — so it gets several bursts of headroom,
+	// not one rxBatch. The block is mmap'd anonymous memory: strides
+	// sized for a worst-case GRO super-datagram cost address space, but
+	// only pages the kernel actually fills get committed.
+	uringRxBufs = 128
+)
+
+// userData tags for the rx ring (the tx ring uses batch indices).
+const (
+	udMultishot = 1
+	udNop       = 2
+)
+
+// ioSqringOffsets / ioCqringOffsets / ioUringParams mirror the
+// io_uring_setup ABI.
+type ioSqringOffsets struct {
+	head, tail, ringMask, ringEntries uint32
+	flags, dropped, array, resv1      uint32
+	userAddr                          uint64
+}
+
+type ioCqringOffsets struct {
+	head, tail, ringMask, ringEntries uint32
+	overflow, cqes, flags, resv1      uint32
+	userAddr                          uint64
+}
+
+type ioUringParams struct {
+	sqEntries    uint32
+	cqEntries    uint32
+	flags        uint32
+	sqThreadCPU  uint32
+	sqThreadIdle uint32
+	features     uint32
+	wqFd         uint32
+	resv         [3]uint32
+	sqOff        ioSqringOffsets
+	cqOff        ioCqringOffsets
+}
+
+// ioUringSqe is the 64-byte submission queue entry.
+type ioUringSqe struct {
+	opcode      uint8
+	flags       uint8
+	ioprio      uint16
+	fd          int32
+	off         uint64
+	addr        uint64
+	len         uint32
+	opFlags     uint32
+	userData    uint64
+	bufIG       uint16 // buf_index / buf_group union
+	personality uint16
+	spliceFdIn  int32
+	addr3       uint64
+	_           uint64
+}
+
+// ioUringCqe is the 16-byte completion queue entry.
+type ioUringCqe struct {
+	userData uint64
+	res      int32
+	flags    uint32
+}
+
+// ioUringBufReg is the IORING_REGISTER_PBUF_RING argument.
+type ioUringBufReg struct {
+	ringAddr    uint64
+	ringEntries uint32
+	bgid        uint16
+	flags       uint16
+	resv        [3]uint64
+}
+
+// ioUringBuf is one entry of the shared provided-buffer ring.
+type ioUringBuf struct {
+	addr uint64
+	len  uint32
+	bid  uint16
+	resv uint16
+}
+
+// uringRecvmsgOut mirrors struct io_uring_recvmsg_out, the header a
+// multishot recvmsg completion writes at the start of its buffer.
+type uringRecvmsgOut struct {
+	namelen    uint32
+	controllen uint32
+	payloadlen uint32
+	flags      uint32
+}
+
+// uring is one io_uring instance: fd, the single ring mmap (SQ and CQ
+// share it on every kernel with IORING_FEAT_SINGLE_MMAP, which the
+// setup requires) and the SQE array mmap.
+type uring struct {
+	fd      int
+	extArg  bool // kernel accepts IORING_ENTER_EXT_ARG timed waits
+	ringMem []byte
+	sqeMem  []byte
+
+	sqHead, sqTail, sqMask *uint32
+	sqArray                []uint32
+	sqes                   []ioUringSqe
+
+	cqHead, cqTail, cqMask *uint32
+	cqes                   []ioUringCqe
+
+	// enterTimed scratch: the kernel reads these through raw pointers
+	// while the wait blocks, so they live on the heap with the ring
+	// (only one waiter per ring direction ever exists).
+	waitTs  kernelTimespec
+	waitArg uringGeteventsArg
+}
+
+// kernelTimespec is struct __kernel_timespec.
+type kernelTimespec struct {
+	sec  int64
+	nsec int64
+}
+
+// uringGeteventsArg is struct io_uring_getevents_arg, the EXT_ARG
+// payload of a timed GETEVENTS wait.
+type uringGeteventsArg struct {
+	sigmask   uint64
+	sigmaskSz uint32
+	pad       uint32
+	ts        uint64
+}
+
+// setupUring creates a ring. ok is false — with everything released —
+// wherever the kernel lacks io_uring or the required features.
+func setupUring(sqEntries, cqEntries uint32) (*uring, bool) {
+	// COOP_TASKRUN stops the kernel from interrupting the ring's owner
+	// task with a scheduler kick for every posted completion; without it
+	// each arriving datagram preempts whatever the process is doing, the
+	// reader runs after one CQE, and the completion queue never gets to
+	// accumulate a batch. Pre-5.19 kernels reject the flag, so retry
+	// plain — the ring works identically, just with eager wakeups.
+	var fd uintptr
+	var p ioUringParams
+	for _, extra := range []uint32{uringSetupCoopTaskrun, 0} {
+		p = ioUringParams{flags: uringSetupCqsize | extra, cqEntries: cqEntries}
+		var e syscall.Errno
+		fd, _, e = syscall.Syscall(sysIoUringSetup,
+			uintptr(sqEntries), uintptr(unsafe.Pointer(&p)), 0)
+		if e == 0 {
+			break
+		}
+		if extra == 0 {
+			return nil, false
+		}
+	}
+	r := &uring{fd: int(fd)}
+	if p.features&uringFeatSingleMmap == 0 {
+		syscall.Close(r.fd)
+		return nil, false
+	}
+	sqSize := int(p.sqOff.array) + int(p.sqEntries)*4
+	cqSize := int(p.cqOff.cqes) + int(p.cqEntries)*int(unsafe.Sizeof(ioUringCqe{}))
+	size := sqSize
+	if cqSize > size {
+		size = cqSize
+	}
+	mem, err := syscall.Mmap(r.fd, 0, size,
+		syscall.PROT_READ|syscall.PROT_WRITE, syscall.MAP_SHARED|syscall.MAP_POPULATE)
+	if err != nil {
+		syscall.Close(r.fd)
+		return nil, false
+	}
+	r.ringMem = mem
+	base := unsafe.Pointer(&mem[0])
+	r.sqHead = (*uint32)(unsafe.Add(base, p.sqOff.head))
+	r.sqTail = (*uint32)(unsafe.Add(base, p.sqOff.tail))
+	r.sqMask = (*uint32)(unsafe.Add(base, p.sqOff.ringMask))
+	r.sqArray = unsafe.Slice((*uint32)(unsafe.Add(base, p.sqOff.array)), p.sqEntries)
+	r.cqHead = (*uint32)(unsafe.Add(base, p.cqOff.head))
+	r.cqTail = (*uint32)(unsafe.Add(base, p.cqOff.tail))
+	r.cqMask = (*uint32)(unsafe.Add(base, p.cqOff.ringMask))
+	r.cqes = unsafe.Slice((*ioUringCqe)(unsafe.Add(base, p.cqOff.cqes)), p.cqEntries)
+
+	sqeMem, err := syscall.Mmap(r.fd, uringOffSqes,
+		int(p.sqEntries)*int(unsafe.Sizeof(ioUringSqe{})),
+		syscall.PROT_READ|syscall.PROT_WRITE, syscall.MAP_SHARED|syscall.MAP_POPULATE)
+	if err != nil {
+		syscall.Munmap(mem)
+		syscall.Close(r.fd)
+		return nil, false
+	}
+	r.sqeMem = sqeMem
+	r.sqes = unsafe.Slice((*ioUringSqe)(unsafe.Pointer(&sqeMem[0])), p.sqEntries)
+	r.extArg = p.features&uringFeatExtArg != 0
+	return r, true
+}
+
+func (r *uring) close() {
+	syscall.Munmap(r.sqeMem)
+	syscall.Munmap(r.ringMem)
+	syscall.Close(r.fd)
+}
+
+// pushSqe queues one SQE; false when the SQ is full.
+func (r *uring) pushSqe(sqe *ioUringSqe) bool {
+	head := atomic.LoadUint32(r.sqHead)
+	tail := *r.sqTail
+	if tail-head >= uint32(len(r.sqes)) {
+		return false
+	}
+	idx := tail & *r.sqMask
+	r.sqes[idx] = *sqe
+	r.sqArray[idx] = idx
+	atomic.StoreUint32(r.sqTail, tail+1)
+	return true
+}
+
+// peekCqe returns the head completion without consuming it.
+func (r *uring) peekCqe() (*ioUringCqe, bool) {
+	head := *r.cqHead
+	if head == atomic.LoadUint32(r.cqTail) {
+		return nil, false
+	}
+	return &r.cqes[head&*r.cqMask], true
+}
+
+func (r *uring) advanceCq() {
+	atomic.StoreUint32(r.cqHead, *r.cqHead+1)
+}
+
+// enter is io_uring_enter with EINTR retried (a retry after the kernel
+// already consumed the submissions finds an empty SQ and submits
+// nothing, so repeating toSubmit is harmless).
+func (r *uring) enter(toSubmit, minComplete, flags uint32) error {
+	for {
+		_, _, e := syscall.Syscall6(sysIoUringEnter, uintptr(r.fd),
+			uintptr(toSubmit), uintptr(minComplete), uintptr(flags), 0, 0)
+		if e == syscall.EINTR {
+			continue
+		}
+		if e != 0 {
+			return os.NewSyscallError("io_uring_enter", e)
+		}
+		return nil
+	}
+}
+
+// enterTimed is a GETEVENTS wait bounded by a timeout: it returns once
+// minComplete completions are ready or waitNs elapses, whichever comes
+// first. A lapsed timeout is a normal return — the caller reaps
+// whatever landed. Requires extArg; EINTR retried like enter.
+func (r *uring) enterTimed(toSubmit, minComplete uint32, waitNs int64) error {
+	r.waitTs = kernelTimespec{nsec: waitNs}
+	r.waitArg = uringGeteventsArg{ts: uint64(uintptr(unsafe.Pointer(&r.waitTs)))}
+	for {
+		_, _, e := syscall.Syscall6(sysIoUringEnter, uintptr(r.fd),
+			uintptr(toSubmit), uintptr(minComplete),
+			uintptr(uringEnterGetevents|uringEnterExtArg),
+			uintptr(unsafe.Pointer(&r.waitArg)), unsafe.Sizeof(r.waitArg))
+		if e == syscall.EINTR {
+			continue
+		}
+		if e != 0 && e != syscall.ETIME {
+			return os.NewSyscallError("io_uring_enter", e)
+		}
+		return nil
+	}
+}
+
+// pbufRing is a registered provided-buffer ring plus the buffer block
+// its entries point into. Production (recycling reaped buffers) is
+// single-goroutine — the read loop — so only the tail publication
+// needs a release store.
+type pbufRing struct {
+	ringMem []byte
+	bufMem  []byte
+	entries uint32
+	stride  int
+	tail    uint16 // local shadow of the published tail
+}
+
+func newPbufRing(r *uring, entries uint32, stride int, bgid uint16) (*pbufRing, bool) {
+	ringMem, err := syscall.Mmap(-1, 0, pageAlign(int(entries)*int(unsafe.Sizeof(ioUringBuf{}))),
+		syscall.PROT_READ|syscall.PROT_WRITE, syscall.MAP_ANONYMOUS|syscall.MAP_PRIVATE)
+	if err != nil {
+		return nil, false
+	}
+	bufMem, err := syscall.Mmap(-1, 0, pageAlign(int(entries)*stride),
+		syscall.PROT_READ|syscall.PROT_WRITE, syscall.MAP_ANONYMOUS|syscall.MAP_PRIVATE)
+	if err != nil {
+		syscall.Munmap(ringMem)
+		return nil, false
+	}
+	reg := ioUringBufReg{
+		ringAddr:    uint64(uintptr(unsafe.Pointer(&ringMem[0]))),
+		ringEntries: entries,
+		bgid:        bgid,
+	}
+	_, _, e := syscall.Syscall6(sysIoUringRegister, uintptr(r.fd),
+		uringRegisterPbufRing, uintptr(unsafe.Pointer(&reg)), 1, 0, 0)
+	if e != 0 {
+		syscall.Munmap(bufMem)
+		syscall.Munmap(ringMem)
+		return nil, false
+	}
+	p := &pbufRing{ringMem: ringMem, bufMem: bufMem, entries: entries, stride: stride}
+	for bid := uint32(0); bid < entries; bid++ {
+		p.add(uint16(bid))
+	}
+	p.publish()
+	return p, true
+}
+
+func (p *pbufRing) free() {
+	syscall.Munmap(p.bufMem)
+	syscall.Munmap(p.ringMem)
+}
+
+// add hands one buffer (back) to the kernel; publish makes it visible.
+func (p *pbufRing) add(bid uint16) {
+	idx := uint32(p.tail) & (p.entries - 1)
+	e := (*ioUringBuf)(unsafe.Pointer(&p.ringMem[idx*uint32(unsafe.Sizeof(ioUringBuf{}))]))
+	e.addr = uint64(uintptr(unsafe.Pointer(&p.bufMem[int(bid)*p.stride])))
+	e.len = uint32(p.stride)
+	e.bid = bid
+	p.tail++
+}
+
+// publish release-stores the shared tail, a u16 at byte offset 14 of
+// the ring (it overlays entry 0's resv field). sync/atomic has no
+// 16-bit store, so the store goes through the containing aligned u32 at
+// offset 12; its low half is entry 0's bid, written only by add() on
+// this same goroutine, so composing the word here is race-free.
+func (p *pbufRing) publish() {
+	word := (*uint32)(unsafe.Pointer(&p.ringMem[12]))
+	lo := *word & 0xffff
+	atomic.StoreUint32(word, uint32(p.tail)<<16|lo)
+}
+
+func (p *pbufRing) buf(bid uint16) []byte {
+	return p.bufMem[int(bid)*p.stride : (int(bid)+1)*p.stride]
+}
+
+func pageAlign(n int) int {
+	ps := syscall.Getpagesize()
+	return (n + ps - 1) &^ (ps - 1)
+}
+
+// newUringIO probes and builds the io_uring path over mm's socket,
+// returning nil — with every partial resource released — wherever the
+// running kernel lacks a required piece. The probe is structural, not
+// version-sniffing: ring setup fails without io_uring at all, buffer-
+// ring registration without 5.19, and the armed multishot recvmsg
+// fails its first CQE with -EINVAL before 6.0.
+func newUringIO(mm *mmsgIO, maxBatch int) *uringIO {
+	if mm.fd < 0 {
+		return nil
+	}
+	rx, ok := setupUring(uringRxSq, uringRxCq)
+	if !ok {
+		return nil
+	}
+	u := &uringIO{mm: mm, sockFD: mm.fd, rx: rx}
+	u.rxBufs, ok = newPbufRing(rx, uringRxBufs, uringRxStride, 0)
+	if !ok {
+		rx.close()
+		return nil
+	}
+	u.rxHdr = syscall.Msghdr{Namelen: uringRxNameLen, Controllen: uringRxCtlLen}
+	if !u.armMultishot() || !u.multishotAccepted() {
+		u.teardownRx()
+		return nil
+	}
+	tx, ok := setupUring(uringTxSq, uringTxCq)
+	if !ok {
+		u.teardownRx()
+		return nil
+	}
+	u.tx = tx
+	u.wsa = make([]syscall.RawSockaddrInet6, uringTxSq)
+	u.wiov = make([]syscall.Iovec, uringTxSq)
+	u.whdr = make([]syscall.Msghdr, uringTxSq)
+	u.wctl = make([]ctlBuf, uringTxSq)
+	return u
+}
+
+// armMultishot pushes and submits the multishot recvmsg request.
+// Called from the read loop (or construction) with rxMu free.
+func (u *uringIO) armMultishot() bool {
+	u.rxMu.Lock()
+	ok := !u.rxGone && u.pushMultishotLocked()
+	u.rxMu.Unlock()
+	if !ok {
+		return false
+	}
+	if err := u.rx.enter(1, 0, 0); err != nil {
+		return false
+	}
+	u.submits.Add(1)
+	return true
+}
+
+func (u *uringIO) pushMultishotLocked() bool {
+	sqe := ioUringSqe{
+		opcode:   uringOpRecvmsg,
+		flags:    uringSqeBufferSelect,
+		ioprio:   uringRecvMultishot,
+		fd:       int32(u.sockFD),
+		addr:     uint64(uintptr(unsafe.Pointer(&u.rxHdr))),
+		len:      1,
+		userData: udMultishot,
+	}
+	if !u.rx.pushSqe(&sqe) {
+		return false
+	}
+	u.rxArmed = true
+	return true
+}
+
+// multishotAccepted checks the probe's fate: a kernel that lacks
+// multishot receive (or buffer-selected recvmsg) fails the request
+// synchronously, posting a CQE with a negative res before any data
+// could arrive. No CQE — or a data CQE — means the request is live.
+func (u *uringIO) multishotAccepted() bool {
+	if cqe, ok := u.rx.peekCqe(); ok && cqe.res < 0 {
+		return false
+	}
+	return true
+}
+
+// teardownRx releases the receive ring exactly once. Every error exit
+// from readBatch runs it (so the ring is never unmapped under a blocked
+// enter — the reader itself is the only blocker), and closeIO checks
+// rxGone under rxMu before touching the SQ.
+func (u *uringIO) teardownRx() {
+	u.rxMu.Lock()
+	defer u.rxMu.Unlock()
+	u.rxOnce.Do(func() {
+		u.rxGone = true
+		u.rxBufs.free()
+		u.rx.close()
+	})
+}
+
+func (u *uringIO) readBatch(ms []ioMsg) (int, error) {
+	timedWait := false
+	for {
+		if u.closed.Load() {
+			u.teardownRx()
+			return 0, net.ErrClosed
+		}
+		n, err := u.reapRx(ms)
+		if err != nil {
+			u.teardownRx()
+			return 0, err
+		}
+		if n > 0 {
+			u.rxHot = n >= uringRxHotAt
+			if !u.rxArmed {
+				toSubmit := uint32(0)
+				u.rxMu.Lock()
+				if !u.rxGone && u.pushMultishotLocked() {
+					toSubmit = 1
+				}
+				u.rxMu.Unlock()
+				if toSubmit > 0 {
+					if err := u.rx.enter(toSubmit, 0, 0); err == nil {
+						u.submits.Add(1)
+					}
+				}
+			}
+			return n, nil
+		}
+		// Completion queue empty: (re)arm if the multishot lapsed, then
+		// block. This is the only place the read side pays a syscall —
+		// and the only place a wakeup is counted. A hot ring waits for a
+		// batch under a timeout; a timed wait that yielded nothing means
+		// the burst is over, so fall back to the indefinite wait.
+		if timedWait {
+			u.rxHot = false
+		}
+		toSubmit := uint32(0)
+		u.rxMu.Lock()
+		if u.rxGone {
+			u.rxMu.Unlock()
+			return 0, net.ErrClosed
+		}
+		if !u.rxArmed && u.pushMultishotLocked() {
+			toSubmit = 1
+		}
+		u.rxMu.Unlock()
+		u.wakeups.Add(1)
+		if toSubmit > 0 {
+			u.submits.Add(1)
+		}
+		if timedWait = u.rxHot && u.rx.extArg; timedWait {
+			err = u.rx.enterTimed(toSubmit, uringRxWaitFor, uringRxWaitNs)
+		} else {
+			err = u.rx.enter(toSubmit, 1, uringEnterGetevents)
+		}
+		if err != nil {
+			u.teardownRx()
+			return 0, err
+		}
+	}
+}
+
+// reapRx drains ready completions into ms, recycling each consumed
+// buffer back to the kernel's ring. It never blocks.
+func (u *uringIO) reapRx(ms []ioMsg) (int, error) {
+	n := 0
+	recycled := false
+	for n < len(ms) {
+		cqe, ok := u.rx.peekCqe()
+		if !ok {
+			break
+		}
+		userData, res, flags := cqe.userData, cqe.res, cqe.flags
+		u.rx.advanceCq()
+		if userData == udNop {
+			continue
+		}
+		u.completions.Add(1)
+		if flags&uringCqeFMore == 0 {
+			u.rxArmed = false
+			u.rearms.Add(1)
+		}
+		if res < 0 {
+			e := syscall.Errno(-res)
+			// ENOBUFS (buffer ring momentarily empty) and cancellation
+			// just terminate the multishot; the caller re-arms.
+			if e == syscall.ENOBUFS || e == syscall.ECANCELED || e == syscall.EINTR {
+				continue
+			}
+			if recycled {
+				u.rxBufs.publish()
+			}
+			return n, os.NewSyscallError("io_uring recvmsg", e)
+		}
+		if flags&uringCqeFBuffer == 0 {
+			continue // no buffer attached (zero-size edge); nothing to parse
+		}
+		bid := uint16(flags >> 16)
+		if u.parseRecv(bid, &ms[n]) {
+			n++
+		}
+		u.rxBufs.add(bid)
+		recycled = true
+	}
+	if recycled {
+		u.rxBufs.publish()
+	}
+	return n, nil
+}
+
+// parseRecv decodes one multishot completion buffer — recvmsg_out
+// header, source address, GRO control, payload — into m, copying the
+// payload into m's pooled buffer.
+func (u *uringIO) parseRecv(bid uint16, m *ioMsg) bool {
+	if uint32(bid) >= u.rxBufs.entries {
+		return false
+	}
+	buf := u.rxBufs.buf(bid)
+	out := (*uringRecvmsgOut)(unsafe.Pointer(&buf[0]))
+	payLen := int(out.payloadlen)
+	if payLen > len(buf)-uringRxHdrLen {
+		return false
+	}
+	m.n = copy(m.buf, buf[uringRxHdrLen:uringRxHdrLen+payLen])
+	m.addr = saToAddrPort((*syscall.RawSockaddrInet6)(unsafe.Pointer(&buf[16])))
+	m.segSize = 0
+	if u.mm.gro && out.controllen > 0 {
+		cl := int(out.controllen)
+		if cl > uringRxCtlLen {
+			cl = uringRxCtlLen
+		}
+		m.segSize = parseGROSegSize(buf[16+uringRxNameLen : 16+uringRxNameLen+cl])
+	}
+	return true
+}
+
+// writeBatch submits up to a tx-ring's worth of sendmsg SQEs — linked,
+// so failure of one cancels its successors and ordering is preserved —
+// in one io_uring_enter, then reaps every completion before returning.
+// GSO trains and TXTIME stamps ride the same cmsg encoding as the mmsg
+// path; a kernel refusing a train trips the shared GSO state off and
+// resends it segment-by-segment through mmsgIO, exactly like sendmmsg.
+func (u *uringIO) writeBatch(ms []ioMsg) (int, error) {
+	if u.closed.Load() {
+		return 0, net.ErrClosed
+	}
+	u.txMu.Lock()
+	defer u.txMu.Unlock()
+	if u.txGone {
+		return 0, net.ErrClosed
+	}
+	if u.txDead {
+		return u.mm.writeBatch(ms)
+	}
+	mm := u.mm
+	n := len(ms)
+	if n > uringTxSq {
+		n = uringTxSq
+	}
+	gso := mm.gsoOK.Load()
+	txt := mm.txtOK.Load()
+	prep := 0
+	for prep < n {
+		m := &ms[prep]
+		if m.segSize > 0 && m.n > m.segSize && !gso {
+			if prep == 0 {
+				return mm.sendSegments(m)
+			}
+			break // send what we have; the train heads the next call
+		}
+		salen, ok := mm.fillSA(&u.wsa[prep], m.addr)
+		if !ok {
+			if prep == 0 {
+				return 0, os.NewSyscallError("io_uring sendmsg", syscall.EAFNOSUPPORT)
+			}
+			break
+		}
+		u.wiov[prep] = syscall.Iovec{Base: &m.buf[0], Len: uint64(m.n)}
+		u.whdr[prep] = syscall.Msghdr{
+			Name:    (*byte)(unsafe.Pointer(&u.wsa[prep])),
+			Namelen: salen,
+			Iov:     &u.wiov[prep],
+			Iovlen:  1,
+		}
+		clen := 0
+		if m.segSize > 0 && m.n > m.segSize {
+			clen = putGSOCmsg(&u.wctl[prep], uint16(m.segSize))
+		}
+		if txt && m.txTime > 0 {
+			clen = putTxTimeCmsg(&u.wctl[prep], clen, m.txTime)
+		}
+		if clen > 0 {
+			u.whdr[prep].Control = &u.wctl[prep].b[0]
+			u.whdr[prep].SetControllen(clen)
+		}
+		prep++
+	}
+	for i := 0; i < prep; i++ {
+		sqe := ioUringSqe{
+			opcode:   uringOpSendmsg,
+			fd:       int32(u.sockFD),
+			addr:     uint64(uintptr(unsafe.Pointer(&u.whdr[i]))),
+			len:      1,
+			userData: uint64(i),
+		}
+		if i < prep-1 {
+			sqe.flags = uringSqeIOLink
+		}
+		u.tx.pushSqe(&sqe) // SQ is drained every call; prep ≤ its size
+	}
+	u.submits.Add(1)
+	got := 0
+	toSubmit := uint32(prep)
+	for got < prep {
+		if err := u.tx.enter(toSubmit, uint32(prep-got), uringEnterGetevents); err != nil {
+			// Never return with submissions unreaped: their stale CQEs
+			// would corrupt the next call's accounting, and the kernel
+			// may still reference buffers the scheduler is about to
+			// recycle. Transient pressure: back off and keep collecting
+			// (enter consumes the SQ incrementally, so repeating
+			// toSubmit resubmits nothing). A hard failure means the
+			// ring is dead — no completion can arrive — so poison it;
+			// later calls take the mmsg path on the same socket.
+			if errors.Is(err, syscall.EAGAIN) || errors.Is(err, syscall.ENOMEM) ||
+				errors.Is(err, syscall.EBUSY) {
+				time.Sleep(50 * time.Microsecond)
+				continue
+			}
+			u.txDead = true
+			return 0, err
+		}
+		toSubmit = 0
+		for {
+			cqe, ok := u.tx.peekCqe()
+			if !ok {
+				break
+			}
+			if idx := int(cqe.userData); idx < prep {
+				u.txRes[idx] = cqe.res
+				got++
+			}
+			u.tx.advanceCq()
+			u.completions.Add(1)
+		}
+	}
+	sent := 0
+	for sent < prep && u.txRes[sent] >= 0 {
+		if txt && ms[sent].txTime > 0 {
+			mm.txtSends.Add(1)
+		}
+		sent++
+	}
+	if sent == prep {
+		return sent, nil
+	}
+	e := syscall.Errno(-u.txRes[sent])
+	if m := &ms[sent]; m.segSize > 0 && m.n > m.segSize && isGSORefusal(e) {
+		mm.gsoOK.Store(false)
+		mm.gsoFell.Add(1)
+		k, err := mm.sendSegments(m)
+		if err != nil {
+			if sent > 0 {
+				return sent, nil // progress; the train heads the next call
+			}
+			return 0, err
+		}
+		return sent + k, nil
+	}
+	return sent, os.NewSyscallError("io_uring sendmsg", e)
+}
+
+// closeIO wakes a reader blocked in the rx ring (it tears the ring down
+// on its way out) and releases the tx ring. Called by the endpoint
+// after the send scheduler has stopped and before the socket closes.
+func (u *uringIO) closeIO() {
+	if u.closed.Swap(true) {
+		return
+	}
+	u.rxMu.Lock()
+	if !u.rxGone {
+		nop := ioUringSqe{opcode: uringOpNop, userData: udNop}
+		if u.rx.pushSqe(&nop) {
+			u.rx.enter(1, 0, 0)
+		}
+	}
+	u.rxMu.Unlock()
+	u.txMu.Lock()
+	if !u.txGone {
+		u.txGone = true
+		u.tx.close()
+	}
+	u.txMu.Unlock()
+}
+
+// Delegated capability state: the scheduler and stats see one coherent
+// GSO/TXTIME surface whether or not the ring is in front.
+func (u *uringIO) gsoMaxSegs() int         { return u.mm.gsoMaxSegs() }
+func (u *uringIO) groOn() bool             { return u.mm.groOn() }
+func (u *uringIO) gsoFallbacks() uint64    { return u.mm.gsoFallbacks() }
+func (u *uringIO) txTimeOn() bool          { return u.mm.txTimeOn() }
+func (u *uringIO) txTimeSendCount() uint64 { return u.mm.txTimeSendCount() }
+func (u *uringIO) nowNs() uint64           { return u.mm.nowNs() }
+
+func (u *uringIO) uringWakeups() uint64     { return u.wakeups.Load() }
+func (u *uringIO) uringSubmits() uint64     { return u.submits.Load() }
+func (u *uringIO) uringCompletions() uint64 { return u.completions.Load() }

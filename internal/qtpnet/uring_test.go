@@ -1,0 +1,437 @@
+//go:build linux && (amd64 || arm64)
+
+package qtpnet
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+// TestUringProbe exercises the real bind-time probe: on this kernel the
+// batch layer either brings up a full uringIO (multishot receive armed,
+// registered buffer ring accepted) or falls back to mmsg, and with
+// noUring set the ring must never even be attempted. The logged
+// decision line is endpoint-level — it honors QTPNET_NOURING, so CI's
+// uring-probe job can grep for the forced fallback the same way it
+// greps the real kernel's verdict.
+func TestUringProbe(t *testing.T) {
+	e, err := NewEndpoint("127.0.0.1:0", EndpointConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	if e.UringEnabled() {
+		t.Logf("uring probe decision: offload (multishot receive + registered ring, txtime=%v)", e.TxTimeEnabled())
+	} else {
+		t.Logf("uring probe decision: fallback (kernel refused the ring probe, or QTPNET_NOURING set)")
+	}
+
+	pc, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pc.Close()
+	// The raw probe, env ignored: whatever the kernel offers, noUring
+	// must keep the ring from even being attempted.
+	if u, ok := newPlatformBatchIO(pc, rxBatch, batchOpts{}).(*uringIO); ok {
+		u.closeIO()
+	}
+	pc2, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pc2.Close()
+	if _, ok := newPlatformBatchIO(pc2, rxBatch, batchOpts{noUring: true}).(*uringIO); ok {
+		t.Fatal("noUring did not keep the ring probe off")
+	}
+}
+
+// TestUringRawIntegrity blasts tagged datagrams from many source
+// sockets straight into a uringIO and checks every datagram arrives
+// exactly once, intact, and attributed to its true source.
+func TestUringRawIntegrity(t *testing.T) {
+	pc, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pc.Close()
+	pc.SetReadBuffer(4 << 20)
+	bio := newPlatformBatchIO(pc, rxBatch, batchOpts{})
+	u, ok := bio.(*uringIO)
+	if !ok {
+		t.Skip("uring unavailable")
+	}
+	defer u.closeIO()
+
+	const nSenders = 16
+	const perSender = 64
+	const payLen = 700
+
+	type src struct {
+		pc   *net.UDPConn
+		addr string
+	}
+	senders := make([]src, nSenders)
+	for i := range senders {
+		spc, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer spc.Close()
+		senders[i] = src{spc, spc.LocalAddr().String()}
+	}
+
+	dst := pc.LocalAddr().(*net.UDPAddr)
+	stop := make(chan struct{})
+	defer close(stop)
+	go func() {
+		buf := make([]byte, payLen)
+		for seq := 0; seq < perSender; seq++ {
+			for i := range senders {
+				buf[0] = byte(i)
+				buf[1] = byte(seq)
+				for j := 2; j < payLen; j++ {
+					buf[j] = byte(i) ^ byte(seq) ^ byte(j)
+				}
+				if _, err := senders[i].pc.WriteToUDP(buf, dst); err != nil {
+					return
+				}
+			}
+			time.Sleep(200 * time.Microsecond)
+		}
+		// Keepalive flushes so a reader that missed the tail (socket
+		// drops under overload are legal) never blocks forever.
+		flush := []byte{0xfe}
+		for {
+			select {
+			case <-stop:
+				return
+			case <-time.After(20 * time.Millisecond):
+				senders[0].pc.WriteToUDP(flush, dst)
+			}
+		}
+	}()
+
+	got := make(map[[2]byte]int) // (sender, seq) -> count
+	ms := make([]ioMsg, rxBatch)
+	for i := range ms {
+		ms[i].buf = make([]byte, maxDatagram)
+	}
+	total := 0
+	deadline := time.Now().Add(5 * time.Second)
+	for total < nSenders*perSender && time.Now().Before(deadline) {
+		n, err := u.readBatch(ms)
+		if err != nil {
+			t.Fatalf("readBatch after %d datagrams: %v", total, err)
+		}
+		for i := 0; i < n; i++ {
+			m := &ms[i]
+			segs := [][]byte{m.buf[:m.n]}
+			if m.segSize > 0 && m.n > m.segSize {
+				segs = segs[:0]
+				for off := 0; off < m.n; off += m.segSize {
+					end := off + m.segSize
+					if end > m.n {
+						end = m.n
+					}
+					segs = append(segs, m.buf[off:end])
+				}
+			}
+			for _, seg := range segs {
+				if len(seg) == 1 && seg[0] == 0xfe {
+					continue // keepalive flush
+				}
+				if len(seg) != payLen {
+					t.Fatalf("datagram len %d, want %d (segSize %d, m.n %d)", len(seg), payLen, m.segSize, m.n)
+				}
+				si, seq := seg[0], seg[1]
+				if int(si) >= nSenders || int(seq) >= perSender {
+					t.Fatalf("garbage header: sender %d seq %d", si, seq)
+				}
+				for j := 2; j < payLen; j++ {
+					if seg[j] != si^seq^byte(j) {
+						t.Fatalf("sender %d seq %d corrupt at byte %d: %#x want %#x",
+							si, seq, j, seg[j], si^seq^byte(j))
+					}
+				}
+				want := senders[si].addr
+				if m.addr.String() != want {
+					t.Fatalf("sender %d seq %d attributed to %s, want %s", si, seq, m.addr, want)
+				}
+				got[[2]byte{si, seq}]++
+				total++
+			}
+		}
+	}
+	var missing, dup int
+	for i := 0; i < nSenders; i++ {
+		for s := 0; s < perSender; s++ {
+			switch got[[2]byte{byte(i), byte(s)}] {
+			case 0:
+				missing++
+			case 1:
+			default:
+				dup++
+			}
+		}
+	}
+	if missing > 0 || dup > 0 {
+		t.Fatalf("missing %d, duplicated %d of %d datagrams (stats: wakeups=%d submits=%d completions=%d)",
+			missing, dup, nSenders*perSender, u.wakeups.Load(), u.submits.Load(), u.completions.Load())
+	}
+	t.Logf("wakeups %d, submits %d, completions %d, rearms %d for %d datagrams",
+		u.wakeups.Load(), u.submits.Load(), u.completions.Load(), u.rearms.Load(), total)
+}
+
+// uringTransfer runs a fanout of tagged streams between a fresh client
+// and server built with cfg and returns one payload digest per stream
+// tag. Payloads are deterministic in the tag, so the digests must come
+// out identical whatever data path carried them.
+func uringTransfer(t *testing.T, cfg EndpointConfig, nConns, perConn int) map[byte][32]byte {
+	t.Helper()
+	lcfg := cfg
+	lcfg.AcceptInbound = true
+	lcfg.Constraints = core.Permissive(2e6)
+	srv, err := NewEndpoint("127.0.0.1:0", lcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	client, err := NewEndpoint("127.0.0.1:0", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	type result struct {
+		tag byte
+		sum [32]byte
+		n   int
+		err error
+	}
+	results := make(chan result, nConns)
+	go func() {
+		var wg sync.WaitGroup
+		for i := 0; i < nConns; i++ {
+			conn, err := srv.Accept()
+			if err != nil {
+				results <- result{err: err}
+				return
+			}
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				defer conn.Close()
+				h := sha256.New()
+				r := result{tag: 0xff}
+				deadline := time.Now().Add(30 * time.Second)
+				for !conn.Finished() && time.Now().Before(deadline) {
+					chunk, ok := conn.Read(time.Second)
+					if !ok {
+						continue
+					}
+					if r.tag == 0xff && len(chunk) > 0 {
+						r.tag = chunk[0]
+					}
+					h.Write(chunk)
+					r.n += len(chunk)
+					conn.Release(chunk)
+				}
+				for { // drain what landed after the finish check
+					chunk, ok := conn.Read(50 * time.Millisecond)
+					if !ok {
+						break
+					}
+					if r.tag == 0xff && len(chunk) > 0 {
+						r.tag = chunk[0]
+					}
+					h.Write(chunk)
+					r.n += len(chunk)
+					conn.Release(chunk)
+				}
+				if !conn.Finished() {
+					r.err = fmt.Errorf("stream %d incomplete: %d of %d bytes", r.tag, r.n, perConn)
+				}
+				h.Sum(r.sum[:0])
+				results <- r
+			}()
+		}
+		wg.Wait()
+	}()
+
+	var wg sync.WaitGroup
+	errCh := make(chan error, nConns)
+	for i := 0; i < nConns; i++ {
+		wg.Add(1)
+		go func(tag byte) {
+			defer wg.Done()
+			conn, err := client.Dial(srv.Addr().String(), core.QTPAF(1e6), 15*time.Second)
+			if err != nil {
+				errCh <- fmt.Errorf("dial %d: %w", tag, err)
+				return
+			}
+			data := make([]byte, perConn)
+			data[0] = tag
+			for j := 1; j < perConn; j++ {
+				data[j] = tag ^ byte(j) ^ byte(j>>8)
+			}
+			if _, err := conn.Write(data); err != nil {
+				errCh <- fmt.Errorf("write %d: %w", tag, err)
+				return
+			}
+			conn.CloseSend()
+		}(byte(i))
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+
+	sums := make(map[byte][32]byte, nConns)
+	for i := 0; i < nConns; i++ {
+		select {
+		case r := <-results:
+			if r.err != nil {
+				t.Fatal(r.err)
+			}
+			if r.n != perConn {
+				t.Fatalf("stream %d delivered %d bytes, want %d", r.tag, r.n, perConn)
+			}
+			if _, dup := sums[r.tag]; dup {
+				t.Fatalf("stream tag %d delivered twice", r.tag)
+			}
+			sums[r.tag] = r.sum
+		case <-time.After(60 * time.Second):
+			t.Fatalf("timed out after %d of %d streams", i, nConns)
+		}
+	}
+	return sums
+}
+
+// TestUringByteEquivalence fans 64 tagged streams through each rung of
+// the data-path ladder — io_uring, plain mmsg+GSO, and mmsg with
+// offload refused — and checks every stream delivers byte-identical
+// content on all three, pinning the rungs to one observable behaviour.
+func TestUringByteEquivalence(t *testing.T) {
+	const nConns = 64
+	const perConn = 8 << 10
+
+	// Expected digests computed locally, so a bug shared by every rung
+	// still cannot pass.
+	want := make(map[byte][32]byte, nConns)
+	for i := 0; i < nConns; i++ {
+		tag := byte(i)
+		data := make([]byte, perConn)
+		data[0] = tag
+		for j := 1; j < perConn; j++ {
+			data[j] = tag ^ byte(j) ^ byte(j>>8)
+		}
+		want[tag] = sha256.Sum256(data)
+	}
+
+	rungs := []struct {
+		name string
+		cfg  EndpointConfig
+	}{
+		{"uring", EndpointConfig{}},
+		{"mmsg+gso", EndpointConfig{DisableUring: true}},
+		{"mmsg", EndpointConfig{DisableUring: true, DisableGSO: true}},
+	}
+	for _, rung := range rungs {
+		rung := rung
+		t.Run(rung.name, func(t *testing.T) {
+			got := uringTransfer(t, rung.cfg, nConns, perConn)
+			if len(got) != nConns {
+				t.Fatalf("%s delivered %d streams, want %d", rung.name, len(got), nConns)
+			}
+			for tag, sum := range got {
+				if sum != want[tag] {
+					t.Errorf("%s: stream %d digest mismatch", rung.name, tag)
+				}
+			}
+		})
+	}
+}
+
+// TestUringEnvFallback checks the QTPNET_NOURING escape hatch: with the
+// variable set the endpoint must refuse the ring outright — no probe,
+// no submissions — and still move every byte over the mmsg path.
+func TestUringEnvFallback(t *testing.T) {
+	t.Setenv("QTPNET_NOURING", "1")
+	e, err := NewEndpoint("127.0.0.1:0", EndpointConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.UringEnabled() {
+		e.Close()
+		t.Fatal("QTPNET_NOURING set but UringEnabled reports true")
+	}
+	e.Close()
+
+	sums := uringTransfer(t, EndpointConfig{}, 8, 4<<10)
+	if len(sums) != 8 {
+		t.Fatalf("fallback transfer delivered %d streams, want 8", len(sums))
+	}
+}
+
+// TestUringStatsSurface checks the wakeup accounting the benchmarks
+// gate on: a uring endpoint that moved real traffic must report ring
+// submissions and completions, and strictly fewer wakeups than receive
+// batches (the saved syscalls are the whole point of the ring).
+func TestUringStatsSurface(t *testing.T) {
+	lcfg := EndpointConfig{AcceptInbound: true, Constraints: core.Permissive(2e6)}
+	srv, err := NewEndpoint("127.0.0.1:0", lcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	if !srv.UringEnabled() {
+		t.Skip("uring unavailable")
+	}
+
+	client, err := NewEndpoint("127.0.0.1:0", EndpointConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	conn, err := client.Dial(srv.Addr().String(), core.QTPAF(1e6), 10*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := make([]byte, 32<<10)
+	if _, err := conn.Write(data); err != nil {
+		t.Fatal(err)
+	}
+	conn.CloseSend()
+	sconn, err := srv.Accept()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sconn.Close()
+	deadline := time.Now().Add(20 * time.Second)
+	for !sconn.Finished() && time.Now().Before(deadline) {
+		if chunk, ok := sconn.Read(time.Second); ok {
+			sconn.Release(chunk)
+		}
+	}
+	if !sconn.Finished() {
+		t.Fatal("transfer did not finish")
+	}
+
+	cst := client.Stats()
+	if cst.UringSubmits == 0 || cst.UringCompletions == 0 {
+		t.Fatalf("uring endpoint moved traffic without ring accounting: %+v", cst)
+	}
+	if cst.RecvBatches > 0 && cst.Wakeups >= cst.RecvBatches+cst.UringSubmits {
+		t.Errorf("wakeups %d not below batches+submits %d+%d — ring saved nothing",
+			cst.Wakeups, cst.RecvBatches, cst.UringSubmits)
+	}
+	t.Logf("client: %v", cst)
+}

@@ -169,5 +169,43 @@ func (r *Reassembler) Finished() bool {
 	return r.haveFin && r.finSeq.Less(r.cumAck)
 }
 
+// ForceFin terminates the stream at fin on the sender's authority (a
+// forward-FIN/StreamReset): the stream ends at fin, and every hole at or
+// below it is abandoned immediately — the sender has already given the
+// data up, so waiting out the skip deadline would only delay delivery of
+// whatever is buffered. Buffered segments beyond the frontier are still
+// delivered in order. A fin below data already delivered is ignored.
+func (r *Reassembler) ForceFin(now time.Duration, fin seqspace.Seq) {
+	if r.haveFin && r.finSeq == fin && r.Finished() {
+		return
+	}
+	r.finSeq = fin
+	r.haveFin = true
+	end := fin.Next()
+	if end.Less(r.cumAck) || end == r.cumAck {
+		return // already delivered (or skipped) past the fin
+	}
+	// Walk the frontier up to the fin, skipping holes and delivering
+	// buffered runs as they become contiguous.
+	for r.cumAck.Less(end) {
+		if r.received.Contains(r.cumAck) {
+			r.advance(now)
+			continue
+		}
+		// Frontier hole below the fin: abandon it up to the next
+		// buffered byte (or the fin's end, whichever is nearer).
+		next := end
+		if r.received.Len() > 0 {
+			if min := r.received.Min(); min.Less(next) {
+				next = min
+			}
+		}
+		r.SkippedSegs += r.cumAck.Distance(next)
+		r.cumAck = next
+		r.holeOpen = false
+	}
+	r.advance(now)
+}
+
 // Buffered returns the number of segments held for reassembly.
 func (r *Reassembler) Buffered() int { return len(r.buf) }
