@@ -3,7 +3,8 @@
 // BENCH_endpoint.json and fails (exit 1) when a watched benchmark
 // regressed beyond the threshold — by default >25% worse ns/op, >25%
 // fewer datagrams per receive syscall, or (where the history commits a
-// baseline for it) >25% more wakeups per op for BenchmarkEndpointFanout.
+// baseline for it) >25% more wakeups per op for BenchmarkEndpointFanout
+// and >25% fewer handshakes per second for BenchmarkHandshakeChurn.
 // The comparison is written to -out for upload as a CI artifact.
 //
 // Usage:
@@ -140,9 +141,10 @@ func median(runs []map[string]float64, unit string) (float64, bool) {
 // baseline is the committed reference for one benchmark: the metric
 // names mirror the JSON history fields.
 type baseline struct {
-	NsPerOp      float64 `json:"ns_per_op"`
-	DgramPerRx   float64 `json:"dgram_per_rx_syscall"`
-	WakeupsPerOp float64 `json:"wakeups_per_op"`
+	NsPerOp          float64 `json:"ns_per_op"`
+	DgramPerRx       float64 `json:"dgram_per_rx_syscall"`
+	WakeupsPerOp     float64 `json:"wakeups_per_op"`
+	HandshakesPerSec float64 `json:"handshakes_per_sec"`
 }
 
 // latestBaseline walks the history newest-first for the most recent
@@ -231,6 +233,16 @@ func compare(name string, runs []map[string]float64, base *baseline, baseDesc st
 	// entry predates the metric and the check stays silent.
 	if base.WakeupsPerOp > 0 {
 		check("wakeups/op", base.WakeupsPerOp, wakeupsThreshold, true)
+	}
+	// Handshake throughput gates only entries that committed it (the
+	// churn benchmark's headline); like ns/op it is wall-clock-bound, so
+	// it shares the wider ns tolerance rather than the structural one.
+	// For a higher-is-better metric a raw delta can never lose more than
+	// 100%, which would make CI's wide band vacuous — so the tolerance
+	// is converted to the equivalent ratio drop: ns/op doubling (tol
+	// 1.0) corresponds to throughput halving (drop 0.5).
+	if base.HandshakesPerSec > 0 {
+		check("handshakes/sec", base.HandshakesPerSec, nsThreshold/(1+nsThreshold), false)
 	}
 	if regressed {
 		fmt.Fprintf(&b, "  FAIL: regression beyond tolerance against committed history\n")

@@ -8,6 +8,8 @@
 //	qtpbench [-quick] [-seed N] [-only E1,E4,...]
 //	qtpbench -loopback [-conns N] [-mbytes M] [-nobatch] [-nogso] [-nouring] [-shards N]
 //	         [-streams N -mix reliable,unordered,expiring [-deadline D]]
+//	qtpbench -churn [-arrival N] [-lifetime D] [-duration D] [-shards N]
+//	         [-require-token] [-accept-rate N]
 package main
 
 import (
@@ -40,7 +42,26 @@ func main() {
 	streams := flag.Int("streams", 1, "loopback: streams per connection (>1 negotiates stream multiplexing and spreads each connection's bytes across them)")
 	mix := flag.String("mix", "reliable", "loopback: comma-separated delivery modes cycled across streams: reliable | unordered | expiring")
 	deadline := flag.Duration("deadline", 200*time.Millisecond, "loopback: retransmission deadline for expiring streams")
+	churn := flag.Bool("churn", false, "run a real-UDP handshake-churn scenario (Poisson arrivals, exponential lifetimes) and report sustained handshakes/s")
+	arrival := flag.Float64("arrival", 200, "churn: mean connection arrivals per second")
+	lifetime := flag.Duration("lifetime", 500*time.Millisecond, "churn: mean connection lifetime")
+	duration := flag.Duration("duration", 5*time.Second, "churn: how long to sustain arrivals")
+	requireToken := flag.Bool("require-token", false, "churn: server challenges every token-less Connect with a stateless Retry")
+	acceptRate := flag.Float64("accept-rate", 0, "churn: server-side cap on new connections per second per shard (0 = unlimited)")
 	flag.Parse()
+
+	if *churn {
+		runChurn(churnConfig{
+			arrival:      *arrival,
+			lifetime:     *lifetime,
+			duration:     *duration,
+			shards:       *shards,
+			requireToken: *requireToken,
+			acceptRate:   *acceptRate,
+			seed:         *seed,
+		})
+		return
+	}
 
 	if *loopback {
 		modes, err := packet.ParseModes(*mix)

@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	qtpd [-listen :9000] [-shards n] [-nogso] [-nouring] [-qos-budget bytesPerSec] [-o prefix] [-max n] [-v]
+//	qtpd [-listen :9000] [-shards n] [-nogso] [-nouring] [-require-token] [-accept-rate n] [-qos-budget bytesPerSec] [-o prefix] [-max n] [-v]
 package main
 
 import (
@@ -26,6 +26,8 @@ func main() {
 	shards := flag.Int("shards", 1, "SO_REUSEPORT shards to run on the port (0 = one per core; falls back to 1 where unsupported)")
 	nogso := flag.Bool("nogso", false, "keep UDP segment offload (GSO/GRO) off even where the kernel supports it")
 	nouring := flag.Bool("nouring", false, "keep the io_uring data path off even where the kernel supports it")
+	requireToken := flag.Bool("require-token", false, "challenge every token-less Connect with a stateless Retry (address validation before any state allocation)")
+	acceptRate := flag.Float64("accept-rate", 0, "cap new inbound connections per second per shard; excess is shed with a Retry-after hint (0 = unlimited)")
 	budget := flag.Float64("qos-budget", 0, "max QoS reservation to grant per connection, bytes/s (0 = refuse QoS)")
 	maxStreams := flag.Int("max-streams", 64, "max concurrent streams to grant per connection (0 = refuse stream multiplexing)")
 	out := flag.String("o", "", "write each stream to <prefix>.<connID> (default: discard)")
@@ -46,6 +48,12 @@ func main() {
 	if *nouring {
 		opts = append(opts, qtpnet.WithNoUring())
 	}
+	if *requireToken {
+		opts = append(opts, qtpnet.WithRequireToken())
+	}
+	if *acceptRate > 0 {
+		opts = append(opts, qtpnet.WithAcceptRate(*acceptRate))
+	}
 	l, err := qtpnet.Listen(*listen, cons, opts...)
 	if err != nil {
 		log.Fatal(err)
@@ -58,6 +66,8 @@ func main() {
 		ep.GSOEnabled(), ep.GROEnabled())
 	log.Printf("qtpd: io_uring data path: uring=%v txtime=%v (per shard; -nouring or QTPNET_NOURING to force off)",
 		ep.UringEnabled(), ep.TxTimeEnabled())
+	log.Printf("qtpd: handshake hardening: require-token=%v accept-rate=%.0f/s per shard",
+		*requireToken, *acceptRate)
 
 	if *verbose {
 		rcv, snd := ep.SocketBufSizes()

@@ -62,7 +62,7 @@ func FuzzHandshakeParse(f *testing.F) {
 		if err := h2.Parse(enc); err != nil {
 			t.Fatalf("parse of re-encoded handshake failed: %v", err)
 		}
-		if h2 != h {
+		if !h2.Equal(&h) {
 			t.Fatalf("round trip mismatch:\n in=%+v\nout=%+v", h, h2)
 		}
 	})
@@ -82,7 +82,7 @@ func TestHandshakeConnIDRoundTrip(t *testing.T) {
 	if err := out.Parse(enc); err != nil {
 		t.Fatal(err)
 	}
-	if out != in {
+	if !out.Equal(&in) {
 		t.Fatalf("round trip mismatch:\n in=%+v\nout=%+v", in, out)
 	}
 
@@ -121,7 +121,7 @@ func TestHandshakeConnIDProperty(t *testing.T) {
 			return false
 		}
 		var out Handshake
-		return out.Parse(enc) == nil && out == in
+		return out.Parse(enc) == nil && out.Equal(&in)
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Error(err)

@@ -1,6 +1,7 @@
 package packet
 
 import (
+	"bytes"
 	"encoding/binary"
 	"fmt"
 )
@@ -16,6 +17,7 @@ const (
 	optMSS          uint8 = 4
 	optConnID       uint8 = 5
 	optStreams      uint8 = 6
+	optToken        uint8 = 7
 )
 
 // ReliabilityMode selects the reliability micro-protocol.
@@ -88,15 +90,42 @@ type Handshake struct {
 	// the pre-stream frame layout. The negotiated value is the minimum
 	// of what both sides offered; multi-stream framing activates at 2+.
 	MaxStreams uint16
+
+	// Token is the opaque source-address token echoed back from a Retry
+	// frame (Connect only; see TokenMinter). Empty means "not carried" —
+	// the TLV is omitted and old peers never see it. The server treats a
+	// token-bearing Connect from the address the token was minted for as
+	// address-validated and exempt from stateless-retry challenges.
+	Token []byte
+}
+
+// Equal reports whether two handshakes carry the same negotiated values,
+// treating a nil and an empty Token alike (the wire cannot distinguish
+// them). Handshake is not comparable with == because of the Token slice.
+func (h *Handshake) Equal(o *Handshake) bool {
+	return h.Reliability == o.Reliability &&
+		h.ReliabilityParam == o.ReliabilityParam &&
+		h.FeedbackMode == o.FeedbackMode &&
+		h.TargetRate == o.TargetRate &&
+		h.MSS == o.MSS &&
+		h.ConnID == o.ConnID &&
+		h.MaxStreams == o.MaxStreams &&
+		bytes.Equal(h.Token, o.Token)
 }
 
 // AppendTo appends the encoded handshake to dst and returns the result.
 func (h *Handshake) AppendTo(dst []byte) ([]byte, error) {
+	if len(h.Token) > 255 {
+		return dst, fmt.Errorf("%w: token length %d", ErrOption, len(h.Token))
+	}
 	count := byte(4)
 	if h.ConnID != 0 {
 		count++
 	}
 	if h.MaxStreams != 0 {
+		count++
+	}
+	if len(h.Token) != 0 {
 		count++
 	}
 	dst = append(dst, count)
@@ -114,6 +143,10 @@ func (h *Handshake) AppendTo(dst []byte) ([]byte, error) {
 	if h.MaxStreams != 0 {
 		dst = append(dst, optStreams, 2)
 		dst = binary.BigEndian.AppendUint16(dst, h.MaxStreams)
+	}
+	if len(h.Token) != 0 {
+		dst = append(dst, optToken, uint8(len(h.Token)))
+		dst = append(dst, h.Token...)
 	}
 	return dst, nil
 }
@@ -167,6 +200,11 @@ func (h *Handshake) Parse(b []byte) error {
 				return fmt.Errorf("%w: streams length %d", ErrOption, ln)
 			}
 			h.MaxStreams = binary.BigEndian.Uint16(v)
+		case optToken:
+			if ln == 0 {
+				return fmt.Errorf("%w: empty token", ErrOption)
+			}
+			h.Token = append(h.Token[:0], v...)
 		default:
 			// Unknown option: skip.
 		}

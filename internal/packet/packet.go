@@ -43,12 +43,13 @@ const (
 	TypeClose            // sender has no more data
 	TypeCloseAck         // close acknowledgment
 	TypeStreamReset      // forward-FIN: terminate one expiring stream standalone
+	TypeRetry            // stateless server retry carrying a source-address token
 	typeMax
 )
 
 var typeNames = [...]string{
 	"invalid", "connect", "accept", "confirm", "data",
-	"feedback", "sack", "close", "closeack", "streamreset",
+	"feedback", "sack", "close", "closeack", "streamreset", "retry",
 }
 
 func (t Type) String() string {

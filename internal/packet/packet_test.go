@@ -202,7 +202,7 @@ func TestHandshakeRoundTrip(t *testing.T) {
 	if err := out.Parse(buf); err != nil {
 		t.Fatal(err)
 	}
-	if out != in {
+	if !out.Equal(&in) {
 		t.Fatalf("mismatch:\n in=%+v\nout=%+v", in, out)
 	}
 }

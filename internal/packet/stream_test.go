@@ -135,7 +135,7 @@ func TestHandshakeMaxStreamsTLV(t *testing.T) {
 	if err := out.Parse(enc); err != nil {
 		t.Fatal(err)
 	}
-	if out != in {
+	if !out.Equal(&in) {
 		t.Fatalf("round trip mismatch:\n in=%+v\nout=%+v", in, out)
 	}
 	// Zero MaxStreams drops the 4-byte TLV entirely.
@@ -189,6 +189,20 @@ func FuzzFrame(f *testing.F) {
 	hsPay, _ := hs.AppendTo(nil)
 	hsHdr := Header{Type: TypeConnect, ConnID: 6, PayloadLen: uint16(len(hsPay))}
 	f.Add(append(hsHdr.AppendTo(nil), hsPay...))
+	// Seed: stateless retry with a realistic-shape token and a hint.
+	tok := make([]byte, TokenLen)
+	for i := range tok {
+		tok[i] = byte(i * 7)
+	}
+	rt := Retry{Token: tok, RetryAfterMS: 500}
+	rtPay, _ := rt.AppendTo(nil)
+	rtHdr := Header{Type: TypeRetry, ConnID: 13, PayloadLen: uint16(len(rtPay))}
+	f.Add(append(rtHdr.AppendTo(nil), rtPay...))
+	// Seed: connect echoing a token back (the post-retry handshake).
+	hsTok := Handshake{Reliability: ReliabilityFull, MSS: 1200, ConnID: 14, Token: tok}
+	hsTokPay, _ := hsTok.AppendTo(nil)
+	hsTokHdr := Header{Type: TypeConnect, ConnID: 14, PayloadLen: uint16(len(hsTokPay))}
+	f.Add(append(hsTokHdr.AppendTo(nil), hsTokPay...))
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		var h Header
@@ -269,8 +283,27 @@ func FuzzFrame(f *testing.F) {
 			if err := hs2.Parse(re); err != nil {
 				t.Fatalf("handshake re-parse: %v", err)
 			}
-			if hs2 != hs {
+			if !hs2.Equal(&hs) {
 				t.Fatalf("handshake mismatch:\n in=%+v\nout=%+v", hs, hs2)
+			}
+		case TypeRetry:
+			var r Retry
+			if err := r.Parse(payload); err != nil {
+				return
+			}
+			if len(r.Token) == 0 {
+				t.Fatalf("retry parsed with no token: %+v", r)
+			}
+			re, err := r.AppendTo(nil)
+			if err != nil {
+				t.Fatalf("retry re-encode: %v", err)
+			}
+			var r2 Retry
+			if err := r2.Parse(re); err != nil {
+				t.Fatalf("retry re-parse: %v", err)
+			}
+			if !bytes.Equal(r2.Token, r.Token) || r2.RetryAfterMS != r.RetryAfterMS {
+				t.Fatalf("retry mismatch:\n in=%+v\nout=%+v", r, r2)
 			}
 		}
 	})

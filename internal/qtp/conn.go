@@ -111,6 +111,11 @@ type Stats struct {
 	DeliveredBytes int
 	DecodeErrors   int
 
+	// RetriesReceived counts stateless Retry challenges answered during
+	// the handshake (each one restarts the Connect with the server's
+	// source-address token attached).
+	RetriesReceived int
+
 	StreamResetsSent int // forward FINs emitted for expired streams
 	StreamResetsRcvd int // forward FINs applied to receive streams
 }
@@ -135,6 +140,7 @@ type Conn struct {
 	ctrlTries   int
 	ctrlSentAt  time.Duration // for handshake RTT measurement
 	peerSeen    bool
+	token       []byte // source-address token from a Retry, echoed in Connects
 
 	// Timestamp echo state.
 	lastPeerTS   uint32

@@ -109,22 +109,102 @@ func TestLostAcceptIsRetransmitted(t *testing.T) {
 		t.Fatal("responder produced no accept")
 	}
 	// Initiator retries at its control timer; the duplicate Connect must
-	// trigger a fresh Accept rather than confuse the responder.
-	retry, ok := initiator.PollFrame(ctrlRetryInterval)
+	// trigger a fresh Accept rather than confuse the responder. One
+	// second is past the first backoff interval even at max jitter.
+	const retryAt = time.Second
+	retry, ok := initiator.PollFrame(retryAt)
 	if !ok {
 		t.Fatal("no connect retry")
 	}
-	if err := responder.HandleFrame(ctrlRetryInterval, retry); err != nil {
+	if err := responder.HandleFrame(retryAt, retry); err != nil {
 		t.Fatal(err)
 	}
-	accept2, ok := responder.PollFrame(ctrlRetryInterval)
+	accept2, ok := responder.PollFrame(retryAt)
 	if !ok {
 		t.Fatal("no second accept")
 	}
-	if err := initiator.HandleFrame(ctrlRetryInterval+time.Millisecond, accept2); err != nil {
+	if err := initiator.HandleFrame(retryAt+time.Millisecond, accept2); err != nil {
 		t.Fatal(err)
 	}
 	if initiator.State() != StateEstablished {
 		t.Fatalf("initiator state %v", initiator.State())
+	}
+}
+
+// TestCtrlBackoffSchedule pins the control retransmission schedule:
+// exponential doubling from ctrlRetryBase capped at ctrlRetryCap, each
+// interval within ±25% jitter of its nominal value, deterministic for a
+// given connection ID, and a total span close to the old fixed cadence
+// so give-up timing is preserved.
+func TestCtrlBackoffSchedule(t *testing.T) {
+	initiator := NewConn(Config{Initiator: true, Profile: core.ClassicTFRC(), ConnID: 0x5151})
+	initiator.Start(0)
+
+	// Drive the state machine by its own clock, blackholing every frame,
+	// and record the send instants.
+	var sends []time.Duration
+	now := time.Duration(0)
+	for i := 0; i < 2*ctrlMaxTries; i++ {
+		if _, ok := initiator.PollFrame(now); !ok {
+			break
+		}
+		sends = append(sends, now)
+		next, ok := initiator.NextWake(now)
+		if !ok {
+			break
+		}
+		now = next
+	}
+	if len(sends) != ctrlMaxTries {
+		t.Fatalf("sent %d connects, want %d", len(sends), ctrlMaxTries)
+	}
+	if initiator.State() != StateClosed {
+		t.Fatalf("state after exhausting retries = %v, want closed", initiator.State())
+	}
+
+	nominal := func(try int) time.Duration {
+		d := ctrlRetryBase << uint(try)
+		if d > ctrlRetryCap {
+			d = ctrlRetryCap
+		}
+		return d
+	}
+	var total time.Duration
+	for i := 1; i < len(sends); i++ {
+		gap := sends[i] - sends[i-1]
+		want := nominal(i - 1)
+		lo := want - want/4
+		hi := want + want/4
+		if gap < lo || gap > hi {
+			t.Fatalf("interval %d = %v, want within ±25%% of %v", i, gap, want)
+		}
+		if i > 1 && gap < sends[i-1]-sends[i-2]-want/2 {
+			t.Fatalf("interval %d = %v shrank below its predecessor's band", i, gap)
+		}
+		total += gap
+	}
+	// Old schedule waited 7 × 1s between 8 sends; the backoff's nominal
+	// total is 7.8s. Allow the jitter band around that.
+	if total < 5*time.Second || total > 11*time.Second {
+		t.Fatalf("total backoff span %v, want ≈7.8s (old 7s cadence preserved)", total)
+	}
+
+	// Determinism: a second connection with the same ID sees the same
+	// jittered schedule.
+	again := NewConn(Config{Initiator: true, Profile: core.ClassicTFRC(), ConnID: 0x5151})
+	again.Start(0)
+	now = 0
+	for i := 0; i < len(sends); i++ {
+		if _, ok := again.PollFrame(now); !ok {
+			t.Fatalf("replay stopped at send %d", i)
+		}
+		if now != sends[i] {
+			t.Fatalf("replay send %d at %v, first run at %v (jitter not deterministic)", i, now, sends[i])
+		}
+		next, ok := again.NextWake(now)
+		if !ok {
+			break
+		}
+		now = next
 	}
 }

@@ -58,6 +58,8 @@ func (c *Conn) HandleFrame(now time.Duration, frame []byte) error {
 		return c.onCloseAck()
 	case packet.TypeStreamReset:
 		return c.onStreamReset(now, payload)
+	case packet.TypeRetry:
+		return c.onRetry(now, &hdr, payload)
 	}
 	return fmt.Errorf("qtp: unhandled frame type %v", hdr.Type)
 }
@@ -115,6 +117,33 @@ func (c *Conn) onAccept(now time.Duration, hdr *packet.Header, payload []byte) e
 	// Confirm (again, if the previous one was lost).
 	c.ctrlPending = packet.TypeConfirm
 	c.ctrlDue = now
+	return nil
+}
+
+// onRetry handles the server's stateless address-validation challenge:
+// adopt the token and reissue the Connect (honoring a load-shedding
+// Retry-after hint). The retry does NOT reset ctrlTries — the challenge
+// round-trip spends one of the handshake's bounded attempts, so a
+// server shedding forever cannot pin the client in Connecting.
+func (c *Conn) onRetry(now time.Duration, hdr *packet.Header, payload []byte) error {
+	if !c.cfg.Initiator || c.state != StateConnecting {
+		return ErrBadState
+	}
+	var r packet.Retry
+	if err := r.Parse(payload); err != nil {
+		c.stats.DecodeErrors++
+		return err
+	}
+	c.token = append(c.token[:0], r.Token...)
+	c.stats.RetriesReceived++
+	c.ctrlPending = packet.TypeConnect
+	delay := time.Duration(r.RetryAfterMS) * time.Millisecond
+	if delay > 0 {
+		// Jitter the hint like a backoff interval so a shedding server
+		// doesn't get the whole rejected cohort back in one burst.
+		delay += time.Duration(float64(delay) * ctrlJitter(c.localID, uint32(c.ctrlTries)))
+	}
+	c.ctrlDue = now + delay
 	return nil
 }
 

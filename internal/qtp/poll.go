@@ -8,11 +8,48 @@ import (
 	"repro/internal/seqspace"
 )
 
-// ctrlRetryInterval paces handshake/close retransmissions.
-const ctrlRetryInterval = time.Second
+// Control retransmission schedule: exponential backoff from
+// ctrlRetryBase doubling up to ctrlRetryCap, with deterministic ±25%
+// jitter per connection so a churn storm of synchronized clients
+// (everyone reconnecting after an outage) de-correlates instead of
+// retrying in lockstep. The total wait across ctrlMaxTries (~7.8s
+// nominal) matches the old fixed 1s × 8 cadence, so give-up timing is
+// unchanged.
+const (
+	ctrlRetryBase = 200 * time.Millisecond
+	ctrlRetryCap  = 1600 * time.Millisecond
+)
 
 // ctrlMaxTries bounds control retransmissions before giving up.
 const ctrlMaxTries = 8
+
+// ctrlBackoff returns the wait after transmission number try (0-based):
+// min(base<<try, cap) plus the connection's deterministic jitter.
+// Determinism matters: the simulator replays runs bit-exactly per seed,
+// so the jitter derives from the connection ID and try count rather
+// than a global RNG.
+func (c *Conn) ctrlBackoff(try int) time.Duration {
+	if try < 0 {
+		try = 0
+	}
+	d := ctrlRetryBase << uint(min(try, 8))
+	if d > ctrlRetryCap {
+		d = ctrlRetryCap
+	}
+	return d + time.Duration(float64(d)*ctrlJitter(c.localID, uint32(try)))
+}
+
+// ctrlJitter maps (id, try) to a factor in [-0.25, 0.25) via a
+// splitmix64-style finalizer.
+func ctrlJitter(id, try uint32) float64 {
+	x := uint64(id)<<32 | uint64(try)
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return (float64(x>>11)/float64(1<<53) - 0.5) * 0.5
+}
 
 // PollFrame returns the next frame the endpoint wants on the wire at
 // time now, or ok=false if nothing is due yet. Drivers call it in a loop
@@ -152,6 +189,11 @@ func (c *Conn) buildControl(now time.Duration, dst []byte) []byte {
 		if c.localID != c.remoteID {
 			hs.ConnID = c.localID
 		}
+		// Echo the server's source-address token, if a Retry handed us
+		// one, so the retried Connect passes address validation.
+		if typ == packet.TypeConnect {
+			hs.Token = c.token
+		}
 		payload, _ = hs.AppendTo(c.scratch[:0])
 	}
 	hdr.PayloadLen = uint16(len(payload))
@@ -176,7 +218,7 @@ func (c *Conn) buildControl(now time.Duration, dst []byte) []byte {
 				c.state = StateClosed
 			}
 		} else {
-			c.ctrlDue = now + ctrlRetryInterval
+			c.ctrlDue = now + c.ctrlBackoff(c.ctrlTries-1)
 			if typ == packet.TypeConnect {
 				c.ctrlSentAt = now
 			}

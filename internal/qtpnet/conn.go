@@ -64,6 +64,18 @@ type Conn struct {
 	// the protocol close can complete (see Endpoint.retireConn).
 	lingering atomic.Bool
 
+	// Anti-amplification state. validated is true once the peer's
+	// address is proven reachable (initiators always; responders on a
+	// valid source-address token, or on the first frame routed by our
+	// local CID — which the peer can only have learned from our Accept).
+	// Until then ampRx counts bytes received from the peer and ampTx
+	// bytes sent to it; service withholds frames that would push ampTx
+	// past 3x ampRx, so a spoofed victim never receives more than 3x
+	// what the attacker spent.
+	validated atomic.Bool
+	ampRx     atomic.Int64
+	ampTx     atomic.Int64
+
 	// Scheduler state, guarded by ep.mu.
 	wakeAt     time.Duration
 	heapIdx    int

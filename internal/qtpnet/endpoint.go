@@ -90,6 +90,26 @@ type EndpointConfig struct {
 	// flushes leave as kernel-scheduled bursts rather than fq-paced
 	// release instants. Implied by DisableBatchIO and QTPNET_NOTXTIME.
 	DisableTxTime bool
+	// RequireToken makes the endpoint challenge every token-less Connect
+	// with a stateless Retry carrying an HMAC source-address token,
+	// allocating no connection state until a Connect echoes a valid
+	// token. Off by default; even then the endpoint starts challenging
+	// on its own once the accept queue is half full (spending one HMAC
+	// per datagram beats spending a conn struct per spoofed source).
+	RequireToken bool
+	// TokenLifetime is how long a minted source-address token validates,
+	// and the key rotation cadence (default 10s). Tokens stay valid
+	// across one rotation (two-key window), so the effective acceptance
+	// horizon is up to 2x this under rotation skew.
+	TokenLifetime time.Duration
+	// AcceptRate, when positive, caps new responder creation at this
+	// many connections per second (per shard on a sharded endpoint) via
+	// a token bucket of depth AcceptBurst (default max(AcceptRate, 8)).
+	// Connects beyond the budget are shed statelessly with a Retry
+	// carrying a Retry-after hint rather than silently dropped, so
+	// legitimate dialers back off and try again.
+	AcceptRate  float64
+	AcceptBurst int
 	// SocketBufferBytes asks the kernel for this much receive and send
 	// buffering on the socket (negative to leave the system default).
 	// The default is 2 MiB — or 1 MiB when SO_TXTIME pacing is active,
@@ -155,6 +175,22 @@ type EndpointStats struct {
 	CrossShardFwd   uint64
 	CrossShardRecv  uint64
 	CrossShardDrops uint64
+
+	// Handshake hardening (zero unless the endpoint accepts inbound).
+	// RetrySent counts stateless Retry frames sent (address-validation
+	// challenges and load-shed hints); TokenInvalid counts Connect
+	// tokens that failed validation (stale, rotated out, or forged);
+	// HandshakeDropped counts Connects shed before allocation by
+	// accept-queue saturation or the AcceptRate bucket; Amplification-
+	// Capped counts frames withheld (or Retries suppressed) by the 3x
+	// pre-validation byte cap; AcceptOverflow counts responders
+	// abandoned post-allocation because the accept backlog filled
+	// between admission and queueing.
+	RetrySent           uint64
+	TokenInvalid        uint64
+	HandshakeDropped    uint64
+	AmplificationCapped uint64
+	AcceptOverflow      uint64
 }
 
 // AvgRecvBatch returns mean datagrams per receive syscall.
@@ -192,6 +228,12 @@ func (s EndpointStats) String() string {
 	if s.TxTimeSends > 0 {
 		str += fmt.Sprintf(" txtime sends %d", s.TxTimeSends)
 	}
+	if s.RetrySent > 0 || s.TokenInvalid > 0 || s.HandshakeDropped > 0 ||
+		s.AmplificationCapped > 0 || s.AcceptOverflow > 0 {
+		str += fmt.Sprintf(" hs retry %d badtoken %d shed %d ampcap %d acceptovf %d",
+			s.RetrySent, s.TokenInvalid, s.HandshakeDropped,
+			s.AmplificationCapped, s.AcceptOverflow)
+	}
 	return str
 }
 
@@ -223,6 +265,11 @@ func (s EndpointStats) add(o EndpointStats) EndpointStats {
 	s.CrossShardFwd += o.CrossShardFwd
 	s.CrossShardRecv += o.CrossShardRecv
 	s.CrossShardDrops += o.CrossShardDrops
+	s.RetrySent += o.RetrySent
+	s.TokenInvalid += o.TokenInvalid
+	s.HandshakeDropped += o.HandshakeDropped
+	s.AmplificationCapped += o.AmplificationCapped
+	s.AcceptOverflow += o.AcceptOverflow
 	return s
 }
 
@@ -252,6 +299,11 @@ type Endpoint struct {
 	cfg   EndpointConfig
 	shard shardEnv
 
+	// minter mints/validates source-address tokens (nil unless the
+	// endpoint accepts inbound). On a sharded endpoint every shard
+	// shares one minter, so a token minted by shard A validates on B.
+	minter *packet.TokenMinter
+
 	mu         sync.Mutex
 	byID       map[uint32]*Conn  // local conn ID -> conn (data-plane route)
 	byPeer     map[peerKey]*Conn // (peer addr, peer conn ID) -> conn (handshake route)
@@ -261,6 +313,10 @@ type Endpoint struct {
 	closed     bool
 	readErr    error
 	sendErr    error
+	// Accept token bucket (guarded by mu): hsTokens is the current
+	// balance, refilled at cfg.AcceptRate up to cfg.AcceptBurst.
+	hsTokens float64
+	hsLast   time.Duration
 
 	// Receive-side counters (single writer: the read loop).
 	datagramsIn  atomic.Uint64
@@ -274,6 +330,13 @@ type Endpoint struct {
 	crossFwd  atomic.Uint64
 	crossRecv atomic.Uint64
 	crossDrop atomic.Uint64
+
+	// Handshake-hardening counters (see EndpointStats).
+	retrySent      atomic.Uint64
+	tokenInvalid   atomic.Uint64
+	hsDropped      atomic.Uint64
+	ampCapped      atomic.Uint64
+	acceptOverflow atomic.Uint64
 
 	acceptCh  chan *Conn
 	done      chan struct{}
@@ -297,6 +360,10 @@ type shardEnv struct {
 	// acceptCh, when non-nil, replaces the endpoint's private accept
 	// queue so Accept on the shard group sees every shard's handshakes.
 	acceptCh chan *Conn
+	// minter, when non-nil, is the group-shared token minter: the
+	// kernel's reuseport hash can move a client between shards across
+	// its Retry round-trip, so tokens must validate group-wide.
+	minter *packet.TokenMinter
 }
 
 // NewEndpoint opens a UDP socket on addr and starts the endpoint's
@@ -330,6 +397,12 @@ func newEndpointOn(pc *net.UDPConn, cfg EndpointConfig, sh shardEnv) *Endpoint {
 	cfg.AcceptBacklog = acceptBacklog(cfg)
 	if cfg.ReadQueue <= 0 {
 		cfg.ReadQueue = 64
+	}
+	if cfg.AcceptRate > 0 && cfg.AcceptBurst <= 0 {
+		cfg.AcceptBurst = int(cfg.AcceptRate)
+		if cfg.AcceptBurst < 8 {
+			cfg.AcceptBurst = 8
+		}
 	}
 	if envNoBatchIO() {
 		cfg.DisableBatchIO = true
@@ -382,6 +455,13 @@ func newEndpointOn(pc *net.UDPConn, cfg EndpointConfig, sh shardEnv) *Endpoint {
 	if e.acceptCh == nil {
 		e.acceptCh = make(chan *Conn, cfg.AcceptBacklog)
 	}
+	if cfg.AcceptInbound {
+		e.minter = sh.minter
+		if e.minter == nil {
+			e.minter = packet.NewTokenMinter(cfg.TokenLifetime)
+		}
+		e.hsTokens = float64(cfg.AcceptBurst)
+	}
 	// maxDelay 0: the endpoint flushes at its own round boundaries (end
 	// of each receive batch and timer round) instead of lingering.
 	e.tx = newSendScheduler(e.bio, txBatch, 0, e.onSendFatal)
@@ -419,6 +499,12 @@ func (e *Endpoint) Stats() EndpointStats {
 		CrossShardFwd:   e.crossFwd.Load(),
 		CrossShardRecv:  e.crossRecv.Load(),
 		CrossShardDrops: e.crossDrop.Load(),
+
+		RetrySent:           e.retrySent.Load(),
+		TokenInvalid:        e.tokenInvalid.Load(),
+		HandshakeDropped:    e.hsDropped.Load(),
+		AmplificationCapped: e.ampCapped.Load(),
+		AcceptOverflow:      e.acceptOverflow.Load(),
 	}
 	if so, ok := e.bio.(segmentOffloader); ok {
 		st.GsoFallbacks = so.gsoFallbacks()
@@ -519,6 +605,9 @@ func (e *Endpoint) Dial(addr string, profile core.Profile, timeout time.Duration
 	id := e.allocIDLocked()
 	c := newConn(e, peer, id)
 	c.initiator = true
+	// Dialing out proves nothing needs proving: the amplification cap
+	// exists for responders answering unvalidated sources.
+	c.validated.Store(true)
 	// The initiator stamps its own ID until the Accept TLV delivers the
 	// responder's; a symmetric legacy responder just keeps echoing it.
 	c.inner = qtp.NewConn(qtp.Config{
@@ -752,12 +841,19 @@ func (e *Endpoint) deliverForwarded(from netip.AddrPort, dgram []byte) bool {
 // deliverClassified routes one already-classified datagram locally.
 func (e *Endpoint) deliverClassified(from netip.AddrPort, dgram []byte, typ packet.Type, cid uint32) bool {
 	e.mu.Lock()
-	c, isNew := e.resolveLocked(from, typ, cid)
+	c, isNew, shed := e.resolveLocked(from, typ, cid, dgram)
 	e.mu.Unlock()
+	if shed {
+		// The Connect was answered statelessly (Retry challenge or load
+		// shed); push the queued frame out now.
+		e.tx.flushPending()
+		return false
+	}
 	if c == nil {
 		e.noRoute.Add(1)
 		return false
 	}
+	accountRx(c, typ, len(dgram))
 	err := e.handleFrame(c, dgram)
 	if isNew && !e.finishAccept(c, err) {
 		// Refused before service ran, so no Accept frame went out: the
@@ -780,15 +876,16 @@ type rxScratch struct {
 
 // frameKey is one datagram's classification within a batch. local is
 // false for frames that never reach the local demux: runts, foreign
-// versions, and foreign-shard frames (the latter marked foreign — the
-// forward path fully accounts for them as CrossShardFwd or
-// CrossShardDrops, so they must not also count as no-route, keeping
-// batch and single-datagram accounting identical).
+// versions, and foreign-shard frames. accounted marks frames some
+// other path has fully charged — a foreign-shard forward (CrossShardFwd
+// or CrossShardDrops) or a statelessly answered Connect (RetrySent /
+// HandshakeDropped) — so they must not also count as no-route, keeping
+// batch and single-datagram accounting identical.
 type frameKey struct {
-	typ     packet.Type
-	cid     uint32
-	local   bool
-	foreign bool
+	typ       packet.Type
+	cid       uint32
+	local     bool
+	accounted bool
 }
 
 // deliverBatch demultiplexes one receive batch. Classification and the
@@ -810,7 +907,7 @@ func (e *Endpoint) deliverBatch(ms []ioMsg, sc *rxScratch) {
 		k := frameKey{typ: typ, cid: cid, local: ok}
 		if ok {
 			if sh, foreign := e.foreignShard(typ, cid); foreign {
-				k.local, k.foreign = false, true
+				k.local, k.accounted = false, true
 				e.forwardFrame(sh, ms[i].addr, ms[i].buf[:ms[i].n])
 			}
 		}
@@ -818,13 +915,19 @@ func (e *Endpoint) deliverBatch(ms []ioMsg, sc *rxScratch) {
 		sc.keys = append(sc.keys, k)
 	}
 
+	shedAny := false
 	if anyLocal {
 		e.mu.Lock()
 		for i := range ms {
 			var c *Conn
 			isNew := false
 			if sc.keys[i].local {
-				c, isNew = e.resolveLocked(ms[i].addr, sc.keys[i].typ, sc.keys[i].cid)
+				var shed bool
+				c, isNew, shed = e.resolveLocked(ms[i].addr, sc.keys[i].typ, sc.keys[i].cid, ms[i].buf[:ms[i].n])
+				if shed {
+					sc.keys[i].accounted = true
+					shedAny = true
+				}
 			}
 			sc.conns = append(sc.conns, c)
 			sc.fresh = append(sc.fresh, isNew)
@@ -842,11 +945,12 @@ func (e *Endpoint) deliverBatch(ms []ioMsg, sc *rxScratch) {
 		c := sc.conns[i]
 		sc.conns[i] = nil
 		if c == nil {
-			if !sc.keys[i].foreign {
+			if !sc.keys[i].accounted {
 				e.noRoute.Add(1)
 			}
 			continue
 		}
+		accountRx(c, sc.keys[i].typ, ms[i].n)
 		err := e.handleFrame(c, ms[i].buf[:ms[i].n])
 		if sc.fresh[i] && !e.finishAccept(c, err) {
 			continue
@@ -855,7 +959,9 @@ func (e *Endpoint) deliverBatch(ms []ioMsg, sc *rxScratch) {
 			sc.touched = append(sc.touched, c)
 		}
 	}
-	produced := false
+	// Stateless Retries queued during resolution ride the same
+	// end-of-batch flush as everything the round produced.
+	produced := shedAny
 	for i, c := range sc.touched {
 		produced = e.service(c) || produced
 		sc.touched[i] = nil
@@ -887,6 +993,21 @@ func (e *Endpoint) serviceFlush(c *Conn) {
 	}
 }
 
+// accountRx maintains a responder's pre-validation amplification
+// state: Connect bytes grow the 3x send allowance, while any frame
+// routed by our local CID proves the peer's address — the CID travels
+// only in our Accept, so a spoofing attacker can never learn it.
+func accountRx(c *Conn, typ packet.Type, n int) {
+	if c.validated.Load() {
+		return
+	}
+	if typ == packet.TypeConnect {
+		c.ampRx.Add(int64(n))
+	} else {
+		c.validated.Store(true)
+	}
+}
+
 // handleFrame feeds one classified datagram to its connection's state
 // machine.
 func (e *Endpoint) handleFrame(c *Conn, dgram []byte) error {
@@ -896,26 +1017,67 @@ func (e *Endpoint) handleFrame(c *Conn, dgram []byte) error {
 	return err
 }
 
+// shedRetryAfterMS is the hold-off hint stamped on load-shedding
+// Retries, long enough to let an accept-queue backlog drain without
+// pushing a legitimate dialer past its bounded handshake attempts.
+const shedRetryAfterMS = 500
+
 // resolveLocked finds the connection a classified frame belongs to,
-// creating a responder for a first-contact Connect. The bool reports
-// creation. Callers hold e.mu.
-func (e *Endpoint) resolveLocked(from netip.AddrPort, typ packet.Type, cid uint32) (*Conn, bool) {
+// creating a responder for a first-contact Connect that passes
+// stateless admission. isNew reports creation; shed reports that the
+// Connect was answered with a stateless Retry (address-validation
+// challenge or load shed) instead — a queued frame the caller owes a
+// flush for, never a no-route. Callers hold e.mu.
+func (e *Endpoint) resolveLocked(from netip.AddrPort, typ packet.Type, cid uint32, dgram []byte) (c *Conn, isNew, shed bool) {
 	if typ != packet.TypeConnect {
 		// Data-plane route: the header's connection ID is ours.
-		return e.byID[cid], false
+		return e.byID[cid], false, false
 	}
 	// Handshake route: the initiator cannot stamp our ID yet.
 	from = normalize(from)
 	key := peerKey{from, cid}
 	if c, ok := e.byPeer[key]; ok {
-		return c, false
+		return c, false, false
 	}
 	if !e.cfg.AcceptInbound || e.closed {
-		return nil, false
+		return nil, false, false
+	}
+	// Stateless admission. Everything up to conn creation allocates
+	// nothing per client: a spoofed-source flood costs this endpoint one
+	// handshake parse and at most one HMAC per datagram.
+	var hdr packet.Header
+	payload, err := hdr.Parse(dgram)
+	if err != nil {
+		return nil, false, false
+	}
+	var hs packet.Handshake
+	if err := hs.Parse(payload); err != nil {
+		return nil, false, false
+	}
+	validated := false
+	if len(hs.Token) > 0 && e.minter != nil {
+		if e.minter.Validate(e.minter.NowSecs(), from, cid, hs.Token) == nil {
+			validated = true
+		} else {
+			e.tokenInvalid.Add(1)
+		}
+	}
+	if !validated && e.tokenRequiredLocked() {
+		e.sendRetryLocked(from, cid, &hdr, len(dgram), 0)
+		return nil, false, true
+	}
+	if len(e.acceptCh) >= cap(e.acceptCh) || !e.takeAcceptTokenLocked() {
+		// Saturated accept queue or exhausted admission budget: shed the
+		// newest Connect statelessly with a hold-off hint rather than
+		// allocating a responder that finishAccept would only abandon.
+		e.hsDropped.Add(1)
+		e.sendRetryLocked(from, cid, &hdr, len(dgram), shedRetryAfterMS)
+		return nil, false, true
 	}
 	id := e.allocIDLocked()
-	c := newConn(e, from, id)
+	c = newConn(e, from, id)
 	c.remoteID = cid
+	c.validated.Store(validated)
 	c.inner = qtp.NewConn(qtp.Config{
 		Initiator:   false,
 		Constraints: e.cfg.Constraints,
@@ -923,7 +1085,76 @@ func (e *Endpoint) resolveLocked(from netip.AddrPort, typ packet.Type, cid uint3
 	})
 	e.byID[id] = c
 	e.byPeer[key] = c
-	return c, true
+	return c, true, false
+}
+
+// tokenRequiredLocked reports whether a token-less Connect must be
+// challenged: always under RequireToken, and automatically once the
+// accept queue is half full — the endpoint trades one extra handshake
+// round-trip for proof the queue slots go to reachable addresses.
+// Callers hold e.mu.
+func (e *Endpoint) tokenRequiredLocked() bool {
+	if e.cfg.RequireToken {
+		return true
+	}
+	n := len(e.acceptCh)
+	return n > 0 && 2*n >= cap(e.acceptCh)
+}
+
+// takeAcceptTokenLocked spends one unit of the accept-rate budget,
+// reporting false when the bucket is dry. Callers hold e.mu.
+func (e *Endpoint) takeAcceptTokenLocked() bool {
+	if e.cfg.AcceptRate <= 0 {
+		return true
+	}
+	now := e.now()
+	if now > e.hsLast {
+		e.hsTokens += e.cfg.AcceptRate * (now - e.hsLast).Seconds()
+		if burst := float64(e.cfg.AcceptBurst); e.hsTokens > burst {
+			e.hsTokens = burst
+		}
+		e.hsLast = now
+	}
+	if e.hsTokens < 1 {
+		return false
+	}
+	e.hsTokens--
+	return true
+}
+
+// sendRetryLocked queues a stateless Retry answering a Connect of rxLen
+// bytes from the given address: a fresh source-address token, plus a
+// hold-off hint when shedding load. The Retry echoes the client's
+// proposed CID (so its conn-ID check passes) and the Connect's
+// timestamp (so it can seed an RTT sample). A Retry that would exceed
+// 3x the bytes the Connect spent is suppressed — the endpoint must
+// never amplify toward an unproven source, whatever the frame. Callers
+// hold e.mu and owe the scheduler a flush once it is released.
+func (e *Endpoint) sendRetryLocked(from netip.AddrPort, cid uint32, connect *packet.Header, rxLen int, retryAfterMS uint32) {
+	if e.minter == nil {
+		return
+	}
+	r := packet.Retry{
+		Token:        e.minter.Mint(e.minter.NowSecs(), from, cid, nil),
+		RetryAfterMS: retryAfterMS,
+	}
+	payload, err := r.AppendTo(nil)
+	hdr := packet.Header{
+		Type:       packet.TypeRetry,
+		ConnID:     cid,
+		Timestamp:  uint32(e.now() / time.Microsecond),
+		TSEcho:     connect.Timestamp,
+		PayloadLen: uint16(len(payload)),
+	}
+	buf := bufpool.Get()
+	frame := append(hdr.AppendTo(buf[:0]), payload...)
+	if err != nil || len(frame) > 3*rxLen {
+		e.ampCapped.Add(1)
+		bufpool.Put(buf)
+		return
+	}
+	e.retrySent.Add(1)
+	e.tx.enqueue(from, frame)
 }
 
 // finishAccept queues a just-created responder for Accept, or abandons
@@ -943,6 +1174,11 @@ func (e *Endpoint) finishAccept(c *Conn, err error) bool {
 	case e.acceptCh <- c:
 		return true
 	default:
+		// The backlog filled between stateless admission and queueing —
+		// rare now that saturation is shed pre-allocation, but still
+		// reachable from a racing batch. Counted, and logged by qtpd -v
+		// via the stats line, instead of vanishing silently.
+		e.acceptOverflow.Add(1)
 		c.teardown()
 		return false
 	}
@@ -1000,6 +1236,19 @@ func (e *Endpoint) service(c *Conn) (produced bool) {
 		frame, ok := c.inner.PollFrameAppend(now, txb[:0])
 		if !ok {
 			break
+		}
+		if !c.validated.Load() {
+			// Pre-validation anti-amplification: withhold any frame that
+			// would push bytes-sent past 3x bytes-received from this
+			// unproven address. The state machine has already advanced
+			// (control retransmissions re-arm their timer), so dropping
+			// the frame here never spins; a capped Accept goes out on a
+			// later retransmission once more Connect bytes arrive.
+			if c.ampTx.Load()+int64(len(frame)) > 3*c.ampRx.Load() {
+				e.ampCapped.Add(1)
+				continue
+			}
+			c.ampTx.Add(int64(len(frame)))
 		}
 		var gapNs uint32
 		if rate > 0 && len(frame) > 0 &&

@@ -35,9 +35,11 @@ import (
 type Option func(*epOptions)
 
 type epOptions struct {
-	shards  int
-	noGSO   bool
-	noUring bool
+	shards       int
+	noGSO        bool
+	noUring      bool
+	requireToken bool
+	acceptRate   float64
 }
 
 // WithShards runs the endpoint as n SO_REUSEPORT shards (one socket,
@@ -63,6 +65,24 @@ func WithNoGSO() Option {
 // variable forces the same process-wide).
 func WithNoUring() Option {
 	return func(o *epOptions) { o.noUring = true }
+}
+
+// WithRequireToken makes the listener challenge every token-less
+// Connect with a stateless Retry carrying an HMAC source-address token,
+// allocating no connection state until the token comes back valid (see
+// EndpointConfig.RequireToken). Dial-side support is automatic: the
+// initiator transparently retries with the token inside its bounded
+// handshake attempts.
+func WithRequireToken() Option {
+	return func(o *epOptions) { o.requireToken = true }
+}
+
+// WithAcceptRate caps new inbound connection creation at n per second
+// per shard via a token bucket (see EndpointConfig.AcceptRate);
+// Connects beyond the budget are shed statelessly with a Retry-after
+// hint. n <= 0 leaves admission unlimited.
+func WithAcceptRate(n float64) Option {
+	return func(o *epOptions) { o.acceptRate = n }
 }
 
 func applyOptions(opts []Option) epOptions {
@@ -116,6 +136,8 @@ func Listen(addr string, constraints core.Constraints, opts ...Option) (*Listene
 		Constraints:   constraints,
 		DisableGSO:    o.noGSO,
 		DisableUring:  o.noUring,
+		RequireToken:  o.requireToken,
+		AcceptRate:    o.acceptRate,
 	}, o.shards)
 	if err != nil {
 		return nil, fmt.Errorf("qtpnet: listen %s: %w", addr, err)

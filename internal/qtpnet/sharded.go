@@ -70,6 +70,13 @@ func NewShardedEndpoint(addr string, cfg EndpointConfig, nShards int) (*ShardedE
 		acceptCh: make(chan *Conn, acceptBacklog(cfg)),
 		done:     make(chan struct{}),
 	}
+	// One token minter for the whole group: the kernel's reuseport hash
+	// can land a client's tokened Connect on a different shard than the
+	// one that minted its token.
+	var minter *packet.TokenMinter
+	if cfg.AcceptInbound {
+		minter = packet.NewTokenMinter(cfg.TokenLifetime)
+	}
 
 	if nShards == 1 {
 		// Portable fallback (and the trivial single-shard case): one
@@ -79,7 +86,7 @@ func NewShardedEndpoint(addr string, cfg EndpointConfig, nShards int) (*ShardedE
 		if err != nil {
 			return nil, err
 		}
-		s.shards = []*Endpoint{newEndpointOn(pc, cfg, shardEnv{acceptCh: s.acceptCh})}
+		s.shards = []*Endpoint{newEndpointOn(pc, cfg, shardEnv{acceptCh: s.acceptCh, minter: minter})}
 		go s.watchShard(s.shards[0])
 		return s, nil
 	}
@@ -118,6 +125,7 @@ func NewShardedEndpoint(addr string, cfg EndpointConfig, nShards int) (*ShardedE
 			idx:      uint32(i),
 			forward:  s.forward,
 			acceptCh: s.acceptCh,
+			minter:   minter,
 		})
 	}
 	for i := range s.shards {
