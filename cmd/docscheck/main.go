@@ -1,0 +1,92 @@
+// Command docscheck is the docs link gate: it scans markdown files for
+// relative links and fails (exit 1) when any points at a file or
+// directory that does not exist. External links (http, https, mailto)
+// and pure in-page anchors are skipped — the gate is about keeping the
+// docs/ tree and the README pointing at real files as the repo moves,
+// not about the internet being up.
+//
+// Usage:
+//
+//	docscheck README.md ROADMAP.md docs/*.md
+//
+// Links are resolved relative to the markdown file that contains them.
+// A `#fragment` suffix is stripped before the existence check; whether
+// the anchor exists inside the target is out of scope. Exit codes:
+// 0 all links resolve, 1 dead links found, 2 input error.
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+// linkRe matches inline markdown links [text](target). Reference-style
+// definitions `[id]: target` get their own pattern below. Nested
+// parentheses in targets are not used in this repo's docs.
+var (
+	linkRe = regexp.MustCompile(`\]\(([^)\s]+)(?:\s+"[^"]*")?\)`)
+	refRe  = regexp.MustCompile(`(?m)^\[[^\]]+\]:\s+(\S+)`)
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: docscheck <markdown files...>")
+		os.Exit(2)
+	}
+	dead, checked := 0, 0
+	for _, path := range os.Args[1:] {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "docscheck: %v\n", err)
+			os.Exit(2)
+		}
+		for _, target := range targets(string(data)) {
+			checked++
+			if err := resolve(path, target); err != nil {
+				fmt.Printf("docscheck: %s: dead link %q (%v)\n", path, target, err)
+				dead++
+			}
+		}
+	}
+	fmt.Printf("docscheck: %d relative link(s) checked, %d dead\n", checked, dead)
+	if dead > 0 {
+		os.Exit(1)
+	}
+}
+
+// targets extracts the checkable link destinations from one document:
+// everything that is not an external URL or a same-page anchor.
+func targets(doc string) []string {
+	var out []string
+	add := func(t string) {
+		switch {
+		case t == "", strings.HasPrefix(t, "#"):
+		case strings.Contains(t, "://"), strings.HasPrefix(t, "mailto:"):
+		default:
+			out = append(out, t)
+		}
+	}
+	for _, m := range linkRe.FindAllStringSubmatch(doc, -1) {
+		add(m[1])
+	}
+	for _, m := range refRe.FindAllStringSubmatch(doc, -1) {
+		add(m[1])
+	}
+	return out
+}
+
+// resolve checks that target, relative to the file that links to it,
+// names an existing file or directory.
+func resolve(from, target string) error {
+	if i := strings.IndexByte(target, '#'); i >= 0 {
+		target = target[:i]
+		if target == "" {
+			return nil
+		}
+	}
+	_, err := os.Stat(filepath.Join(filepath.Dir(from), target))
+	return err
+}

@@ -24,6 +24,7 @@ type churnConfig struct {
 	shards       int
 	requireToken bool
 	acceptRate   float64
+	insecure     bool
 	seed         int64
 }
 
@@ -34,17 +35,18 @@ type churnConfig struct {
 // a success rather than skewing the failure column.
 func runChurn(cfg churnConfig) {
 	srv, err := qtpnet.NewShardedEndpoint("127.0.0.1:0", qtpnet.EndpointConfig{
-		AcceptInbound: true,
-		Constraints:   core.Permissive(1e6),
-		RequireToken:  cfg.requireToken,
-		AcceptRate:    cfg.acceptRate,
+		AcceptInbound:     true,
+		Constraints:       core.Permissive(1e6),
+		RequireToken:      cfg.requireToken,
+		AcceptRate:        cfg.acceptRate,
+		DisableEncryption: cfg.insecure,
 	}, cfg.shards)
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer srv.Close()
 
-	client, err := qtpnet.NewEndpoint("127.0.0.1:0", qtpnet.EndpointConfig{})
+	client, err := qtpnet.NewEndpoint("127.0.0.1:0", qtpnet.EndpointConfig{DisableEncryption: cfg.insecure})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -6,10 +6,10 @@
 // Usage:
 //
 //	qtpbench [-quick] [-seed N] [-only E1,E4,...]
-//	qtpbench -loopback [-conns N] [-mbytes M] [-nobatch] [-nogso] [-nouring] [-shards N]
-//	         [-streams N -mix reliable,unordered,expiring [-deadline D]]
+//	qtpbench -loopback [-conns N] [-mbytes M] [-nobatch] [-nogso] [-nouring] [-insecure]
+//	         [-shards N] [-streams N -mix reliable,unordered,expiring [-deadline D]]
 //	qtpbench -churn [-arrival N] [-lifetime D] [-duration D] [-shards N]
-//	         [-require-token] [-accept-rate N]
+//	         [-require-token] [-accept-rate N] [-insecure]
 package main
 
 import (
@@ -48,6 +48,7 @@ func main() {
 	duration := flag.Duration("duration", 5*time.Second, "churn: how long to sustain arrivals")
 	requireToken := flag.Bool("require-token", false, "churn: server challenges every token-less Connect with a stateless Retry")
 	acceptRate := flag.Float64("accept-rate", 0, "churn: server-side cap on new connections per second per shard (0 = unlimited)")
+	insecure := flag.Bool("insecure", false, "loopback/churn: disable transport encryption on both ends (A/B the AEAD cost)")
 	flag.Parse()
 
 	if *churn {
@@ -58,6 +59,7 @@ func main() {
 			shards:       *shards,
 			requireToken: *requireToken,
 			acceptRate:   *acceptRate,
+			insecure:     *insecure,
 			seed:         *seed,
 		})
 		return
@@ -68,8 +70,8 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		runLoopback(*conns, *mbytes<<20, *rate, *nobatch, *nogso, *nouring, *shards,
-			*streams, modes, *deadline)
+		runLoopback(*conns, *mbytes<<20, *rate, *nobatch, *nogso, *nouring, *insecure,
+			*shards, *streams, modes, *deadline)
 		return
 	}
 
@@ -112,15 +114,16 @@ func main() {
 // stream multiplexing and splits its bytes across that many streams,
 // delivery modes cycling through the -mix list, so the bench exercises
 // the round-robin stream scheduler under real socket load.
-func runLoopback(n, perConn int, rate float64, nobatch, nogso, nouring bool, shards,
-	nStreams int, modes []qtpnet.StreamMode, deadline time.Duration) {
+func runLoopback(n, perConn int, rate float64, nobatch, nogso, nouring, insecure bool,
+	shards, nStreams int, modes []qtpnet.StreamMode, deadline time.Duration) {
 
 	cfg := qtpnet.EndpointConfig{
-		AcceptInbound:  true,
-		Constraints:    core.Permissive(rate),
-		DisableBatchIO: nobatch,
-		DisableGSO:     nogso,
-		DisableUring:   nouring,
+		AcceptInbound:     true,
+		Constraints:       core.Permissive(rate),
+		DisableBatchIO:    nobatch,
+		DisableGSO:        nogso,
+		DisableUring:      nouring,
+		DisableEncryption: insecure,
 	}
 	srv, err := qtpnet.NewShardedEndpoint("127.0.0.1:0", cfg, shards)
 	if err != nil {
@@ -134,9 +137,10 @@ func runLoopback(n, perConn int, rate float64, nobatch, nogso, nouring bool, sha
 	clients := make([]*qtpnet.Endpoint, nClients)
 	for i := range clients {
 		clients[i], err = qtpnet.NewEndpoint("127.0.0.1:0", qtpnet.EndpointConfig{
-			DisableBatchIO: nobatch,
-			DisableGSO:     nogso,
-			DisableUring:   nouring,
+			DisableBatchIO:    nobatch,
+			DisableGSO:        nogso,
+			DisableUring:      nouring,
+			DisableEncryption: insecure,
 		})
 		if err != nil {
 			log.Fatal(err)
@@ -323,6 +327,11 @@ func runLoopback(n, perConn int, rate float64, nobatch, nogso, nouring bool, sha
 		mode = "single-datagram fallback"
 	} else if nogso && mode == "recvmmsg/sendmmsg" {
 		mode = "recvmmsg/sendmmsg (offload off)"
+	}
+	if insecure {
+		mode += ", cleartext"
+	} else {
+		mode += ", sealed"
 	}
 	fmt.Printf("loopback: %d conns x %d B in %v = %.1f MB/s (%s, %d server shard(s))\n",
 		n, total/n, el.Round(time.Millisecond), float64(total)/el.Seconds()/1e6, mode, srv.NumShards())

@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	qtpd [-listen :9000] [-shards n] [-nogso] [-nouring] [-require-token] [-accept-rate n] [-qos-budget bytesPerSec] [-o prefix] [-max n] [-v]
+//	qtpd [-listen :9000] [-shards n] [-nogso] [-nouring] [-insecure] [-require-token] [-accept-rate n] [-qos-budget bytesPerSec] [-o prefix] [-max n] [-v]
 package main
 
 import (
@@ -26,6 +26,7 @@ func main() {
 	shards := flag.Int("shards", 1, "SO_REUSEPORT shards to run on the port (0 = one per core; falls back to 1 where unsupported)")
 	nogso := flag.Bool("nogso", false, "keep UDP segment offload (GSO/GRO) off even where the kernel supports it")
 	nouring := flag.Bool("nouring", false, "keep the io_uring data path off even where the kernel supports it")
+	insecure := flag.Bool("insecure", false, "disable transport encryption (accepts only plaintext peers that also run -insecure; debugging/interop escape hatch)")
 	requireToken := flag.Bool("require-token", false, "challenge every token-less Connect with a stateless Retry (address validation before any state allocation)")
 	acceptRate := flag.Float64("accept-rate", 0, "cap new inbound connections per second per shard; excess is shed with a Retry-after hint (0 = unlimited)")
 	budget := flag.Float64("qos-budget", 0, "max QoS reservation to grant per connection, bytes/s (0 = refuse QoS)")
@@ -48,6 +49,9 @@ func main() {
 	if *nouring {
 		opts = append(opts, qtpnet.WithNoUring())
 	}
+	if *insecure {
+		opts = append(opts, qtpnet.WithNoEncryption())
+	}
 	if *requireToken {
 		opts = append(opts, qtpnet.WithRequireToken())
 	}
@@ -68,6 +72,9 @@ func main() {
 		ep.UringEnabled(), ep.TxTimeEnabled())
 	log.Printf("qtpd: handshake hardening: require-token=%v accept-rate=%.0f/s per shard",
 		*requireToken, *acceptRate)
+	if *insecure {
+		log.Printf("qtpd: WARNING: transport encryption disabled (-insecure); all frames travel in cleartext")
+	}
 
 	if *verbose {
 		rcv, snd := ep.SocketBufSizes()

@@ -21,7 +21,11 @@ import (
 func BenchmarkEndpoint(b *testing.B) {
 	const nConns = 64
 
-	l, err := qtpnet.Listen("127.0.0.1:0", core.Permissive(2e6))
+	// Plaintext endpoints: this bench injects pre-encoded feedback frames
+	// straight into Deliver, which an encrypted connection would (rightly)
+	// refuse as cleartext. The demux cost it isolates is the same either
+	// way — sealed datagrams route before AEAD open.
+	l, err := qtpnet.Listen("127.0.0.1:0", core.Permissive(2e6), qtpnet.WithNoEncryption())
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -34,7 +38,7 @@ func BenchmarkEndpoint(b *testing.B) {
 		}
 	}()
 
-	client, err := qtpnet.NewEndpoint("127.0.0.1:0", qtpnet.EndpointConfig{})
+	client, err := qtpnet.NewEndpoint("127.0.0.1:0", qtpnet.EndpointConfig{DisableEncryption: true})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -92,13 +96,15 @@ func BenchmarkEndpointLoopback(b *testing.B) {
 		nConns  = 8
 		perConn = 64 << 10
 	)
-	l, err := qtpnet.Listen("127.0.0.1:0", core.Permissive(1e8))
+	// Plaintext, like every committed baseline from before encryption
+	// landed; BenchmarkEncryptedFanout carries the sealed-path number.
+	l, err := qtpnet.Listen("127.0.0.1:0", core.Permissive(1e8), qtpnet.WithNoEncryption())
 	if err != nil {
 		b.Fatal(err)
 	}
 	defer l.Close()
 
-	client, err := qtpnet.NewEndpoint("127.0.0.1:0", qtpnet.EndpointConfig{})
+	client, err := qtpnet.NewEndpoint("127.0.0.1:0", qtpnet.EndpointConfig{DisableEncryption: true})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -182,13 +188,26 @@ func BenchmarkEndpointLoopback(b *testing.B) {
 // per receive/send syscall on the server endpoint — the number batching
 // exists to raise (the fallback path pins it at 1). Segment offload is
 // on where the kernel supports it, exactly as in production.
-func BenchmarkEndpointFanout(b *testing.B) { benchFanout(b, false, false, false, 64, 256<<10, 2e6) }
+func BenchmarkEndpointFanout(b *testing.B) {
+	benchFanout(b, false, false, false, false, 64, 256<<10, 2e6)
+}
+
+// BenchmarkEncryptedFanout is BenchmarkEndpointFanout with transport
+// encryption left on (the production default): every data datagram is
+// sealed with ChaCha20-Poly1305 before send and opened on receive, and
+// each carries the 28-byte sealed-prefix+tag overhead. The delta
+// against BenchmarkEndpointFanout is the full AEAD cost on the batched
+// data path — seal, open, nonce/replay bookkeeping, and the extra wire
+// bytes — with GSO trains and mmsg batches intact.
+func BenchmarkEncryptedFanout(b *testing.B) {
+	benchFanout(b, false, false, false, true, 64, 256<<10, 2e6)
+}
 
 // BenchmarkEndpointFanoutNoBatch is the same load on the forced
 // single-datagram socket path: the difference against
 // BenchmarkEndpointFanout is what recvmmsg/sendmmsg buy.
 func BenchmarkEndpointFanoutNoBatch(b *testing.B) {
-	benchFanout(b, true, false, false, 64, 256<<10, 2e6)
+	benchFanout(b, true, false, false, false, 64, 256<<10, 2e6)
 }
 
 // BenchmarkGSOFanout is BenchmarkEndpointFanout with segment offload
@@ -220,7 +239,7 @@ func benchGSOFanout(b *testing.B, nogso bool) {
 	// outgrow what one mmsg message can carry, which is exactly the
 	// regime segment offload exists for. The uring rung would hide the
 	// mmsg-vs-GSO contrast, so it sits out this pair.
-	benchFanout(b, false, nogso, true, 32, 256<<10, 5e6)
+	benchFanout(b, false, nogso, true, false, 32, 256<<10, 5e6)
 }
 
 // BenchmarkUringFanout is the fan-out load on the io_uring data path
@@ -253,16 +272,21 @@ func benchUringFanout(b *testing.B, nouring bool) {
 	// pair sitting uring out — because kernel merging already collapses
 	// a 40-datagram burst into one delivery for either rung, which
 	// hides the ring-vs-recvmmsg wakeup contrast this pair measures.
-	benchFanout(b, false, true, nouring, 64, 256<<10, 5e6)
+	benchFanout(b, false, true, nouring, false, 64, 256<<10, 5e6)
 }
 
-func benchFanout(b *testing.B, nobatch, nogso, nouring bool, nConns, perConn int, rate float64) {
+// benchFanout runs the fan-out load with the listed knobs. encrypted
+// defaults to false across the rung-comparison benches so their
+// committed baselines (which predate transport encryption) stay
+// comparable; BenchmarkEncryptedFanout flips it to price the AEAD.
+func benchFanout(b *testing.B, nobatch, nogso, nouring, encrypted bool, nConns, perConn int, rate float64) {
 	srv, err := qtpnet.NewEndpoint("127.0.0.1:0", qtpnet.EndpointConfig{
-		AcceptInbound:  true,
-		Constraints:    core.Permissive(rate),
-		DisableBatchIO: nobatch,
-		DisableGSO:     nogso,
-		DisableUring:   nouring,
+		AcceptInbound:     true,
+		Constraints:       core.Permissive(rate),
+		DisableBatchIO:    nobatch,
+		DisableGSO:        nogso,
+		DisableUring:      nouring,
+		DisableEncryption: !encrypted,
 		// Deep enough for a whole per-conn transfer: on a saturated
 		// single-core box the reader goroutines are scheduled long after
 		// the data path has delivered, and the default queue's
@@ -275,9 +299,10 @@ func benchFanout(b *testing.B, nobatch, nogso, nouring bool, nConns, perConn int
 	}
 	defer srv.Close()
 	client, err := qtpnet.NewEndpoint("127.0.0.1:0", qtpnet.EndpointConfig{
-		DisableBatchIO: nobatch,
-		DisableGSO:     nogso,
-		DisableUring:   nouring,
+		DisableBatchIO:    nobatch,
+		DisableGSO:        nogso,
+		DisableUring:      nouring,
+		DisableEncryption: !encrypted,
 	})
 	if err != nil {
 		b.Fatal(err)

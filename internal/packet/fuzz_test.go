@@ -48,6 +48,10 @@ func FuzzHandshakeParse(f *testing.F) {
 	withoutCID := Handshake{FeedbackMode: FeedbackSenderLoss, MSS: 1000}
 	b, _ = withoutCID.AppendTo(nil)
 	f.Add(b)
+	crypto := Handshake{MSS: 1400, KeyShare: bytes.Repeat([]byte{5}, KeyShareLen),
+		Ticket: []byte("opaque-session-ticket"), EarlyAccept: true}
+	b, _ = crypto.AppendTo(nil)
+	f.Add(b)
 	f.Add([]byte{1, 99, 0}) // single unknown option
 	f.Fuzz(func(t *testing.T, data []byte) {
 		var h Handshake
@@ -134,7 +138,7 @@ func TestHandshakeConnIDProperty(t *testing.T) {
 func TestHeaderConnIDProperty(t *testing.T) {
 	f := func(typ uint8, cid uint32, seq uint32) bool {
 		in := Header{
-			Type:   Type(typ%uint8(typeMax-1)) + 1,
+			Type:   Type(typ%uint8(typeMax-2)) + 1, // any header type; TypeSealed has its own layout
 			ConnID: cid,
 			Seq:    seqspace.Seq(seq),
 		}

@@ -18,7 +18,13 @@ const (
 	optConnID       uint8 = 5
 	optStreams      uint8 = 6
 	optToken        uint8 = 7
+	optKeyShare     uint8 = 8
+	optTicket       uint8 = 9
+	optEarlyData    uint8 = 10
 )
+
+// KeyShareLen is the size of the X25519 key-share TLV value.
+const KeyShareLen = 32
 
 // ReliabilityMode selects the reliability micro-protocol.
 type ReliabilityMode uint8
@@ -97,6 +103,26 @@ type Handshake struct {
 	// token-bearing Connect from the address the token was minted for as
 	// address-validated and exempt from stateless-retry challenges.
 	Token []byte
+
+	// KeyShare is the sender's ephemeral X25519 public key (exactly 32
+	// bytes when carried). Both Connect and Accept carry one on an
+	// encrypted connection; its absence where crypto is required fails
+	// the handshake, so a middlebox stripping the TLV causes a refusal,
+	// not a silent plaintext downgrade.
+	KeyShare []byte
+
+	// Ticket is the encrypted session ticket. In an Accept it is the
+	// server granting resumption state for a future connection; in a
+	// Connect it is the client redeeming one to send 0-RTT data under
+	// the resumed key. Empty means "not carried".
+	Ticket []byte
+
+	// EarlyAccept (Accept only) is the server acknowledging that it
+	// opened the client's 0-RTT epoch: the ticket verified and the
+	// negotiated profile matches the ticket's. Because the Accept
+	// payload is bound into the key-schedule transcript, this bit
+	// cannot be forged off.
+	EarlyAccept bool
 }
 
 // Equal reports whether two handshakes carry the same negotiated values,
@@ -110,13 +136,22 @@ func (h *Handshake) Equal(o *Handshake) bool {
 		h.MSS == o.MSS &&
 		h.ConnID == o.ConnID &&
 		h.MaxStreams == o.MaxStreams &&
-		bytes.Equal(h.Token, o.Token)
+		bytes.Equal(h.Token, o.Token) &&
+		bytes.Equal(h.KeyShare, o.KeyShare) &&
+		bytes.Equal(h.Ticket, o.Ticket) &&
+		h.EarlyAccept == o.EarlyAccept
 }
 
 // AppendTo appends the encoded handshake to dst and returns the result.
 func (h *Handshake) AppendTo(dst []byte) ([]byte, error) {
 	if len(h.Token) > 255 {
 		return dst, fmt.Errorf("%w: token length %d", ErrOption, len(h.Token))
+	}
+	if len(h.KeyShare) != 0 && len(h.KeyShare) != KeyShareLen {
+		return dst, fmt.Errorf("%w: key share length %d", ErrOption, len(h.KeyShare))
+	}
+	if len(h.Ticket) > 255 {
+		return dst, fmt.Errorf("%w: ticket length %d", ErrOption, len(h.Ticket))
 	}
 	count := byte(4)
 	if h.ConnID != 0 {
@@ -126,6 +161,15 @@ func (h *Handshake) AppendTo(dst []byte) ([]byte, error) {
 		count++
 	}
 	if len(h.Token) != 0 {
+		count++
+	}
+	if len(h.KeyShare) != 0 {
+		count++
+	}
+	if len(h.Ticket) != 0 {
+		count++
+	}
+	if h.EarlyAccept {
 		count++
 	}
 	dst = append(dst, count)
@@ -147,6 +191,17 @@ func (h *Handshake) AppendTo(dst []byte) ([]byte, error) {
 	if len(h.Token) != 0 {
 		dst = append(dst, optToken, uint8(len(h.Token)))
 		dst = append(dst, h.Token...)
+	}
+	if len(h.KeyShare) != 0 {
+		dst = append(dst, optKeyShare, KeyShareLen)
+		dst = append(dst, h.KeyShare...)
+	}
+	if len(h.Ticket) != 0 {
+		dst = append(dst, optTicket, uint8(len(h.Ticket)))
+		dst = append(dst, h.Ticket...)
+	}
+	if h.EarlyAccept {
+		dst = append(dst, optEarlyData, 0)
 	}
 	return dst, nil
 }
@@ -205,6 +260,21 @@ func (h *Handshake) Parse(b []byte) error {
 				return fmt.Errorf("%w: empty token", ErrOption)
 			}
 			h.Token = append(h.Token[:0], v...)
+		case optKeyShare:
+			if ln != KeyShareLen {
+				return fmt.Errorf("%w: key share length %d", ErrOption, ln)
+			}
+			h.KeyShare = append(h.KeyShare[:0], v...)
+		case optTicket:
+			if ln == 0 {
+				return fmt.Errorf("%w: empty ticket", ErrOption)
+			}
+			h.Ticket = append(h.Ticket[:0], v...)
+		case optEarlyData:
+			if ln != 0 {
+				return fmt.Errorf("%w: early data length %d", ErrOption, ln)
+			}
+			h.EarlyAccept = true
 		default:
 			// Unknown option: skip.
 		}

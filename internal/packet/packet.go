@@ -1,6 +1,10 @@
-// Package packet defines the QTP wire format: a fixed 20-byte header
+// Package packet defines the QTP wire format: a fixed 24-byte header
 // followed by a type-specific payload (data, TFRC feedback, SACK vector,
-// or handshake TLVs).
+// or handshake TLVs). On an encrypted connection whole frames travel
+// inside sealed datagrams (TypeSealed): a 12-byte cleartext prefix —
+// version/type, epoch, 48-bit crypto sequence, connection ID — followed
+// by the AEAD ciphertext and 16-byte tag; docs/WIRE.md is the normative
+// byte-level description.
 //
 // Encoding is append-based (AppendTo) and decoding fills caller-owned
 // structs, so steady-state send/receive paths allocate nothing. The same
@@ -44,12 +48,22 @@ const (
 	TypeCloseAck         // close acknowledgment
 	TypeStreamReset      // forward-FIN: terminate one expiring stream standalone
 	TypeRetry            // stateless server retry carrying a source-address token
+	TypeSealed           // AEAD-sealed datagram wrapping an inner frame (see sealed.go)
 	typeMax
 )
 
 var typeNames = [...]string{
 	"invalid", "connect", "accept", "confirm", "data",
 	"feedback", "sack", "close", "closeack", "streamreset", "retry",
+	"sealed",
+}
+
+// Cleartext reports whether a frame of this type travels unencrypted
+// on an encrypted connection. Only the handshake frames that carry or
+// precede key agreement do — everything else must arrive inside a
+// TypeSealed datagram once crypto is on.
+func Cleartext(t Type) bool {
+	return t == TypeConnect || t == TypeAccept || t == TypeRetry
 }
 
 func (t Type) String() string {
@@ -123,7 +137,9 @@ func (h *Header) Parse(b []byte) (payload []byte, err error) {
 		return nil, fmt.Errorf("%w: %d", ErrVersion, v)
 	}
 	h.Type = Type(b[0] & 0x0f)
-	if h.Type == TypeInvalid || h.Type >= typeMax {
+	// TypeSealed is rejected here on purpose: sealed datagrams use the
+	// shorter prefix in sealed.go, not this header layout.
+	if h.Type == TypeInvalid || h.Type >= typeMax || h.Type == TypeSealed {
 		return nil, fmt.Errorf("%w: %d", ErrType, uint8(h.Type))
 	}
 	h.Flags = b[1]

@@ -1,0 +1,111 @@
+// Package qcrypto is the transport's single cryptographic suite:
+// X25519 key agreement (crypto/ecdh), ChaCha20-Poly1305 AEAD (RFC
+// 8439) and HKDF-SHA256 (RFC 5869). There is no negotiation and no
+// renegotiation — one suite, taken or left — which keeps the handshake
+// to one key-share TLV each way and makes downgrade a parse error
+// rather than a policy decision.
+//
+// The AEAD and HKDF are implemented here rather than imported: the
+// repo builds against the standard library only, and stdlib gained
+// neither until after the toolchain this module pins. Both are checked
+// against the RFC test vectors, and Poly1305 additionally against a
+// math/big reference implementation.
+package qcrypto
+
+import (
+	"encoding/binary"
+	"math/bits"
+)
+
+// chacha20 constants: "expand 32-byte k" in little-endian words.
+const (
+	chachaC0 = 0x61707865
+	chachaC1 = 0x3320646e
+	chachaC2 = 0x79622d32
+	chachaC3 = 0x6b206574
+)
+
+// chachaKey converts a 32-byte key into the 8 state words.
+func chachaKey(key []byte) (k [8]uint32) {
+	for i := range k {
+		k[i] = binary.LittleEndian.Uint32(key[4*i:])
+	}
+	return k
+}
+
+// chachaBlock computes one 64-byte keystream block (RFC 8439 §2.3).
+func chachaBlock(key *[8]uint32, counter uint32, nonce []byte, out *[64]byte) {
+	n0 := binary.LittleEndian.Uint32(nonce[0:4])
+	n1 := binary.LittleEndian.Uint32(nonce[4:8])
+	n2 := binary.LittleEndian.Uint32(nonce[8:12])
+
+	x0, x1, x2, x3 := uint32(chachaC0), uint32(chachaC1), uint32(chachaC2), uint32(chachaC3)
+	x4, x5, x6, x7 := key[0], key[1], key[2], key[3]
+	x8, x9, x10, x11 := key[4], key[5], key[6], key[7]
+	x12, x13, x14, x15 := counter, n0, n1, n2
+
+	for i := 0; i < 10; i++ {
+		// column rounds
+		x0, x4, x8, x12 = chachaQR(x0, x4, x8, x12)
+		x1, x5, x9, x13 = chachaQR(x1, x5, x9, x13)
+		x2, x6, x10, x14 = chachaQR(x2, x6, x10, x14)
+		x3, x7, x11, x15 = chachaQR(x3, x7, x11, x15)
+		// diagonal rounds
+		x0, x5, x10, x15 = chachaQR(x0, x5, x10, x15)
+		x1, x6, x11, x12 = chachaQR(x1, x6, x11, x12)
+		x2, x7, x8, x13 = chachaQR(x2, x7, x8, x13)
+		x3, x4, x9, x14 = chachaQR(x3, x4, x9, x14)
+	}
+
+	binary.LittleEndian.PutUint32(out[0:], x0+chachaC0)
+	binary.LittleEndian.PutUint32(out[4:], x1+chachaC1)
+	binary.LittleEndian.PutUint32(out[8:], x2+chachaC2)
+	binary.LittleEndian.PutUint32(out[12:], x3+chachaC3)
+	binary.LittleEndian.PutUint32(out[16:], x4+key[0])
+	binary.LittleEndian.PutUint32(out[20:], x5+key[1])
+	binary.LittleEndian.PutUint32(out[24:], x6+key[2])
+	binary.LittleEndian.PutUint32(out[28:], x7+key[3])
+	binary.LittleEndian.PutUint32(out[32:], x8+key[4])
+	binary.LittleEndian.PutUint32(out[36:], x9+key[5])
+	binary.LittleEndian.PutUint32(out[40:], x10+key[6])
+	binary.LittleEndian.PutUint32(out[44:], x11+key[7])
+	binary.LittleEndian.PutUint32(out[48:], x12+counter)
+	binary.LittleEndian.PutUint32(out[52:], x13+n0)
+	binary.LittleEndian.PutUint32(out[56:], x14+n1)
+	binary.LittleEndian.PutUint32(out[60:], x15+n2)
+}
+
+func chachaQR(a, b, c, d uint32) (uint32, uint32, uint32, uint32) {
+	a += b
+	d ^= a
+	d = bits.RotateLeft32(d, 16)
+	c += d
+	b ^= c
+	b = bits.RotateLeft32(b, 12)
+	a += b
+	d ^= a
+	d = bits.RotateLeft32(d, 8)
+	c += d
+	b ^= c
+	b = bits.RotateLeft32(b, 7)
+	return a, b, c, d
+}
+
+// chachaXOR XORs src with the ChaCha20 keystream starting at the given
+// block counter into dst. dst and src may be the same slice (or dst may
+// be src's prefix): bytes are consumed before they are overwritten.
+func chachaXOR(dst, src []byte, key *[8]uint32, counter uint32, nonce []byte) {
+	var ks [64]byte
+	for len(src) > 0 {
+		chachaBlock(key, counter, nonce, &ks)
+		counter++
+		n := len(src)
+		if n > 64 {
+			n = 64
+		}
+		for i := 0; i < n; i++ {
+			dst[i] = src[i] ^ ks[i]
+		}
+		dst, src = dst[n:], src[n:]
+	}
+}

@@ -1,0 +1,29 @@
+package qcrypto
+
+import (
+	"crypto/hmac"
+	"crypto/sha256"
+)
+
+// hkdfExtract is HKDF-Extract (RFC 5869 §2.2) with SHA-256.
+func hkdfExtract(salt, ikm []byte) []byte {
+	h := hmac.New(sha256.New, salt)
+	h.Write(ikm)
+	return h.Sum(nil)
+}
+
+// hkdfExpand is HKDF-Expand (RFC 5869 §2.3) with SHA-256, producing n
+// bytes of output keyed by prk and bound to info.
+func hkdfExpand(prk, info []byte, n int) []byte {
+	out := make([]byte, 0, n)
+	var block []byte
+	for i := byte(1); len(out) < n; i++ {
+		h := hmac.New(sha256.New, prk)
+		h.Write(block)
+		h.Write(info)
+		h.Write([]byte{i})
+		block = h.Sum(nil)
+		out = append(out, block...)
+	}
+	return out[:n]
+}

@@ -1,0 +1,135 @@
+package qcrypto
+
+import (
+	"encoding/binary"
+	"math/bits"
+)
+
+// poly1305 is the one-time authenticator of RFC 8439 §2.5, a 64-bit
+// limb implementation: the 130-bit accumulator lives in h0/h1/h2 with
+// h2 holding the top bits, clamped r in r0/r1, and the final added
+// pad s in s0/s1. The AEAD only ever feeds it 16-byte-aligned input
+// (everything is zero-padded to the block size), so there is no
+// partial-final-block path: update buffers stragglers and pad16
+// flushes them as a full block.
+type poly1305 struct {
+	r0, r1     uint64
+	h0, h1, h2 uint64
+	s0, s1     uint64
+	buf        [16]byte
+	n          int
+}
+
+func newPoly1305(key *[32]byte) *poly1305 {
+	p := &poly1305{}
+	// r is clamped: the top four bits of bytes 3,7,11,15 and the bottom
+	// two of bytes 4,8,12 must be zero (RFC 8439 §2.5).
+	p.r0 = binary.LittleEndian.Uint64(key[0:8]) & 0x0FFFFFFC0FFFFFFF
+	p.r1 = binary.LittleEndian.Uint64(key[8:16]) & 0x0FFFFFFC0FFFFFFC
+	p.s0 = binary.LittleEndian.Uint64(key[16:24])
+	p.s1 = binary.LittleEndian.Uint64(key[24:32])
+	return p
+}
+
+func (p *poly1305) update(m []byte) {
+	if p.n > 0 {
+		n := copy(p.buf[p.n:], m)
+		p.n += n
+		m = m[n:]
+		if p.n < 16 {
+			return
+		}
+		p.blocks(p.buf[:])
+		p.n = 0
+	}
+	if full := len(m) &^ 15; full > 0 {
+		p.blocks(m[:full])
+		m = m[full:]
+	}
+	p.n = copy(p.buf[:], m)
+}
+
+// pad16 zero-fills any buffered partial block to 16 bytes and absorbs
+// it, matching the AEAD's pad-to-block-boundary framing.
+func (p *poly1305) pad16() {
+	if p.n == 0 {
+		return
+	}
+	for i := p.n; i < 16; i++ {
+		p.buf[i] = 0
+	}
+	p.blocks(p.buf[:])
+	p.n = 0
+}
+
+// blocks absorbs len(m)/16 full blocks: h = (h + block + 2^128) * r
+// modulo 2^130-5, with the partial reduction keeping h2 below 8.
+func (p *poly1305) blocks(m []byte) {
+	h0, h1, h2 := p.h0, p.h1, p.h2
+	r0, r1 := p.r0, p.r1
+	for len(m) >= 16 {
+		var c uint64
+		h0, c = bits.Add64(h0, binary.LittleEndian.Uint64(m[0:8]), 0)
+		h1, c = bits.Add64(h1, binary.LittleEndian.Uint64(m[8:16]), c)
+		h2 += c + 1 // the 2^128 message bit: every block is full
+
+		// 256-bit product t = h * r in four columns. Clamping keeps
+		// r0,r1 < 2^60 and the partial reduction keeps h2 < 8, so the
+		// h2 products fit a single word and the column sums cannot
+		// overflow 128 bits.
+		h0r0hi, h0r0lo := bits.Mul64(h0, r0)
+		h1r0hi, h1r0lo := bits.Mul64(h1, r0)
+		h0r1hi, h0r1lo := bits.Mul64(h0, r1)
+		h1r1hi, h1r1lo := bits.Mul64(h1, r1)
+		h2r0 := h2 * r0
+		h2r1 := h2 * r1
+
+		m1lo, c := bits.Add64(h1r0lo, h0r1lo, 0)
+		m1hi, _ := bits.Add64(h1r0hi, h0r1hi, c)
+		m2lo, c := bits.Add64(h2r0, h1r1lo, 0)
+		m2hi, _ := bits.Add64(0, h1r1hi, c)
+
+		t0 := h0r0lo
+		t1, c := bits.Add64(m1lo, h0r0hi, 0)
+		t2, c := bits.Add64(m2lo, m1hi, c)
+		t3, _ := bits.Add64(h2r1, m2hi, c)
+
+		// Partial reduction mod 2^130-5: split t at bit 130 into
+		// h' + H*2^130 and fold H back as 5H = 4H + H, where cc holds
+		// 4H (t's bits ≥ 128 with the low two of t2 cleared).
+		h0, h1, h2 = t0, t1, t2&3
+		cclo, cchi := t2&^uint64(3), t3
+		h0, c = bits.Add64(h0, cclo, 0)
+		h1, c = bits.Add64(h1, cchi, c)
+		h2 += c
+		cclo, cchi = cclo>>2|cchi<<62, cchi>>2
+		h0, c = bits.Add64(h0, cclo, 0)
+		h1, c = bits.Add64(h1, cchi, c)
+		h2 += c
+
+		m = m[16:]
+	}
+	p.h0, p.h1, p.h2 = h0, h1, h2
+}
+
+// sum finalizes the tag into out: reduce h fully modulo 2^130-5, then
+// add s modulo 2^128.
+func (p *poly1305) sum(out []byte) {
+	p.pad16()
+	h0, h1, h2 := p.h0, p.h1, p.h2
+
+	// After partial reduction h < 2*(2^130-5); one conditional
+	// subtraction of p = 2^130-5 completes it.
+	hm0, b := bits.Sub64(h0, 0xFFFFFFFFFFFFFFFB, 0)
+	hm1, b := bits.Sub64(h1, 0xFFFFFFFFFFFFFFFF, b)
+	_, b = bits.Sub64(h2, 3, b)
+	if b == 0 {
+		h0, h1 = hm0, hm1
+	}
+
+	var c uint64
+	h0, c = bits.Add64(h0, p.s0, 0)
+	h1, _ = bits.Add64(h1, p.s1, c)
+	binary.LittleEndian.PutUint64(out[0:8], h0)
+	binary.LittleEndian.PutUint64(out[8:16], h1)
+}

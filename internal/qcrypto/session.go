@@ -1,0 +1,267 @@
+package qcrypto
+
+import (
+	"crypto/ecdh"
+	"crypto/rand"
+	"crypto/sha256"
+	"errors"
+
+	"repro/internal/packet"
+)
+
+// Key-schedule errors.
+var (
+	// ErrNoKeys means the datagram names an epoch this session has no
+	// keys for (e.g. 0-RTT data on a connection that granted no ticket).
+	ErrNoKeys = errors.New("qcrypto: no keys for epoch")
+	// ErrReplay means the crypto sequence was already accepted: a
+	// duplicated or replayed datagram, dropped before decryption.
+	ErrReplay = errors.New("qcrypto: replayed crypto sequence")
+	// ErrSeqExhausted means the 48-bit sealing sequence ran out. At one
+	// datagram per microsecond that takes nine years, but the failure is
+	// explicit rather than a silent nonce reuse.
+	ErrSeqExhausted = errors.New("qcrypto: sealing sequence exhausted")
+)
+
+// Epochs. An epoch names a key generation; each direction+epoch pair
+// has an independent key, IV and 48-bit sequence space.
+const (
+	// Epoch0RTT seals a resuming client's first flight under keys
+	// derived from a session ticket's resumption secret.
+	Epoch0RTT = 0
+	// Epoch1RTT seals everything after key agreement completes, under
+	// keys from the fresh ECDH bound to the handshake transcript.
+	Epoch1RTT = 1
+
+	numEpochs = 2
+)
+
+// GenerateKey returns a fresh ephemeral X25519 keypair for one
+// handshake's key-share TLV.
+func GenerateKey() (*ecdh.PrivateKey, error) {
+	return ecdh.X25519().GenerateKey(rand.Reader)
+}
+
+// Shared runs X25519 between our ephemeral private key and the peer's
+// 32-byte key-share TLV value.
+func Shared(priv *ecdh.PrivateKey, peerShare []byte) ([]byte, error) {
+	pub, err := ecdh.X25519().NewPublicKey(peerShare)
+	if err != nil {
+		return nil, err
+	}
+	return priv.ECDH(pub)
+}
+
+// TranscriptHash binds the key schedule to the exact handshake bytes:
+// SHA-256 over the Connect payload followed by the Accept payload.
+// Everything either side offered — profile TLVs, retry token, key
+// shares, ticket, the 0-RTT accept bit — is inside those payloads, so
+// any in-flight tampering (or token replay against a different
+// handshake) diverges the keys and every subsequent datagram fails to
+// open.
+func TranscriptHash(connectPayload, acceptPayload []byte) []byte {
+	h := sha256.New()
+	h.Write(connectPayload)
+	h.Write(acceptPayload)
+	return h.Sum(nil)
+}
+
+// ConnectHash is the transcript prefix available before the Accept
+// exists: SHA-256 of the Connect payload alone. It binds the
+// resumption secret and the 0-RTT keys to the specific Connect that
+// offered them.
+func ConnectHash(connectPayload []byte) []byte {
+	h := sha256.Sum256(connectPayload)
+	return h[:]
+}
+
+// Keys is one direction's AEAD key material.
+type Keys struct {
+	Key [KeyLen]byte
+	IV  [NonceLen]byte
+}
+
+// Extraction salts and expansion labels. Versioned so a future suite
+// bump cannot collide with v1 key material.
+var (
+	saltHandshake = []byte("qtp/1 handshake")
+	saltEarly     = []byte("qtp/1 early")
+)
+
+func expandKeys(prk []byte, label string, context []byte) (k Keys) {
+	info := make([]byte, 0, len(label)+len(context))
+	info = append(info, label...)
+	info = append(info, context...)
+	okm := hkdfExpand(prk, info, KeyLen+NonceLen)
+	copy(k.Key[:], okm[:KeyLen])
+	copy(k.IV[:], okm[KeyLen:])
+	return k
+}
+
+// SessionKeys derives both directions' 1-RTT keys from the ECDH shared
+// secret and the handshake transcript hash.
+func SessionKeys(shared, transcript []byte) (c2s, s2c Keys) {
+	prk := hkdfExtract(saltHandshake, shared)
+	return expandKeys(prk, "qtp c2s ", transcript), expandKeys(prk, "qtp s2c ", transcript)
+}
+
+// ResumptionSecret derives the secret a session ticket stores. It is
+// deliberately independent of the Accept payload (the ticket rides
+// inside the Accept, so the full transcript is not yet fixed when the
+// ticket is minted) but still bound to the fresh ECDH output and the
+// Connect that started this handshake.
+func ResumptionSecret(shared, connectHash []byte) (s [KeyLen]byte) {
+	prk := hkdfExtract(saltHandshake, shared)
+	info := append([]byte("qtp resume "), connectHash...)
+	copy(s[:], hkdfExpand(prk, info, KeyLen))
+	return s
+}
+
+// EarlyKeys derives the client→server 0-RTT keys: the stored
+// resumption secret bound to the hash of the new connection's Connect
+// payload, so early data cannot be cut-and-pasted under a different
+// handshake (a replay of the entire first flight remains possible —
+// the 0-RTT caveat — which is why early data must be idempotent).
+func EarlyKeys(resumptionSecret [KeyLen]byte, connectHash []byte) Keys {
+	prk := hkdfExtract(saltEarly, resumptionSecret[:])
+	return expandKeys(prk, "qtp 0rtt ", connectHash)
+}
+
+// sealer is one direction's sending half for one epoch.
+type sealer struct {
+	aead  *AEAD
+	iv    [NonceLen]byte
+	epoch uint8
+	seq   uint64
+}
+
+// opener is one direction's receiving half for one epoch, with a
+// 64-datagram sliding replay window over the crypto sequence.
+type opener struct {
+	aead   *AEAD
+	iv     [NonceLen]byte
+	maxSeq uint64
+	window uint64
+	any    bool
+}
+
+// nonce forms the per-datagram AEAD nonce: the static IV XORed with
+// the big-endian 48-bit crypto sequence in its trailing bytes. Epochs
+// use distinct keys, so the sequence alone keeps nonces unique.
+func seqNonce(iv *[NonceLen]byte, seq uint64) (n [NonceLen]byte) {
+	n = *iv
+	n[6] ^= byte(seq >> 40)
+	n[7] ^= byte(seq >> 32)
+	n[8] ^= byte(seq >> 24)
+	n[9] ^= byte(seq >> 16)
+	n[10] ^= byte(seq >> 8)
+	n[11] ^= byte(seq)
+	return n
+}
+
+func (o *opener) fresh(seq uint64) bool {
+	if !o.any || seq > o.maxSeq {
+		return true
+	}
+	d := o.maxSeq - seq
+	return d < 64 && o.window&(1<<d) == 0
+}
+
+func (o *opener) mark(seq uint64) {
+	switch {
+	case !o.any:
+		o.any, o.maxSeq, o.window = true, seq, 1
+	case seq > o.maxSeq:
+		if shift := seq - o.maxSeq; shift >= 64 {
+			o.window = 1
+		} else {
+			o.window = o.window<<shift | 1
+		}
+		o.maxSeq = seq
+	default:
+		o.window |= 1 << (o.maxSeq - seq)
+	}
+}
+
+// Session is one connection's sealing/opening state. A session seals
+// in exactly one epoch at a time (the newest keys installed) and can
+// open in any epoch it holds receive keys for. Methods are not
+// concurrency-safe; the endpoint serializes them under its per-conn
+// lock, and the qtp layer installs keys under the same lock.
+type Session struct {
+	tx   sealer
+	txOK bool
+	rx   [numEpochs]opener
+	rxOK [numEpochs]bool
+}
+
+// NewSession returns an empty session; keys arrive via SetSendKeys and
+// SetRecvKeys as the handshake derives them.
+func NewSession() *Session { return &Session{} }
+
+// SetSendKeys installs sending keys for an epoch, replacing any prior
+// epoch's sealer and resetting the crypto sequence (each epoch's key
+// is fresh, so its nonce space starts over).
+func (s *Session) SetSendKeys(epoch uint8, k Keys) {
+	s.tx = sealer{aead: NewAEAD(k.Key[:]), iv: k.IV, epoch: epoch}
+	s.txOK = true
+}
+
+// SetRecvKeys installs receiving keys for an epoch.
+func (s *Session) SetRecvKeys(epoch uint8, k Keys) {
+	if int(epoch) >= numEpochs {
+		panic("qcrypto: epoch out of range")
+	}
+	s.rx[epoch] = opener{aead: NewAEAD(k.Key[:]), iv: k.IV}
+	s.rxOK[epoch] = true
+}
+
+// CanSeal reports whether sending keys are installed.
+func (s *Session) CanSeal() bool { return s != nil && s.txOK }
+
+// SendEpoch returns the epoch current sends are sealed under.
+func (s *Session) SendEpoch() uint8 { return s.tx.epoch }
+
+// SealAppend seals one inner frame into a sealed datagram appended to
+// dst: 12-byte prefix, ciphertext, 16-byte tag. connID is the value
+// the peer demuxes on (its ID once known, the proposed ID during a
+// 0-RTT first flight).
+func (s *Session) SealAppend(dst []byte, connID uint32, frame []byte) ([]byte, error) {
+	if !s.txOK {
+		return dst, ErrNoKeys
+	}
+	if s.tx.seq > packet.MaxSealedSeq {
+		return dst, ErrSeqExhausted
+	}
+	seq := s.tx.seq
+	s.tx.seq++
+	start := len(dst)
+	dst = packet.AppendSealedHeader(dst, connID, s.tx.epoch, seq)
+	nonce := seqNonce(&s.tx.iv, seq)
+	return s.tx.aead.Seal(dst, nonce[:], frame, dst[start:]), nil
+}
+
+// Open authenticates and decrypts a sealed datagram in place,
+// returning a view of the inner frame (aliasing dgram's ciphertext
+// bytes) and the epoch it was sealed under. Nothing is written unless
+// the tag verifies; replayed sequences are rejected before any crypto.
+func (s *Session) Open(dgram []byte) (frame []byte, epoch uint8, err error) {
+	_, epoch, seq, box, err := packet.ParseSealedHeader(dgram)
+	if err != nil {
+		return nil, 0, err
+	}
+	if int(epoch) >= numEpochs || !s.rxOK[epoch] {
+		return nil, epoch, ErrNoKeys
+	}
+	o := &s.rx[epoch]
+	if !o.fresh(seq) {
+		return nil, epoch, ErrReplay
+	}
+	nonce := seqNonce(&o.iv, seq)
+	frame, err = o.aead.Open(box[:0], nonce[:], box, dgram[:packet.SealedHeaderLen])
+	if err != nil {
+		return nil, epoch, err
+	}
+	o.mark(seq)
+	return frame, epoch, nil
+}

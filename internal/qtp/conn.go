@@ -19,6 +19,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/gtfrc"
 	"repro/internal/packet"
+	"repro/internal/qcrypto"
 	"repro/internal/sack"
 	"repro/internal/seqspace"
 	"repro/internal/tfrc"
@@ -95,6 +96,20 @@ type Config struct {
 	// with sender-side estimation there are no numbers to lie about.
 	// Test/experiment instrumentation only.
 	SelfishLie float64
+
+	// Encrypt runs the encrypted handshake: Connect/Accept exchange
+	// X25519 key shares and every other frame must travel inside a
+	// sealed datagram (the driver seals/opens via CryptoSession). A peer
+	// without a key share is rejected — there is no plaintext fallback.
+	Encrypt bool
+	// Tickets, on an encrypted responder, mints session tickets into
+	// Accepts and redeems them for 0-RTT resumption. Drivers share one
+	// store across all connections of a listener.
+	Tickets *qcrypto.TicketStore
+	// Resume, on an encrypted initiator, arms 0-RTT: if its profile
+	// matches the proposal, the Connect carries the ticket and data is
+	// sealed under the early keys in the first flight.
+	Resume *qcrypto.Resumption
 }
 
 // Stats accumulates endpoint counters for experiments and monitoring.
@@ -192,6 +207,10 @@ type Conn struct {
 	sackBuf  packet.SACK
 	blockBuf []seqspace.Range
 
+	// Handshake crypto state (crypto.go); zero-valued when Encrypt is
+	// off.
+	cr cryptoState
+
 	stats Stats
 }
 
@@ -243,6 +262,14 @@ func (c *Conn) Start(now time.Duration) {
 	c.state = StateConnecting
 	c.ctrlPending = packet.TypeConnect
 	c.ctrlDue = now
+	if c.cfg.Encrypt {
+		if err := c.startCrypto(now); err != nil {
+			// No entropy for a key share means no connection: the
+			// encrypted handshake cannot degrade to plaintext.
+			c.state = StateClosed
+			c.ctrlPending = 0
+		}
+	}
 }
 
 // StartDirect skips the handshake and establishes the connection

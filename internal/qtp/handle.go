@@ -1,6 +1,7 @@
 package qtp
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
 	"time"
@@ -27,8 +28,15 @@ func (c *Conn) HandleFrame(now time.Duration, frame []byte) error {
 	if hdr.ConnID != c.localID {
 		// A Connect reaches the responder before the initiator can know
 		// our local ID, stamped with the initiator's own ID instead; the
-		// driver has already routed it to us by peer address.
-		if c.cfg.Initiator || hdr.Type != packet.TypeConnect {
+		// driver has already routed it to us by peer address. The same
+		// holds for 0-RTT data: sealed and stamped before the Accept
+		// delivers our ID, it carries the initiator's proposed ID like
+		// the Connect it rides with — acceptable only because the AEAD
+		// already authenticated it (an encrypted connection's driver
+		// never feeds HandleFrame a plaintext data frame).
+		fromPeer := hdr.Type == packet.TypeConnect ||
+			(c.cr.enabled && hdr.ConnID == c.remoteID)
+		if c.cfg.Initiator || !fromPeer {
 			c.stats.DecodeErrors++
 			return fmt.Errorf("qtp: conn id %d, want %d", hdr.ConnID, c.localID)
 		}
@@ -80,12 +88,24 @@ func (c *Conn) onConnect(now time.Duration, hdr *packet.Header, payload []byte) 
 		c.remoteID = hdr.ConnID
 	}
 	if c.state == StateIdle {
+		if c.cfg.Encrypt && len(hs.KeyShare) == 0 {
+			// A plaintext peer (or a stripped key share). Stay Idle and
+			// ignore it — a later well-formed Connect can still establish.
+			return ErrCryptoRequired
+		}
 		proposal := core.ProfileFromHandshake(hs)
 		c.profile = core.Negotiate(c.cfg.Constraints, proposal)
+		if c.cfg.Encrypt {
+			if err := c.acceptCrypto(&hs, payload); err != nil {
+				return err
+			}
+		}
 		c.buildMachines(now)
 		c.state = StateEstablished
 	}
-	// (Re)send the Accept — handles a lost Accept too.
+	// (Re)send the Accept — handles a lost Accept too. On an encrypted
+	// connection buildControl replays the pinned acceptPayload bytes, so
+	// retransmits stay byte-identical to what the transcript hashed.
 	c.ctrlPending = packet.TypeAccept
 	c.ctrlDue = now
 	return nil
@@ -104,15 +124,43 @@ func (c *Conn) onAccept(now time.Duration, hdr *packet.Header, payload []byte) e
 		c.remoteID = hs.ConnID
 	}
 	if c.state == StateConnecting {
-		c.profile = core.ProfileFromHandshake(hs)
-		c.buildMachines(now)
-		c.state = StateEstablished
-		c.rc.Start(now)
-		if sample := rttSample(now, hdr.TSEcho, 0); sample > 0 {
-			c.rc.SeedRTT(now, sample)
+		if c.cr.enabled {
+			// Terminal on failure: a missing key share here means a
+			// downgrade attempt, and a bad one means a forged or corrupted
+			// Accept — either way 1-RTT keys cannot exist, so the
+			// connection dies rather than continue in plaintext.
+			if err := c.completeCrypto(&hs, payload); err != nil {
+				c.state = StateClosed
+				c.ctrlPending = 0
+				return err
+			}
 		}
-		c.nextSendAt = now
-		c.started = true
+		negotiated := core.ProfileFromHandshake(hs)
+		if c.cr.early {
+			// The data machines have been running under the proposed
+			// profile since Start; a server that negotiated something else
+			// invalidates them (and the ticket's profile pin should have
+			// prevented EarlyAccept). Abort so the dialer retries cold.
+			if !bytes.Equal(profileBytes(negotiated), profileBytes(c.profile)) {
+				c.state = StateClosed
+				c.ctrlPending = 0
+				return ErrResumeProfile
+			}
+			c.state = StateEstablished
+			if sample := rttSample(now, hdr.TSEcho, 0); sample > 0 {
+				c.rc.SeedRTT(now, sample)
+			}
+		} else {
+			c.profile = negotiated
+			c.buildMachines(now)
+			c.state = StateEstablished
+			c.rc.Start(now)
+			if sample := rttSample(now, hdr.TSEcho, 0); sample > 0 {
+				c.rc.SeedRTT(now, sample)
+			}
+			c.nextSendAt = now
+			c.started = true
+		}
 	}
 	// Confirm (again, if the previous one was lost).
 	c.ctrlPending = packet.TypeConfirm
@@ -136,6 +184,13 @@ func (c *Conn) onRetry(now time.Duration, hdr *packet.Header, payload []byte) er
 	}
 	c.token = append(c.token[:0], r.Token...)
 	c.stats.RetriesReceived++
+	if c.cr.enabled {
+		// The token changes the Connect payload, so the transcript — and
+		// any 0-RTT keys bound to its hash — must be rebuilt. Early data
+		// already in flight dies with the old keys; reliability resends
+		// it under the new ones.
+		c.rebuildConnect()
+	}
 	c.ctrlPending = packet.TypeConnect
 	delay := time.Duration(r.RetryAfterMS) * time.Millisecond
 	if delay > 0 {

@@ -96,8 +96,10 @@ func (c *Conn) PollFrameAppend(now time.Duration, dst []byte) (frame []byte, ok 
 	if c.sackPending {
 		return c.buildSACK(now, dst), true
 	}
-	// 3. Sender side: paced data.
-	if c.started && c.state == StateEstablished && now >= c.nextSendAt {
+	// 3. Sender side: paced data. sendActive also admits a 0-RTT
+	// initiator still in Connecting, whose data rides the first flight
+	// sealed under the early keys.
+	if c.started && c.sendActive() && now >= c.nextSendAt {
 		if c.multi {
 			if f, ok := c.buildDataMulti(now, dst); ok {
 				return f, true
@@ -183,6 +185,17 @@ func (c *Conn) buildControl(now time.Duration, dst []byte) []byte {
 	var payload []byte
 	switch typ {
 	case packet.TypeConnect, packet.TypeAccept:
+		if c.cr.enabled {
+			// Replay the pinned payload byte-for-byte: the key schedule
+			// hashes these exact bytes on both ends, so retransmits must
+			// not re-encode.
+			if typ == packet.TypeConnect {
+				payload = c.cr.connectPayload
+			} else {
+				payload = c.cr.acceptPayload
+			}
+			break
+		}
 		hs := c.profile.Handshake()
 		// Tell the peer which ID to stamp on frames it sends us, unless
 		// it is the ID it is already using (symmetric legacy framing).
@@ -447,7 +460,7 @@ func (c *Conn) NextWake(now time.Duration) (at time.Duration, ok bool) {
 			merge(t)
 		}
 	}
-	if c.started && c.state == StateEstablished {
+	if c.started && c.sendActive() {
 		if len(c.backlog) > 0 || c.sendWorkPending() || c.needFinSingle() {
 			merge(c.nextSendAt)
 		}

@@ -206,11 +206,26 @@ func (c *Conn) Release(p []byte) { bufpool.PutChunk(p) }
 // may still be drained with Read.
 func (c *Conn) Done() <-chan struct{} { return c.closedCh }
 
-// Finished reports whether the receive stream completed through FIN.
+// Finished reports whether the receive stream completed through FIN
+// and every delivered chunk has been read. The protocol can resolve a
+// beat before the application drains the delivery queue, so without
+// the queue check the idiomatic receive loop — for !Finished() { Read }
+// — would exit with the final chunk still queued.
 func (c *Conn) Finished() bool {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.inner.Finished()
+	if !c.inner.Finished() {
+		return false
+	}
+	if len(c.readCh) > 0 {
+		return false
+	}
+	for _, s := range c.streams {
+		if len(s.readCh) > 0 {
+			return false
+		}
+	}
+	return true
 }
 
 // Close removes the connection from its endpoint. If the protocol

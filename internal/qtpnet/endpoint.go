@@ -14,6 +14,7 @@ import (
 	"repro/internal/bufpool"
 	"repro/internal/core"
 	"repro/internal/packet"
+	"repro/internal/qcrypto"
 	"repro/internal/qtp"
 )
 
@@ -48,6 +49,7 @@ func envNoReusePort() bool { return os.Getenv("QTPNET_NOREUSEPORT") != "" }
 func envNoGSO() bool       { return os.Getenv("QTPNET_NOGSO") != "" }
 func envNoUring() bool     { return os.Getenv("QTPNET_NOURING") != "" }
 func envNoTxTime() bool    { return os.Getenv("QTPNET_NOTXTIME") != "" }
+func envNoEncrypt() bool   { return os.Getenv("QTPNET_NOENCRYPT") != "" }
 
 // ErrEndpointClosed is returned by calls on a closed endpoint.
 var ErrEndpointClosed = errors.New("qtpnet: endpoint closed")
@@ -69,10 +71,14 @@ type EndpointConfig struct {
 	// Beyond it the oldest chunk is dropped so one stalled reader cannot
 	// wedge the endpoint; raise it for bursty high-rate receivers.
 	ReadQueue int
-	// DisableBatchIO forces the portable single-datagram socket path
-	// even where recvmmsg/sendmmsg are available. The endpoint behaves
-	// identically either way; tests use this to prove it, and it is an
-	// escape hatch should a platform's batch path misbehave.
+	// DisableBatchIO drops the endpoint to the bottom rung of the data-
+	// path ladder (docs/DATAPATH.md): the portable one-syscall-per-
+	// datagram socket path, skipping recvmmsg/sendmmsg batching and,
+	// by implication, the GSO/GRO and io_uring/TXTIME rungs stacked on
+	// top of it. The endpoint behaves identically on every rung; tests
+	// use this to prove it, and it is an escape hatch should a
+	// platform's batch path misbehave. Sealed datagrams (docs/WIRE.md)
+	// travel every rung unchanged — encryption is orthogonal.
 	DisableBatchIO bool
 	// DisableGSO keeps UDP segment offload (UDP_SEGMENT/UDP_GRO) off
 	// this endpoint's socket even where the kernel supports it, pinning
@@ -110,6 +116,16 @@ type EndpointConfig struct {
 	// legitimate dialers back off and try again.
 	AcceptRate  float64
 	AcceptBurst int
+	// DisableEncryption turns off the always-on datagram encryption:
+	// handshakes carry no key shares and every frame travels in
+	// plaintext, as before PR 8. Interop/debug escape hatch only — both
+	// ends must agree (an encrypted endpoint refuses plaintext peers and
+	// vice versa). Implied by the QTPNET_NOENCRYPT environment override.
+	DisableEncryption bool
+	// TicketLifetime is how long a minted session ticket can redeem
+	// 0-RTT resumption, and the ticket-key rotation cadence (default 10
+	// minutes). Like source-address tokens, tickets survive one rotation.
+	TicketLifetime time.Duration
 	// SocketBufferBytes asks the kernel for this much receive and send
 	// buffering on the socket (negative to leave the system default).
 	// The default is 2 MiB — or 1 MiB when SO_TXTIME pacing is active,
@@ -191,6 +207,20 @@ type EndpointStats struct {
 	HandshakeDropped    uint64
 	AmplificationCapped uint64
 	AcceptOverflow      uint64
+
+	// Datagram crypto (zero with DisableEncryption). SealFailures
+	// counts outbound frames dropped because sealing failed (sequence
+	// space exhausted); OpenFailures counts inbound sealed datagrams
+	// that failed authentication/replay checks plus plaintext data-plane
+	// frames refused on encrypted connections. TicketsIssued counts
+	// session tickets minted into Accepts; ZeroRTTAccepted/Rejected
+	// count inbound resumption attempts by outcome (a rejection still
+	// completes the handshake at 1-RTT — only the early data is refused).
+	SealFailures    uint64
+	OpenFailures    uint64
+	TicketsIssued   uint64
+	ZeroRTTAccepted uint64
+	ZeroRTTRejected uint64
 }
 
 // AvgRecvBatch returns mean datagrams per receive syscall.
@@ -234,6 +264,12 @@ func (s EndpointStats) String() string {
 			s.RetrySent, s.TokenInvalid, s.HandshakeDropped,
 			s.AmplificationCapped, s.AcceptOverflow)
 	}
+	if s.SealFailures > 0 || s.OpenFailures > 0 || s.TicketsIssued > 0 ||
+		s.ZeroRTTAccepted > 0 || s.ZeroRTTRejected > 0 {
+		str += fmt.Sprintf(" crypto sealfail %d openfail %d tickets %d 0rtt acc %d rej %d",
+			s.SealFailures, s.OpenFailures, s.TicketsIssued,
+			s.ZeroRTTAccepted, s.ZeroRTTRejected)
+	}
 	return str
 }
 
@@ -270,6 +306,11 @@ func (s EndpointStats) add(o EndpointStats) EndpointStats {
 	s.HandshakeDropped += o.HandshakeDropped
 	s.AmplificationCapped += o.AmplificationCapped
 	s.AcceptOverflow += o.AcceptOverflow
+	s.SealFailures += o.SealFailures
+	s.OpenFailures += o.OpenFailures
+	s.TicketsIssued += o.TicketsIssued
+	s.ZeroRTTAccepted += o.ZeroRTTAccepted
+	s.ZeroRTTRejected += o.ZeroRTTRejected
 	return s
 }
 
@@ -291,6 +332,13 @@ type peerKey struct {
 // across all connections are driven by a single shared deadline heap.
 // On platforms without the batch syscalls both paths degrade to one
 // datagram per call with identical semantics.
+//
+// Frames are sealed into AEAD envelopes just before they reach the
+// send scheduler and opened just after demux, so every batching layer
+// (sendmmsg, GSO trains, io_uring submissions) handles sealed
+// datagrams exactly as it handled plaintext; see docs/WIRE.md for the
+// envelope bytes and EndpointConfig.DisableEncryption for the escape
+// hatch.
 type Endpoint struct {
 	pc    *net.UDPConn
 	bio   batchIO
@@ -303,6 +351,11 @@ type Endpoint struct {
 	// endpoint accepts inbound). On a sharded endpoint every shard
 	// shares one minter, so a token minted by shard A validates on B.
 	minter *packet.TokenMinter
+	// tickets mints/redeems 0-RTT session tickets (nil unless the
+	// endpoint accepts encrypted inbound). Shared across a shard group
+	// like the minter: the reuseport hash may land a resuming client on
+	// a different shard than the one that minted its ticket.
+	tickets *qcrypto.TicketStore
 
 	mu         sync.Mutex
 	byID       map[uint32]*Conn  // local conn ID -> conn (data-plane route)
@@ -317,6 +370,11 @@ type Endpoint struct {
 	// balance, refilled at cfg.AcceptRate up to cfg.AcceptBurst.
 	hsTokens float64
 	hsLast   time.Duration
+	// resume caches the latest resumption state harvested per peer
+	// (guarded by mu): the next Dial to that address pops it and sends
+	// 0-RTT data in its first flight. Single-use by construction —
+	// Dial deletes the entry it takes.
+	resume map[netip.AddrPort]*qcrypto.Resumption
 
 	// Receive-side counters (single writer: the read loop).
 	datagramsIn  atomic.Uint64
@@ -337,6 +395,13 @@ type Endpoint struct {
 	hsDropped      atomic.Uint64
 	ampCapped      atomic.Uint64
 	acceptOverflow atomic.Uint64
+
+	// Datagram-crypto counters (see EndpointStats).
+	sealFails       atomic.Uint64
+	openFails       atomic.Uint64
+	ticketsIssued   atomic.Uint64
+	zeroRTTAccepted atomic.Uint64
+	zeroRTTRejected atomic.Uint64
 
 	acceptCh  chan *Conn
 	done      chan struct{}
@@ -364,6 +429,9 @@ type shardEnv struct {
 	// kernel's reuseport hash can move a client between shards across
 	// its Retry round-trip, so tokens must validate group-wide.
 	minter *packet.TokenMinter
+	// tickets, when non-nil, is the group-shared session-ticket store,
+	// shared for the same reason as the minter.
+	tickets *qcrypto.TicketStore
 }
 
 // NewEndpoint opens a UDP socket on addr and starts the endpoint's
@@ -416,6 +484,9 @@ func newEndpointOn(pc *net.UDPConn, cfg EndpointConfig, sh shardEnv) *Endpoint {
 	if envNoTxTime() {
 		cfg.DisableTxTime = true
 	}
+	if envNoEncrypt() {
+		cfg.DisableEncryption = true
+	}
 	// The data path is built before the socket buffers are sized: with
 	// SO_TXTIME pacing active, flushes leave the socket as fq-scheduled
 	// release instants instead of micro-bursts, so the burst-absorption
@@ -451,6 +522,7 @@ func newEndpointOn(pc *net.UDPConn, cfg EndpointConfig, sh shardEnv) *Endpoint {
 		acceptCh: sh.acceptCh,
 		done:     make(chan struct{}),
 		wake:     make(chan struct{}, 1),
+		resume:   make(map[netip.AddrPort]*qcrypto.Resumption),
 	}
 	if e.acceptCh == nil {
 		e.acceptCh = make(chan *Conn, cfg.AcceptBacklog)
@@ -459,6 +531,12 @@ func newEndpointOn(pc *net.UDPConn, cfg EndpointConfig, sh shardEnv) *Endpoint {
 		e.minter = sh.minter
 		if e.minter == nil {
 			e.minter = packet.NewTokenMinter(cfg.TokenLifetime)
+		}
+		if !cfg.DisableEncryption {
+			e.tickets = sh.tickets
+			if e.tickets == nil {
+				e.tickets = qcrypto.NewTicketStore(cfg.TicketLifetime)
+			}
 		}
 		e.hsTokens = float64(cfg.AcceptBurst)
 	}
@@ -505,6 +583,12 @@ func (e *Endpoint) Stats() EndpointStats {
 		HandshakeDropped:    e.hsDropped.Load(),
 		AmplificationCapped: e.ampCapped.Load(),
 		AcceptOverflow:      e.acceptOverflow.Load(),
+
+		SealFailures:    e.sealFails.Load(),
+		OpenFailures:    e.openFails.Load(),
+		TicketsIssued:   e.ticketsIssued.Load(),
+		ZeroRTTAccepted: e.zeroRTTAccepted.Load(),
+		ZeroRTTRejected: e.zeroRTTRejected.Load(),
 	}
 	if so, ok := e.bio.(segmentOffloader); ok {
 		st.GsoFallbacks = so.gsoFallbacks()
@@ -590,6 +674,14 @@ func (e *Endpoint) now() time.Duration { return time.Since(e.epoch) }
 // Dial opens a new initiator connection to addr over the shared socket,
 // proposing the profile, and blocks until the handshake completes or
 // the timeout elapses. Many concurrent Dials may share one endpoint.
+//
+// On an encrypted endpoint that holds a cached session ticket for addr
+// (left by a previous connection to the same peer), Dial resumes at
+// 0-RTT: it returns as soon as the first flight is sent, and Write
+// data rides that flight under the resumed keys — one RTT earlier than
+// a fresh handshake. If the server rejects the ticket the handshake
+// still completes normally; only the early data is refused (and
+// retransmitted under the 1-RTT keys).
 func (e *Endpoint) Dial(addr string, profile core.Profile, timeout time.Duration) (*Conn, error) {
 	ua, err := net.ResolveUDPAddr("udp", addr)
 	if err != nil {
@@ -608,20 +700,40 @@ func (e *Endpoint) Dial(addr string, profile core.Profile, timeout time.Duration
 	// Dialing out proves nothing needs proving: the amplification cap
 	// exists for responders answering unvalidated sources.
 	c.validated.Store(true)
+	// Pop any cached resumption state for this peer: tickets are
+	// single-use, so the entry leaves the cache whether or not the
+	// server ends up accepting the 0-RTT data.
+	resume := e.resume[peer]
+	delete(e.resume, peer)
 	// The initiator stamps its own ID until the Accept TLV delivers the
 	// responder's; a symmetric legacy responder just keeps echoing it.
 	c.inner = qtp.NewConn(qtp.Config{
 		Initiator: true,
 		Profile:   profile,
 		ConnID:    id,
+		Encrypt:   !e.cfg.DisableEncryption,
+		Resume:    resume,
 	})
 	e.byID[id] = c
 	e.mu.Unlock()
 
 	c.mu.Lock()
 	c.inner.Start(e.now())
+	earlyArmed := c.inner.CryptoInfo().EarlyOffered
+	failed := c.inner.State() == qtp.StateClosed
 	c.mu.Unlock()
+	if failed {
+		c.teardown()
+		return nil, errors.New("qtpnet: handshake start failed")
+	}
 	e.serviceFlush(c)
+
+	if earlyArmed {
+		// 0-RTT: the connection is writable right now — application data
+		// rides the first flight under the resumed keys. established still
+		// closes when the Accept lands, for callers that want to observe it.
+		return c, nil
+	}
 
 	select {
 	case <-c.established:
@@ -784,9 +896,16 @@ func classify(dgram []byte) (typ packet.Type, cid uint32, ok bool) {
 // foreignShard reports whether a classified frame belongs to a
 // different shard of this endpoint's reuseport group: the top bits of
 // its connection ID name a shard other than this one. Handshake frames
-// have no routable CID yet and are always claimed locally.
-func (e *Endpoint) foreignShard(typ packet.Type, cid uint32) (uint32, bool) {
+// have no routable CID yet and are always claimed locally — as are
+// epoch-0 sealed datagrams: a 0-RTT first flight travels under the
+// client's proposed CID (the server's Accept hasn't arrived yet), which
+// carries no shard prefix, and the kernel hashes it to the same shard
+// as the Connect it rides with.
+func (e *Endpoint) foreignShard(typ packet.Type, cid uint32, dgram []byte) (uint32, bool) {
 	if !e.shard.enabled || typ == packet.TypeConnect {
+		return 0, false
+	}
+	if typ == packet.TypeSealed && len(dgram) > 1 && dgram[1] == uint8(qcrypto.Epoch0RTT) {
 		return 0, false
 	}
 	if sh := packet.CIDShard(cid); sh != e.shard.idx {
@@ -819,7 +938,7 @@ func (e *Endpoint) Deliver(from netip.AddrPort, dgram []byte) bool {
 	if !ok {
 		return false
 	}
-	if sh, foreign := e.foreignShard(typ, cid); foreign {
+	if sh, foreign := e.foreignShard(typ, cid, dgram); foreign {
 		return e.forwardFrame(sh, from, dgram)
 	}
 	return e.deliverClassified(from, dgram, typ, cid)
@@ -906,7 +1025,7 @@ func (e *Endpoint) deliverBatch(ms []ioMsg, sc *rxScratch) {
 		typ, cid, ok := classify(ms[i].buf[:ms[i].n])
 		k := frameKey{typ: typ, cid: cid, local: ok}
 		if ok {
-			if sh, foreign := e.foreignShard(typ, cid); foreign {
+			if sh, foreign := e.foreignShard(typ, cid, ms[i].buf[:ms[i].n]); foreign {
 				k.local, k.accounted = false, true
 				e.forwardFrame(sh, ms[i].addr, ms[i].buf[:ms[i].n])
 			}
@@ -997,11 +1116,15 @@ func (e *Endpoint) serviceFlush(c *Conn) {
 // state: Connect bytes grow the 3x send allowance, while any frame
 // routed by our local CID proves the peer's address — the CID travels
 // only in our Accept, so a spoofing attacker can never learn it.
+// Sealed datagrams also only grow the allowance: a 0-RTT first flight
+// travels under the client's proposed CID, which an off-path attacker
+// chose itself, so address proof waits for an authenticated epoch-1
+// open in handleFrame.
 func accountRx(c *Conn, typ packet.Type, n int) {
 	if c.validated.Load() {
 		return
 	}
-	if typ == packet.TypeConnect {
+	if typ == packet.TypeConnect || typ == packet.TypeSealed {
 		c.ampRx.Add(int64(n))
 	} else {
 		c.validated.Store(true)
@@ -1009,18 +1132,49 @@ func accountRx(c *Conn, typ packet.Type, n int) {
 }
 
 // handleFrame feeds one classified datagram to its connection's state
-// machine.
+// machine, opening sealed datagrams first. Open decrypts in place —
+// the receive buffer is the driver's to reuse after delivery anyway —
+// and an authenticated open at epoch 1 proves the peer's address where
+// accountRx could not (the epoch-1 keys bind the full handshake
+// transcript). On an encrypted connection a cleartext frame of any
+// post-handshake type is dropped undecoded: accepting it would let an
+// on-path attacker inject the exact plaintext the sealing exists to
+// block.
 func (e *Endpoint) handleFrame(c *Conn, dgram []byte) error {
 	c.mu.Lock()
-	err := c.inner.HandleFrame(e.now(), dgram)
-	c.mu.Unlock()
-	return err
+	defer c.mu.Unlock()
+	if len(dgram) > 0 && packet.Type(dgram[0]&0x0f) == packet.TypeSealed {
+		sess := c.inner.CryptoSession()
+		if sess == nil {
+			e.openFails.Add(1)
+			return errors.New("qtpnet: sealed datagram before keys exist")
+		}
+		frame, epoch, err := sess.Open(dgram)
+		if err != nil {
+			e.openFails.Add(1)
+			return err
+		}
+		if epoch >= qcrypto.Epoch1RTT {
+			c.validated.Store(true)
+		}
+		dgram = frame
+	} else if c.inner.CryptoEnabled() && len(dgram) > 0 &&
+		!packet.Cleartext(packet.Type(dgram[0]&0x0f)) {
+		e.openFails.Add(1)
+		return errors.New("qtpnet: cleartext frame on encrypted connection")
+	}
+	return c.inner.HandleFrame(e.now(), dgram)
 }
 
 // shedRetryAfterMS is the hold-off hint stamped on load-shedding
 // Retries, long enough to let an accept-queue backlog drain without
 // pushing a legitimate dialer past its bounded handshake attempts.
 const shedRetryAfterMS = 500
+
+// resumeCacheCap bounds the per-endpoint 0-RTT resumption cache; a
+// dialer talking to more peers than this just pays a full round-trip
+// on the evicted ones.
+const resumeCacheCap = 1024
 
 // resolveLocked finds the connection a classified frame belongs to,
 // creating a responder for a first-contact Connect that passes
@@ -1029,6 +1183,18 @@ const shedRetryAfterMS = 500
 // challenge or load shed) instead — a queued frame the caller owes a
 // flush for, never a no-route. Callers hold e.mu.
 func (e *Endpoint) resolveLocked(from netip.AddrPort, typ packet.Type, cid uint32, dgram []byte) (c *Conn, isNew, shed bool) {
+	if typ == packet.TypeSealed {
+		// An epoch-0 sealed datagram is a 0-RTT first flight, sealed
+		// before the Accept delivered our CID: it rides the client's
+		// proposed CID, which lives in the peer's ID space — a value
+		// that can collide with an ID we minted for someone else — so
+		// it routes by peer address exactly like the Connect it rides
+		// with. Everything else carries our CID.
+		if len(dgram) > 1 && dgram[1] == uint8(qcrypto.Epoch0RTT) {
+			return e.byPeer[peerKey{normalize(from), cid}], false, false
+		}
+		return e.byID[cid], false, false
+	}
 	if typ != packet.TypeConnect {
 		// Data-plane route: the header's connection ID is ours.
 		return e.byID[cid], false, false
@@ -1052,6 +1218,13 @@ func (e *Endpoint) resolveLocked(from netip.AddrPort, typ packet.Type, cid uint3
 	}
 	var hs packet.Handshake
 	if err := hs.Parse(payload); err != nil {
+		return nil, false, false
+	}
+	if !e.cfg.DisableEncryption && len(hs.KeyShare) == 0 {
+		// A plaintext client against an encrypted endpoint: drop it
+		// statelessly. Allocating a responder would only have the state
+		// machine refuse the same Connect with ErrCryptoRequired.
+		e.hsDropped.Add(1)
 		return nil, false, false
 	}
 	validated := false
@@ -1082,6 +1255,8 @@ func (e *Endpoint) resolveLocked(from netip.AddrPort, typ packet.Type, cid uint3
 		Initiator:   false,
 		Constraints: e.cfg.Constraints,
 		LocalID:     id,
+		Encrypt:     !e.cfg.DisableEncryption,
+		Tickets:     e.tickets,
 	})
 	e.byID[id] = c
 	e.byPeer[key] = c
@@ -1229,6 +1404,7 @@ func (e *Endpoint) service(c *Conn) (produced bool) {
 	// unpaced — an ack held back by the qdisc would inflate the peer's
 	// RTT sample for nothing.
 	rate := c.inner.Rate()
+	sess := c.inner.CryptoSession()
 	for {
 		if txb == nil {
 			txb = bufpool.Get()
@@ -1237,33 +1413,86 @@ func (e *Endpoint) service(c *Conn) (produced bool) {
 		if !ok {
 			break
 		}
+		if sess == nil {
+			// Keys can appear inside this very round: a responder derives
+			// them while handling the Connect whose Accept it polls here.
+			sess = c.inner.CryptoSession()
+		}
+		wire := frame
+		var sb []byte
+		if sess != nil && len(frame) > 0 &&
+			!packet.Cleartext(packet.Type(frame[0]&0x0f)) {
+			// Seal into a second pooled buffer so txb stays reusable for
+			// the next poll; the sealed buffer's ownership passes to the
+			// scheduler with the enqueue.
+			sb = bufpool.Get()
+			sealed, err := sess.SealAppend(sb[:0], c.inner.RemoteID(), frame)
+			if err != nil {
+				e.sealFails.Add(1)
+				bufpool.Put(sb)
+				continue
+			}
+			wire = sealed
+		}
 		if !c.validated.Load() {
 			// Pre-validation anti-amplification: withhold any frame that
 			// would push bytes-sent past 3x bytes-received from this
 			// unproven address. The state machine has already advanced
 			// (control retransmissions re-arm their timer), so dropping
 			// the frame here never spins; a capped Accept goes out on a
-			// later retransmission once more Connect bytes arrive.
-			if c.ampTx.Load()+int64(len(frame)) > 3*c.ampRx.Load() {
+			// later retransmission once more Connect bytes arrive. The
+			// cap charges wire bytes — what the victim's link would see —
+			// so sealed frames count their AEAD overhead too.
+			if c.ampTx.Load()+int64(len(wire)) > 3*c.ampRx.Load() {
 				e.ampCapped.Add(1)
+				if sb != nil {
+					bufpool.Put(sb)
+				}
 				continue
 			}
-			c.ampTx.Add(int64(len(frame)))
+			c.ampTx.Add(int64(len(wire)))
 		}
 		var gapNs uint32
 		if rate > 0 && len(frame) > 0 &&
 			packet.Type(frame[0]&0x0f) == packet.TypeData {
-			gapNs = paceGapNs(len(frame), rate)
+			gapNs = paceGapNs(len(wire), rate)
 		}
-		e.tx.enqueuePaced(c.peer, frame, gapNs)
+		e.tx.enqueuePaced(c.peer, wire, gapNs)
 		produced = true
-		if cap(frame) == cap(txb) {
+		if sb != nil {
+			if cap(wire) != cap(sb) {
+				// SealAppend outgrew the pooled buffer — impossible for
+				// MTU-bounded frames, but never leak the pool slot.
+				bufpool.Put(sb)
+			}
+		} else if cap(wire) == cap(txb) {
 			txb = nil // the scheduler owns the pooled buffer now
 		}
 	}
+	var newResume *qcrypto.Resumption
 	st := c.inner.State()
 	if st == qtp.StateEstablished || st == qtp.StateClosing {
-		c.estOnce.Do(func() { close(c.established) })
+		c.estOnce.Do(func() {
+			close(c.established)
+			// Handshake-completion crypto bookkeeping, exactly once per
+			// connection: counters on the responder, the next connection's
+			// resumption state on the initiator. The cache store happens
+			// after c.mu is released — e.mu never nests inside c.mu.
+			if info := c.inner.CryptoInfo(); info.Enabled {
+				if c.initiator {
+					newResume = c.inner.TakeResumption()
+				} else {
+					if info.TicketIssued {
+						e.ticketsIssued.Add(1)
+					}
+					if info.EarlyOffered && info.EarlyAccepted {
+						e.zeroRTTAccepted.Add(1)
+					} else if info.EarlyOffered {
+						e.zeroRTTRejected.Add(1)
+					}
+				}
+			}
+		})
 	}
 	// New inbound streams announced by the peer's first frame: register
 	// them so their data routes, and queue them for AcceptStream.
@@ -1327,6 +1556,22 @@ func (e *Endpoint) service(c *Conn) (produced bool) {
 	c.mu.Unlock()
 	if txb != nil {
 		bufpool.Put(txb)
+	}
+	if newResume != nil {
+		e.mu.Lock()
+		if !e.closed {
+			if len(e.resume) >= resumeCacheCap {
+				// Bounded by eviction of an arbitrary entry: the cache is
+				// an optimization, and Go's map iteration order spreads
+				// the evictions around.
+				for k := range e.resume {
+					delete(e.resume, k)
+					break
+				}
+			}
+			e.resume[c.peer] = newResume
+		}
+		e.mu.Unlock()
 	}
 	if produced {
 		// Off the connection lock now: bound the queue mid-round. The

@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/packet"
+	"repro/internal/qcrypto"
 	"repro/internal/qtp"
 )
 
@@ -29,6 +30,17 @@ func newEstablishedResponder(t *testing.T) *qtp.Conn {
 	return resp
 }
 
+// rawKeyShare is a fixed well-formed X25519 public key for hand-crafted
+// Connects: stateless admission on an encrypted endpoint drops
+// key-share-less Connects before the token machinery these tests aim at.
+var rawKeyShare = func() []byte {
+	priv, err := qcrypto.GenerateKey()
+	if err != nil {
+		panic(err)
+	}
+	return priv.PublicKey().Bytes()
+}()
+
 // rawConnect encodes a token-less Connect frame proposing cid, exactly
 // as an initiator's first datagram looks on the wire.
 func rawConnect(t *testing.T, cid uint32, token []byte) []byte {
@@ -36,6 +48,13 @@ func rawConnect(t *testing.T, cid uint32, token []byte) []byte {
 	hs := core.QTPLightReliable(0).Handshake()
 	hs.ConnID = cid
 	hs.Token = token
+	// An encrypted server statelessly drops key-share-less Connects; a
+	// plaintext one (QTPNET_NOENCRYPT leg) speaks the pre-encryption
+	// handshake, where the smaller Connect also keeps the 3x
+	// amplification allowance at its historical size.
+	if !envNoEncrypt() {
+		hs.KeyShare = rawKeyShare
+	}
 	payload, err := hs.AppendTo(nil)
 	if err != nil {
 		t.Fatal(err)

@@ -4,14 +4,24 @@
 //
 // The unit of deployment is the Endpoint: one UDP socket serving many
 // connections. Inbound datagrams are demultiplexed by the connection-ID
-// field in every QTP header — each side tells the other which ID to
-// stamp via a handshake TLV, so the ID an endpoint sees on inbound
-// frames is one it assigned itself and is unique on its socket, like
-// QUIC connection IDs. Handshake frames, which arrive before that
-// negotiation completes, are routed by (peer address, peer ID) instead.
+// field every QTP header and every sealed-datagram prefix carries —
+// each side tells the other which ID to stamp via a handshake TLV, so
+// the ID an endpoint sees on inbound frames is one it assigned itself
+// and is unique on its socket, like QUIC connection IDs. Handshake
+// frames — and epoch-0 (0-RTT) sealed datagrams, whose ID is still the
+// client's unconfirmed proposal — arrive before that negotiation
+// completes and are routed by (peer address, peer ID) instead.
 // A single scheduler goroutine drives every connection's protocol
 // timers off one shared deadline heap, and receive buffers are pooled,
 // so the per-frame receive path allocates nothing.
+//
+// Transport encryption is on by default: every post-handshake frame is
+// sealed into an AEAD envelope (epoch + 48-bit crypto sequence in a
+// cleartext prefix, ChaCha20-Poly1305 over the frame bytes) keyed from
+// an X25519 key share carried in the handshake TLVs, with encrypted
+// session tickets enabling 0-RTT resumption. docs/WIRE.md specifies
+// the bytes, docs/SECURITY.md the threat model; WithNoEncryption is
+// the interop/debug escape hatch.
 //
 // The unit of multi-core scaling is the ShardedEndpoint: N Endpoints
 // bound to one port via SO_REUSEPORT, kernel-hashed, with the owning
@@ -38,6 +48,7 @@ type epOptions struct {
 	shards       int
 	noGSO        bool
 	noUring      bool
+	noEncrypt    bool
 	requireToken bool
 	acceptRate   float64
 }
@@ -65,6 +76,16 @@ func WithNoGSO() Option {
 // variable forces the same process-wide).
 func WithNoUring() Option {
 	return func(o *epOptions) { o.noUring = true }
+}
+
+// WithNoEncryption turns off datagram sealing and runs the legacy
+// plaintext protocol (see EndpointConfig.DisableEncryption; the
+// QTPNET_NOENCRYPT environment variable forces the same process-wide).
+// Interop/debug escape hatch only: both ends must agree, since an
+// encrypted endpoint statelessly drops plaintext Connects and a
+// plaintext endpoint cannot open sealed datagrams.
+func WithNoEncryption() Option {
+	return func(o *epOptions) { o.noEncrypt = true }
 }
 
 // WithRequireToken makes the listener challenge every token-less
@@ -101,7 +122,7 @@ func applyOptions(opts []Option) epOptions {
 func Dial(addr string, profile core.Profile, timeout time.Duration, opts ...Option) (*Conn, error) {
 	o := applyOptions(opts)
 	if o.shards != 1 {
-		se, err := NewShardedEndpoint(":0", EndpointConfig{DisableGSO: o.noGSO, DisableUring: o.noUring}, o.shards)
+		se, err := NewShardedEndpoint(":0", EndpointConfig{DisableGSO: o.noGSO, DisableUring: o.noUring, DisableEncryption: o.noEncrypt}, o.shards)
 		if err != nil {
 			return nil, err
 		}
@@ -113,7 +134,7 @@ func Dial(addr string, profile core.Profile, timeout time.Duration, opts ...Opti
 		c.owner = se
 		return c, nil
 	}
-	e, err := NewEndpoint(":0", EndpointConfig{DisableGSO: o.noGSO, DisableUring: o.noUring})
+	e, err := NewEndpoint(":0", EndpointConfig{DisableGSO: o.noGSO, DisableUring: o.noUring, DisableEncryption: o.noEncrypt})
 	if err != nil {
 		return nil, err
 	}
@@ -132,12 +153,13 @@ func Dial(addr string, profile core.Profile, timeout time.Duration, opts ...Opti
 func Listen(addr string, constraints core.Constraints, opts ...Option) (*Listener, error) {
 	o := applyOptions(opts)
 	se, err := NewShardedEndpoint(addr, EndpointConfig{
-		AcceptInbound: true,
-		Constraints:   constraints,
-		DisableGSO:    o.noGSO,
-		DisableUring:  o.noUring,
-		RequireToken:  o.requireToken,
-		AcceptRate:    o.acceptRate,
+		AcceptInbound:     true,
+		Constraints:       constraints,
+		DisableGSO:        o.noGSO,
+		DisableUring:      o.noUring,
+		DisableEncryption: o.noEncrypt,
+		RequireToken:      o.requireToken,
+		AcceptRate:        o.acceptRate,
 	}, o.shards)
 	if err != nil {
 		return nil, fmt.Errorf("qtpnet: listen %s: %w", addr, err)

@@ -12,6 +12,7 @@ import (
 	"repro/internal/bufpool"
 	"repro/internal/core"
 	"repro/internal/packet"
+	"repro/internal/qcrypto"
 )
 
 // ShardedEndpoint runs N Endpoints bound to one UDP port via
@@ -77,6 +78,13 @@ func NewShardedEndpoint(addr string, cfg EndpointConfig, nShards int) (*ShardedE
 	if cfg.AcceptInbound {
 		minter = packet.NewTokenMinter(cfg.TokenLifetime)
 	}
+	// Likewise one session-ticket store: a resuming client's 0-RTT
+	// Connect may hash to a different shard than the one whose Accept
+	// minted its ticket.
+	var tickets *qcrypto.TicketStore
+	if cfg.AcceptInbound && !(cfg.DisableEncryption || envNoEncrypt()) {
+		tickets = qcrypto.NewTicketStore(cfg.TicketLifetime)
+	}
 
 	if nShards == 1 {
 		// Portable fallback (and the trivial single-shard case): one
@@ -86,7 +94,7 @@ func NewShardedEndpoint(addr string, cfg EndpointConfig, nShards int) (*ShardedE
 		if err != nil {
 			return nil, err
 		}
-		s.shards = []*Endpoint{newEndpointOn(pc, cfg, shardEnv{acceptCh: s.acceptCh, minter: minter})}
+		s.shards = []*Endpoint{newEndpointOn(pc, cfg, shardEnv{acceptCh: s.acceptCh, minter: minter, tickets: tickets})}
 		go s.watchShard(s.shards[0])
 		return s, nil
 	}
@@ -126,6 +134,7 @@ func NewShardedEndpoint(addr string, cfg EndpointConfig, nShards int) (*ShardedE
 			forward:  s.forward,
 			acceptCh: s.acceptCh,
 			minter:   minter,
+			tickets:  tickets,
 		})
 	}
 	for i := range s.shards {

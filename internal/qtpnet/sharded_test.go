@@ -33,13 +33,16 @@ func newShardedOrSkip(t *testing.T, addr string, cfg EndpointConfig, n int) *Sha
 // CrossShardRecv, and nothing lands in NoRoute.
 func TestCrossShardForwardExactlyOnce(t *testing.T) {
 	const nShards = 4
+	// Plaintext endpoints: the test hand-crafts raw data frames, which an
+	// encrypted connection would (correctly) refuse to accept unsealed.
 	srv := newShardedOrSkip(t, "127.0.0.1:0", EndpointConfig{
-		AcceptInbound: true,
-		Constraints:   core.Permissive(1e6),
+		AcceptInbound:     true,
+		Constraints:       core.Permissive(1e6),
+		DisableEncryption: true,
 	}, nShards)
 	defer srv.Close()
 
-	client, err := NewEndpoint("127.0.0.1:0", EndpointConfig{})
+	client, err := NewEndpoint("127.0.0.1:0", EndpointConfig{DisableEncryption: true})
 	if err != nil {
 		t.Fatal(err)
 	}
