@@ -6,8 +6,8 @@
 // Usage:
 //
 //	qtpbench [-quick] [-seed N] [-only E1,E4,...]
-//	qtpbench -loopback [-conns N] [-mbytes M] [-nobatch] [-nogso] [-nouring] [-insecure]
-//	         [-shards N] [-streams N -mix reliable,unordered,expiring [-deadline D]]
+//	qtpbench -loopback [-conns N] [-mbytes M] [-cc tfrc|bbr] [-nobatch] [-nogso] [-nouring]
+//	         [-insecure] [-shards N] [-streams N -mix reliable,unordered,expiring [-deadline D]]
 //	qtpbench -churn [-arrival N] [-lifetime D] [-duration D] [-shards N]
 //	         [-require-token] [-accept-rate N] [-insecure]
 package main
@@ -42,6 +42,7 @@ func main() {
 	streams := flag.Int("streams", 1, "loopback: streams per connection (>1 negotiates stream multiplexing and spreads each connection's bytes across them)")
 	mix := flag.String("mix", "reliable", "loopback: comma-separated delivery modes cycled across streams: reliable | unordered | expiring")
 	deadline := flag.Duration("deadline", 200*time.Millisecond, "loopback: retransmission deadline for expiring streams")
+	cc := flag.String("cc", "", "loopback: congestion control for client flows: tfrc (default, gTFRC clamped at -rate) | bbr (window-based, drops the QoS reservation)")
 	churn := flag.Bool("churn", false, "run a real-UDP handshake-churn scenario (Poisson arrivals, exponential lifetimes) and report sustained handshakes/s")
 	arrival := flag.Float64("arrival", 200, "churn: mean connection arrivals per second")
 	lifetime := flag.Duration("lifetime", 500*time.Millisecond, "churn: mean connection lifetime")
@@ -70,7 +71,11 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		runLoopback(*conns, *mbytes<<20, *rate, *nobatch, *nogso, *nouring, *insecure,
+		ccMode, err := packet.ParseCongestion(*cc)
+		if err != nil {
+			log.Fatal(err)
+		}
+		runLoopback(*conns, *mbytes<<20, *rate, ccMode, *nobatch, *nogso, *nouring, *insecure,
 			*shards, *streams, modes, *deadline)
 		return
 	}
@@ -114,7 +119,8 @@ func main() {
 // stream multiplexing and splits its bytes across that many streams,
 // delivery modes cycling through the -mix list, so the bench exercises
 // the round-robin stream scheduler under real socket load.
-func runLoopback(n, perConn int, rate float64, nobatch, nogso, nouring, insecure bool,
+func runLoopback(n, perConn int, rate float64, cc packet.CongestionMode,
+	nobatch, nogso, nouring, insecure bool,
 	shards, nStreams int, modes []qtpnet.StreamMode, deadline time.Duration) {
 
 	cfg := qtpnet.EndpointConfig{
@@ -260,7 +266,15 @@ func runLoopback(n, perConn int, rate float64, nobatch, nogso, nouring, insecure
 	for i := range data {
 		data[i] = byte(i)
 	}
-	profile := core.QTPAF(rate)
+	var profile core.Profile
+	if cc == packet.CongestionBBR {
+		// BBR and the gTFRC QoS clamp are mutually exclusive; the BBR
+		// bench runs the reliable QTPlight profile without a reservation.
+		profile = core.QTPLightReliable(0)
+		profile.Congestion = packet.CongestionBBR
+	} else {
+		profile = core.QTPAF(rate)
+	}
 	if nStreams > 1 {
 		profile.MaxStreams = nStreams
 	}
@@ -332,6 +346,9 @@ func runLoopback(n, perConn int, rate float64, nobatch, nogso, nouring, insecure
 		mode += ", cleartext"
 	} else {
 		mode += ", sealed"
+	}
+	if cc == packet.CongestionBBR {
+		mode += ", bbr"
 	}
 	fmt.Printf("loopback: %d conns x %d B in %v = %.1f MB/s (%s, %d server shard(s))\n",
 		n, total/n, el.Round(time.Millisecond), float64(total)/el.Seconds()/1e6, mode, srv.NumShards())

@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	qtpd [-listen :9000] [-shards n] [-nogso] [-nouring] [-insecure] [-require-token] [-accept-rate n] [-qos-budget bytesPerSec] [-o prefix] [-max n] [-v]
+//	qtpd [-listen :9000] [-shards n] [-nogso] [-nouring] [-insecure] [-require-token] [-accept-rate n] [-no-bbr] [-qos-budget bytesPerSec] [-o prefix] [-max n] [-v]
 package main
 
 import (
@@ -29,6 +29,7 @@ func main() {
 	insecure := flag.Bool("insecure", false, "disable transport encryption (accepts only plaintext peers that also run -insecure; debugging/interop escape hatch)")
 	requireToken := flag.Bool("require-token", false, "challenge every token-less Connect with a stateless Retry (address validation before any state allocation)")
 	acceptRate := flag.Float64("accept-rate", 0, "cap new inbound connections per second per shard; excess is shed with a Retry-after hint (0 = unlimited)")
+	noBBR := flag.Bool("no-bbr", false, "refuse BBR congestion-control proposals (peers fall back to the TFRC family)")
 	budget := flag.Float64("qos-budget", 0, "max QoS reservation to grant per connection, bytes/s (0 = refuse QoS)")
 	maxStreams := flag.Int("max-streams", 64, "max concurrent streams to grant per connection (0 = refuse stream multiplexing)")
 	out := flag.String("o", "", "write each stream to <prefix>.<connID> (default: discard)")
@@ -41,6 +42,7 @@ func main() {
 		AllowSenderLoss: true,
 		MaxReliability:  2, // full
 		MaxStreams:      *maxStreams,
+		AllowBBR:        !*noBBR,
 	}
 	opts := []qtpnet.Option{qtpnet.WithShards(*shards)}
 	if *nogso {
@@ -72,6 +74,8 @@ func main() {
 		ep.UringEnabled(), ep.TxTimeEnabled())
 	log.Printf("qtpd: handshake hardening: require-token=%v accept-rate=%.0f/s per shard",
 		*requireToken, *acceptRate)
+	log.Printf("qtpd: congestion control: bbr grants %v (-no-bbr to refuse; TFRC always granted)",
+		!*noBBR)
 	if *insecure {
 		log.Printf("qtpd: WARNING: transport encryption disabled (-insecure); all frames travel in cleartext")
 	}

@@ -7,13 +7,23 @@
 //
 //	qtpsim [-profile qtpaf|qtplight|qtplight-rel|classic] [-rate 125000]
 //	       [-g 50000] [-loss 0.01] [-burst] [-rtt 40ms] [-dur 30s] [-seed 1]
+//	       [-cc tfrc|bbr] [-queue 100]
 //	       [-streams N [-mix reliable,unordered,expiring] [-deadline 200ms]]
+//	qtpsim -cc-matrix [-rate ...] [-rtt ...] [-loss ...] [-dur ...]
+//	       [-assert-ratio 2.0]
 //
 // With -streams N > 1 the flow negotiates stream multiplexing and runs
 // N concurrent streams over the one connection, delivery modes cycling
 // through -mix, a paced feed on each; the summary becomes a per-stream
 // ledger showing what each mode delivered, skipped and abandoned under
 // the configured loss.
+//
+// -cc-matrix runs the congestion-control head-to-head instead: TFRC,
+// gTFRC (target -g) and BBR, one bulk flow each over the same path and
+// seed, and prints delivered bytes plus each controller's ratio to
+// TFRC. With -assert-ratio r > 0 the command exits non-zero unless
+// BBR delivers at least r times TFRC's bytes — the CI smoke hook for
+// the large-BDP acceptance bar.
 package main
 
 import (
@@ -41,7 +51,16 @@ func main() {
 	streams := flag.Int("streams", 1, "streams on the connection (>1 = multi-stream mixed-mode run)")
 	mix := flag.String("mix", "reliable,expiring", "delivery modes cycled across streams: reliable | unordered | expiring")
 	deadline := flag.Duration("deadline", 200*time.Millisecond, "retransmission deadline for expiring streams")
+	cc := flag.String("cc", "", "congestion control: tfrc (default) | bbr")
+	queue := flag.Int("queue", 100, "bottleneck queue depth, packets")
+	ccMatrix := flag.Bool("cc-matrix", false, "run the TFRC / gTFRC / BBR head-to-head and exit")
+	assertRatio := flag.Float64("assert-ratio", 0, "with -cc-matrix: fail unless BBR ≥ ratio × TFRC bytes")
 	flag.Parse()
+
+	if *ccMatrix {
+		runCCMatrix(*rate, *rtt, *loss, *burst, *dur, *seed, *g, *queue, *assertRatio)
+		return
+	}
 
 	var prof core.Profile
 	switch *profName {
@@ -55,6 +74,16 @@ func main() {
 		prof = core.ClassicTFRC()
 	default:
 		log.Fatalf("unknown profile %q", *profName)
+	}
+	if *cc != "" {
+		mode, err := packet.ParseCongestion(*cc)
+		if err != nil {
+			log.Fatal(err)
+		}
+		prof.Congestion = mode
+		if err := prof.Validate(); err != nil {
+			log.Fatal(err)
+		}
 	}
 
 	var lm netsim.LossModel
@@ -70,7 +99,7 @@ func main() {
 	toRecv, toSend := &netsim.Indirect{}, &netsim.Indirect{}
 	fwd := netsim.NewLink(sim, netsim.LinkConfig{
 		Name: "fwd", Rate: *rate, Delay: *rtt / 2,
-		Queue: netsim.NewDropTail(100), Loss: lm, Dst: toRecv,
+		Queue: netsim.NewDropTail(*queue), Loss: lm, Dst: toRecv,
 	})
 	rev := netsim.NewLink(sim, netsim.LinkConfig{
 		Name: "rev", Rate: 125e6, Delay: *rtt / 2,
@@ -162,6 +191,82 @@ func main() {
 			fmt.Printf("  stream %d %-18v sent=%dB retx=%d abandoned=%d delivered=%dB skipped=%d\n",
 				id, snd.Mode, snd.DataBytesSent, snd.RetransFrames, snd.AbandonedSegs,
 				rcv.DeliveredBytes, rcv.SkippedSegs)
+		}
+	}
+}
+
+// runCCMatrix runs one bulk flow per congestion controller — TFRC,
+// gTFRC with target g, and BBR — over the same path and seed, and
+// prints the head-to-head. assertRatio > 0 turns the BBR row into a
+// gate: the process exits non-zero unless BBR delivered at least
+// assertRatio × TFRC's bytes.
+func runCCMatrix(rate float64, rtt time.Duration, loss float64, burst bool,
+	dur time.Duration, seed int64, g float64, queue int, assertRatio float64) {
+	runOnce := func(prof core.Profile) (int, *qtp.Flow) {
+		var lm netsim.LossModel
+		if loss > 0 {
+			if burst {
+				lm = netsim.NewGilbertElliott(loss/10, 0.4, loss/2, 0.15)
+			} else {
+				lm = netsim.Bernoulli{P: loss}
+			}
+		}
+		sim := netsim.New(seed)
+		toRecv, toSend := &netsim.Indirect{}, &netsim.Indirect{}
+		fwd := netsim.NewLink(sim, netsim.LinkConfig{
+			Name: "fwd", Rate: rate, Delay: rtt / 2,
+			Queue: netsim.NewDropTail(queue), Loss: lm, Dst: toRecv,
+		})
+		rev := netsim.NewLink(sim, netsim.LinkConfig{
+			Name: "rev", Rate: 125e6, Delay: rtt / 2,
+			Queue: &netsim.DropTail{}, Dst: toSend,
+		})
+		f := qtp.StartFlow(sim, qtp.FlowConfig{
+			ID: 1, Profile: prof, RTTHint: rtt, Fwd: fwd, Rev: rev, Bulk: true,
+		})
+		toRecv.Target = f.ReceiverEntry()
+		toSend.Target = f.SenderEntry()
+		sim.Run(dur)
+		return f.DeliveredBytes, f
+	}
+
+	bbrProf := core.QTPLightReliable(0)
+	bbrProf.Congestion = packet.CongestionBBR
+	rows := []struct {
+		name string
+		prof core.Profile
+	}{
+		{"tfrc", core.QTPLightReliable(0)},
+		{"gtfrc", core.QTPAF(g)},
+		{"bbr", bbrProf},
+	}
+
+	fmt.Printf("# cc-matrix rate=%.0f rtt=%v loss=%.3f queue=%d dur=%v seed=%d g=%.0f\n",
+		rate, rtt, loss, queue, dur, seed, g)
+	fmt.Println("cc     delivered(B)   goodput(kB/s)   retx      vs-tfrc")
+	var tfrcBytes, bbrBytes int
+	for _, row := range rows {
+		delivered, f := runOnce(row.prof)
+		if row.name == "tfrc" {
+			tfrcBytes = delivered
+		}
+		if row.name == "bbr" {
+			bbrBytes = delivered
+		}
+		ratio := 0.0
+		if tfrcBytes > 0 {
+			ratio = float64(delivered) / float64(tfrcBytes)
+		}
+		fmt.Printf("%-6s %12d %15.1f %6d %10.2fx\n",
+			row.name, delivered, float64(delivered)/dur.Seconds()/1000,
+			f.Sender.Stats().RetransFrames, ratio)
+	}
+	if assertRatio > 0 {
+		if tfrcBytes == 0 {
+			log.Fatal("cc-matrix: TFRC delivered nothing — topology broken")
+		}
+		if got := float64(bbrBytes) / float64(tfrcBytes); got < assertRatio {
+			log.Fatalf("cc-matrix: BBR/TFRC = %.2fx, want >= %.2fx", got, assertRatio)
 		}
 	}
 }

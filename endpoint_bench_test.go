@@ -189,7 +189,7 @@ func BenchmarkEndpointLoopback(b *testing.B) {
 // exists to raise (the fallback path pins it at 1). Segment offload is
 // on where the kernel supports it, exactly as in production.
 func BenchmarkEndpointFanout(b *testing.B) {
-	benchFanout(b, false, false, false, false, 64, 256<<10, 2e6)
+	benchFanout(b, false, false, false, false, packet.CongestionTFRC, 64, 256<<10, 2e6)
 }
 
 // BenchmarkEncryptedFanout is BenchmarkEndpointFanout with transport
@@ -200,14 +200,14 @@ func BenchmarkEndpointFanout(b *testing.B) {
 // data path — seal, open, nonce/replay bookkeeping, and the extra wire
 // bytes — with GSO trains and mmsg batches intact.
 func BenchmarkEncryptedFanout(b *testing.B) {
-	benchFanout(b, false, false, false, true, 64, 256<<10, 2e6)
+	benchFanout(b, false, false, false, true, packet.CongestionTFRC, 64, 256<<10, 2e6)
 }
 
 // BenchmarkEndpointFanoutNoBatch is the same load on the forced
 // single-datagram socket path: the difference against
 // BenchmarkEndpointFanout is what recvmmsg/sendmmsg buy.
 func BenchmarkEndpointFanoutNoBatch(b *testing.B) {
-	benchFanout(b, true, false, false, false, 64, 256<<10, 2e6)
+	benchFanout(b, true, false, false, false, packet.CongestionTFRC, 64, 256<<10, 2e6)
 }
 
 // BenchmarkGSOFanout is BenchmarkEndpointFanout with segment offload
@@ -239,7 +239,7 @@ func benchGSOFanout(b *testing.B, nogso bool) {
 	// outgrow what one mmsg message can carry, which is exactly the
 	// regime segment offload exists for. The uring rung would hide the
 	// mmsg-vs-GSO contrast, so it sits out this pair.
-	benchFanout(b, false, nogso, true, false, 32, 256<<10, 5e6)
+	benchFanout(b, false, nogso, true, false, packet.CongestionTFRC, 32, 256<<10, 5e6)
 }
 
 // BenchmarkUringFanout is the fan-out load on the io_uring data path
@@ -272,14 +272,29 @@ func benchUringFanout(b *testing.B, nouring bool) {
 	// pair sitting uring out — because kernel merging already collapses
 	// a 40-datagram burst into one delivery for either rung, which
 	// hides the ring-vs-recvmmsg wakeup contrast this pair measures.
-	benchFanout(b, false, true, nouring, false, 64, 256<<10, 5e6)
+	benchFanout(b, false, true, nouring, false, packet.CongestionTFRC, 64, 256<<10, 5e6)
+}
+
+// BenchmarkBBRFanout is the fan-out load with every connection running
+// the BBR controller instead of the gTFRC-clamped QTPAF profile: same
+// socket pair, same batched data path, but window-gated pacing driven
+// by the bandwidth×RTT estimator. The delta against
+// BenchmarkEndpointFanout prices the per-packet cc ledger (ccTracker
+// diffing ack vectors into OnAcked/OnLost events) under real socket
+// load; on loopback's negligible BDP the controller sits in its initial
+// window, so this measures bookkeeping, not ramp behaviour.
+func BenchmarkBBRFanout(b *testing.B) {
+	benchFanout(b, false, false, false, false, packet.CongestionBBR, 64, 256<<10, 2e6)
 }
 
 // benchFanout runs the fan-out load with the listed knobs. encrypted
 // defaults to false across the rung-comparison benches so their
 // committed baselines (which predate transport encryption) stay
 // comparable; BenchmarkEncryptedFanout flips it to price the AEAD.
-func benchFanout(b *testing.B, nobatch, nogso, nouring, encrypted bool, nConns, perConn int, rate float64) {
+// cc selects the dial profile: CongestionTFRC keeps the historical
+// QTPAF(rate) shape, CongestionBBR swaps in reliable QTPlight running
+// the window-based controller (BBR excludes the QoS clamp).
+func benchFanout(b *testing.B, nobatch, nogso, nouring, encrypted bool, cc packet.CongestionMode, nConns, perConn int, rate float64) {
 	srv, err := qtpnet.NewEndpoint("127.0.0.1:0", qtpnet.EndpointConfig{
 		AcceptInbound:     true,
 		Constraints:       core.Permissive(rate),
@@ -357,12 +372,18 @@ func benchFanout(b *testing.B, nobatch, nogso, nouring, encrypted bool, nConns, 
 		data[i] = byte(i)
 	}
 
+	profile := core.QTPAF(rate)
+	if cc == packet.CongestionBBR {
+		profile = core.QTPLightReliable(0)
+		profile.Congestion = packet.CongestionBBR
+	}
+
 	b.ReportAllocs()
 	b.SetBytes(int64(perConn) * int64(nConns))
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		for j := 0; j < nConns; j++ {
-			conn, err := client.Dial(srv.Addr().String(), core.QTPAF(rate), 10*time.Second)
+			conn, err := client.Dial(srv.Addr().String(), profile, 10*time.Second)
 			if err != nil {
 				b.Fatal(err)
 			}

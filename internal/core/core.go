@@ -25,30 +25,6 @@ import (
 	"repro/internal/tfrc"
 )
 
-// RateController is the congestion-control role of a composition. It is
-// satisfied by *tfrc.Sender (TCP-friendly best effort) and by
-// *gtfrc.Controller (QoS-aware with a guaranteed floor); experiments may
-// plug in fixed-rate controllers for calibration.
-type RateController interface {
-	// Start begins transmission at time now.
-	Start(now time.Duration)
-	// SeedRTT installs an RTT sample measured during connection setup.
-	SeedRTT(now, sample time.Duration)
-	// OnFeedback folds a receiver report into the allowed rate.
-	OnFeedback(now time.Duration, fb tfrc.FeedbackInfo)
-	// OnNoFeedback signals expiry of the nofeedback timer.
-	OnNoFeedback(now time.Duration)
-	// Rate returns the allowed sending rate in bytes/second.
-	Rate() float64
-	// RTT returns the smoothed round-trip estimate (0 if unknown).
-	RTT() time.Duration
-	// NoFeedbackDeadline returns when OnNoFeedback is next due.
-	NoFeedbackDeadline() time.Duration
-	// InterPacketInterval returns the pacing gap for a packet of size
-	// bytes at the current rate.
-	InterPacketInterval(size int) time.Duration
-}
-
 // Profile is a concrete composition of micro-protocols plus their
 // parameters — everything two endpoints must agree on.
 type Profile struct {
@@ -60,6 +36,13 @@ type Profile struct {
 	Feedback packet.FeedbackMode
 	// TargetRate g in bytes/s enables gTFRC when positive.
 	TargetRate float64
+	// Congestion selects the congestion-control micro-protocol. The zero
+	// value is the TFRC family (plain TFRC, or gTFRC when TargetRate is
+	// positive) and is never carried on the wire; CongestionBBR asks for
+	// the bandwidth×RTT estimator. A QoS reservation needs the gTFRC
+	// clamp, so TargetRate > 0 forces the TFRC family (Normalize drops
+	// a BBR request).
+	Congestion packet.CongestionMode
 	// MSS is the maximum data payload per frame.
 	MSS int
 	// AckEvery makes the QTPlight receiver emit one SACK per this many
@@ -162,6 +145,11 @@ func (p Profile) Normalize() Profile {
 		// profile (or a trivial stream count) stays on the legacy layout.
 		p.MaxStreams = 0
 	}
+	if p.TargetRate > 0 {
+		// A QoS reservation is enforced by the gTFRC clamp; the guarantee
+		// has no meaning under an estimator that ignores the equation.
+		p.Congestion = packet.CongestionTFRC
+	}
 	return p
 }
 
@@ -185,6 +173,12 @@ func (p Profile) Validate() error {
 	if p.MaxStreams >= 2 && p.Reliability == packet.ReliabilityNone {
 		return errors.New("core: multi-stream requires a reliability micro-protocol")
 	}
+	if p.Congestion > packet.CongestionBBR {
+		return fmt.Errorf("core: unknown congestion mode %d", p.Congestion)
+	}
+	if p.Congestion == packet.CongestionBBR && p.TargetRate > 0 {
+		return errors.New("core: a QoS target rate requires the gTFRC clamp (TFRC congestion)")
+	}
 	return nil
 }
 
@@ -197,6 +191,7 @@ func (p Profile) Handshake() packet.Handshake {
 		TargetRate:       uint64(p.TargetRate),
 		MSS:              uint16(p.MSS),
 		MaxStreams:       uint16(p.MaxStreams),
+		Congestion:       p.Congestion,
 	}
 }
 
@@ -210,6 +205,7 @@ func ProfileFromHandshake(h packet.Handshake) Profile {
 		MSS:         int(h.MSS),
 		AckEvery:    1,
 		MaxStreams:  int(h.MaxStreams),
+		Congestion:  h.Congestion,
 	}.Normalize()
 }
 
@@ -230,6 +226,11 @@ type Constraints struct {
 	// may multiplex (0 = refuse multi-stream, pinning peers to the
 	// single-stream legacy layout).
 	MaxStreams int
+	// AllowBBR permits the bandwidth×RTT congestion controller. When
+	// false a CongestionBBR proposal is negotiated down to the TFRC
+	// family (the Accept simply omits the congestion TLV), which is also
+	// what a build that predates the TLV would do.
+	AllowBBR bool
 }
 
 // Permissive returns constraints that accept any proposal up to the
@@ -241,6 +242,7 @@ func Permissive(maxTargetRate float64) Constraints {
 		MaxReliability:  packet.ReliabilityFull,
 		MaxMSS:          DefaultMSS,
 		MaxStreams:      packet.MaxStreams,
+		AllowBBR:        true,
 	}
 }
 
@@ -283,12 +285,19 @@ func Negotiate(c Constraints, proposal Profile) Profile {
 	if granted.MaxStreams < 2 || granted.Reliability == packet.ReliabilityNone {
 		granted.MaxStreams = 0
 	}
+	if granted.Congestion == packet.CongestionBBR &&
+		(!c.AllowBBR || granted.TargetRate > 0) {
+		// Refused capability, or a granted QoS reservation (which needs
+		// the gTFRC clamp): fall back to the TFRC family. The Accept
+		// omits the TLV, exactly what a pre-TLV peer would send.
+		granted.Congestion = packet.CongestionTFRC
+	}
 	return granted
 }
 
 // String summarises the composition, e.g.
-// "reliability=full feedback=receiver-loss g=1.25e+06B/s mss=1400".
+// "reliability=full feedback=receiver-loss cc=tfrc g=1.25e+06B/s mss=1400".
 func (p Profile) String() string {
-	return fmt.Sprintf("reliability=%v feedback=%v g=%gB/s mss=%d",
-		p.Reliability, p.Feedback, p.TargetRate, p.MSS)
+	return fmt.Sprintf("reliability=%v feedback=%v cc=%v g=%gB/s mss=%d",
+		p.Reliability, p.Feedback, p.Congestion, p.TargetRate, p.MSS)
 }

@@ -9,10 +9,12 @@ import (
 	"repro/internal/tfrc"
 )
 
-// Compile-time checks: both rate controllers satisfy the role interface.
+// Compile-time checks: both TFRC-family machines still fit the legacy
+// surface the adapter lifts into the redesigned RateController role.
 var (
-	_ RateController = (*tfrc.Sender)(nil)
-	_ RateController = (*gtfrc.Controller)(nil)
+	_ TFRCMachine    = (*tfrc.Sender)(nil)
+	_ TFRCMachine    = (*gtfrc.Controller)(nil)
+	_ RateController = (*TFRCAdapter)(nil)
 )
 
 func TestPredefinedProfilesValidate(t *testing.T) {

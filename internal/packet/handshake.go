@@ -21,6 +21,7 @@ const (
 	optKeyShare     uint8 = 8
 	optTicket       uint8 = 9
 	optEarlyData    uint8 = 10
+	optCongestion   uint8 = 11
 )
 
 // KeyShareLen is the size of the X25519 key-share TLV value.
@@ -71,6 +72,47 @@ func (m FeedbackMode) String() string {
 	return fmt.Sprintf("feedback(%d)", uint8(m))
 }
 
+// CongestionMode selects the congestion-control micro-protocol driving
+// the sender's pacing rate.
+type CongestionMode uint8
+
+// Congestion modes. The zero value is the TFRC family (plain TFRC, or
+// gTFRC when a target rate is negotiated) — it is never carried on the
+// wire, so a connection that does not ask for anything else produces
+// byte-identical legacy framing and an absent TLV always means TFRC.
+const (
+	// CongestionTFRC is the equation-based TFRC family (RFC 3448 /
+	// gTFRC): rate from the throughput equation over receiver reports.
+	CongestionTFRC CongestionMode = 0
+	// CongestionBBR is the bandwidth×RTT estimator: pacing from a
+	// windowed max-bandwidth filter with gain cycling and an inflight
+	// cap, fed by per-packet send/ack events.
+	CongestionBBR CongestionMode = 1
+)
+
+func (m CongestionMode) String() string {
+	switch m {
+	case CongestionTFRC:
+		return "tfrc"
+	case CongestionBBR:
+		return "bbr"
+	}
+	return fmt.Sprintf("congestion(%d)", uint8(m))
+}
+
+// ParseCongestion maps a flag-style name to a congestion mode. "gtfrc"
+// is accepted as an alias for the TFRC family — the gTFRC clamp is
+// selected by a positive target rate, not by the wire mode.
+func ParseCongestion(s string) (CongestionMode, error) {
+	switch s {
+	case "tfrc", "gtfrc", "":
+		return CongestionTFRC, nil
+	case "bbr":
+		return CongestionBBR, nil
+	}
+	return 0, fmt.Errorf("packet: unknown congestion mode %q", s)
+}
+
 // Handshake is the payload of Connect and Accept frames. A Connect
 // carries the client's proposal; the Accept carries the server's final
 // choice (a subset/intersection of the proposal).
@@ -96,6 +138,15 @@ type Handshake struct {
 	// the pre-stream frame layout. The negotiated value is the minimum
 	// of what both sides offered; multi-stream framing activates at 2+.
 	MaxStreams uint16
+
+	// Congestion is the congestion-control capability: the sender's
+	// proposed (Connect) or the responder's granted (Accept) congestion
+	// controller. CongestionTFRC (zero) means "not carried" — the TLV is
+	// omitted, an old peer never sees it, and the connection runs the
+	// legacy TFRC family. Like the streams TLV, the negotiated value is
+	// the intersection: a responder unwilling to grant the proposal
+	// answers with the TLV absent and both sides fall back to TFRC.
+	Congestion CongestionMode
 
 	// Token is the opaque source-address token echoed back from a Retry
 	// frame (Connect only; see TokenMinter). Empty means "not carried" —
@@ -136,6 +187,7 @@ func (h *Handshake) Equal(o *Handshake) bool {
 		h.MSS == o.MSS &&
 		h.ConnID == o.ConnID &&
 		h.MaxStreams == o.MaxStreams &&
+		h.Congestion == o.Congestion &&
 		bytes.Equal(h.Token, o.Token) &&
 		bytes.Equal(h.KeyShare, o.KeyShare) &&
 		bytes.Equal(h.Ticket, o.Ticket) &&
@@ -158,6 +210,9 @@ func (h *Handshake) AppendTo(dst []byte) ([]byte, error) {
 		count++
 	}
 	if h.MaxStreams != 0 {
+		count++
+	}
+	if h.Congestion != 0 {
 		count++
 	}
 	if len(h.Token) != 0 {
@@ -187,6 +242,9 @@ func (h *Handshake) AppendTo(dst []byte) ([]byte, error) {
 	if h.MaxStreams != 0 {
 		dst = append(dst, optStreams, 2)
 		dst = binary.BigEndian.AppendUint16(dst, h.MaxStreams)
+	}
+	if h.Congestion != 0 {
+		dst = append(dst, optCongestion, 1, uint8(h.Congestion))
 	}
 	if len(h.Token) != 0 {
 		dst = append(dst, optToken, uint8(len(h.Token)))
@@ -255,6 +313,11 @@ func (h *Handshake) Parse(b []byte) error {
 				return fmt.Errorf("%w: streams length %d", ErrOption, ln)
 			}
 			h.MaxStreams = binary.BigEndian.Uint16(v)
+		case optCongestion:
+			if ln != 1 {
+				return fmt.Errorf("%w: congestion length %d", ErrOption, ln)
+			}
+			h.Congestion = CongestionMode(v[0])
 		case optToken:
 			if ln == 0 {
 				return fmt.Errorf("%w: empty token", ErrOption)

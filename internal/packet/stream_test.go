@@ -344,3 +344,40 @@ func TestStreamResetMalformed(t *testing.T) {
 		t.Fatal("unknown stream mode parsed")
 	}
 }
+
+// TestHandshakeCongestionTLV pins the congestion-capability TLV and its
+// legacy-compat contract: CongestionBBR rides a 3-byte TLV that
+// round-trips, and the zero value (the TFRC family) emits no TLV at
+// all — a TFRC handshake is byte-identical to one from a build that
+// predates pluggable congestion control.
+func TestHandshakeCongestionTLV(t *testing.T) {
+	in := Handshake{Reliability: ReliabilityFull, MSS: 1400, Congestion: CongestionBBR}
+	enc, err := in.AppendTo(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out Handshake
+	if err := out.Parse(enc); err != nil {
+		t.Fatal(err)
+	}
+	if !out.Equal(&in) {
+		t.Fatalf("round trip mismatch:\n in=%+v\nout=%+v", in, out)
+	}
+	// TFRC (zero) drops the 3-byte TLV: legacy wire, byte for byte.
+	in.Congestion = CongestionTFRC
+	legacy, err := in.AppendTo(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(legacy) != len(enc)-3 {
+		t.Fatalf("zero Congestion should drop the TLV: %d vs %d bytes", len(legacy), len(enc))
+	}
+	pre := Handshake{Reliability: ReliabilityFull, MSS: 1400}
+	preEnc, err := pre.AppendTo(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(legacy) != string(preEnc) {
+		t.Fatal("TFRC handshake is not byte-identical to the pre-TLV encoding")
+	}
+}

@@ -1,0 +1,113 @@
+package qtp
+
+import (
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/seqspace"
+)
+
+// ccDupThresh is the duplicate-SACK threshold for declaring a packet
+// lost to the congestion controller, matching the reliability
+// scoreboard's retransmission rule so both views of the wire agree.
+const ccDupThresh = 3
+
+// ccRec is the tracker's memory of one first transmission.
+type ccRec struct {
+	size  int32
+	acked bool
+	lost  bool
+}
+
+// ccTracker turns the connection's acknowledgment vectors into the
+// per-packet events an event-driven congestion controller consumes. The
+// reliability scoreboards answer "what must be retransmitted"; this
+// answers "what did the network deliver, and when" — the same SACK
+// state diffed for a different customer. A connection creates one only
+// when the negotiated controller actually samples per-packet (BBR), so
+// the TFRC family pays nothing for its existence.
+type ccTracker struct {
+	rc      core.RateController
+	base    seqspace.Seq // sequence of recs[0]
+	recs    []ccRec
+	started bool
+}
+
+func newCCTracker(rc core.RateController) *ccTracker {
+	return &ccTracker{rc: rc}
+}
+
+// onSent records a first transmission (size = wire bytes) and forwards
+// it to the controller. First transmissions arrive in sequence order;
+// retransmissions are not reported.
+func (t *ccTracker) onSent(now time.Duration, seq seqspace.Seq, size int) {
+	if !t.started || t.base.Distance(seq) != len(t.recs) {
+		// First packet, or the caller skipped numbers: resync.
+		t.started = true
+		t.base = seq
+		t.recs = t.recs[:0]
+	}
+	t.recs = append(t.recs, ccRec{size: int32(size)})
+	t.rc.OnSent(now, seq, size)
+}
+
+// onAckVector diffs one acknowledgment vector (cumulative ack plus SACK
+// ranges, the shape every QTP feedback flavor reduces to) against the
+// tracker's ledger: each newly covered packet becomes OnAcked, and each
+// packet with ccDupThresh acknowledged successors becomes OnLost. rtt
+// is the frame's timestamp-echo sample (0 if none) attached to the ack
+// events.
+func (t *ccTracker) onAckVector(now time.Duration, cum seqspace.Seq, ranges []seqspace.Range, rtt time.Duration) {
+	if !t.started {
+		return
+	}
+	for i := range t.recs {
+		if t.recs[i].acked {
+			continue
+		}
+		seq := t.base.Add(i)
+		covered := seq.Less(cum)
+		if !covered {
+			for _, r := range ranges {
+				if r.Contains(seq) {
+					covered = true
+					break
+				}
+			}
+		}
+		if covered {
+			t.recs[i].acked = true
+			t.rc.OnAcked(now, seq, int(t.recs[i].size), rtt)
+		}
+	}
+	// Dup-threshold loss: walk from the top counting acknowledged
+	// packets above each hole.
+	ackedAbove := 0
+	for i := len(t.recs) - 1; i >= 0; i-- {
+		if t.recs[i].acked {
+			ackedAbove++
+			continue
+		}
+		if !t.recs[i].lost && ackedAbove >= ccDupThresh {
+			t.recs[i].lost = true
+			t.rc.OnLost(now, t.base.Add(i), int(t.recs[i].size))
+		}
+	}
+	t.prune()
+}
+
+// prune drops the resolved prefix so the ledger tracks the inflight
+// window, not the connection lifetime. A pruned-then-acked packet (a
+// spurious loss declaration) is the controller's problem; it handles
+// unknown sequence numbers gracefully.
+func (t *ccTracker) prune() {
+	i := 0
+	for i < len(t.recs) && (t.recs[i].acked || t.recs[i].lost) {
+		i++
+	}
+	if i == 0 {
+		return
+	}
+	t.base = t.base.Add(i)
+	t.recs = t.recs[:copy(t.recs, t.recs[i:])]
+}

@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/bbr"
 	"repro/internal/bufpool"
 	"repro/internal/core"
 	"repro/internal/gtfrc"
@@ -165,6 +166,7 @@ type Conn struct {
 	// Sender-side machines (nil on the receiving side).
 	rc         core.RateController
 	tfrcSnd    *tfrc.Sender
+	cc         *ccTracker // per-packet event feed (BBR connections only)
 	sendBuf    *sack.SendBuffer
 	est        *tfrc.SenderEstimator
 	backlog    []byte
@@ -299,11 +301,21 @@ func (c *Conn) buildMachines(now time.Duration) {
 	p := c.profile
 	c.multi = p.MaxStreams >= 2
 	if c.isSender() {
-		c.tfrcSnd = tfrc.NewSender(tfrc.SenderConfig{SegmentSize: p.MSS})
-		if p.TargetRate > 0 {
-			c.rc = gtfrc.New(c.tfrcSnd, p.TargetRate)
+		// Congestion-control role: the negotiated controller behind the
+		// transport-agnostic core.RateController contract. The TFRC
+		// family rides the adapter unchanged; BBR is event-driven and
+		// additionally gets a ccTracker feeding it per-packet events.
+		if p.Congestion == packet.CongestionBBR {
+			b := bbr.New(bbr.Config{MSS: p.MSS})
+			c.rc = b
+			c.cc = newCCTracker(b)
 		} else {
-			c.rc = c.tfrcSnd
+			c.tfrcSnd = tfrc.NewSender(tfrc.SenderConfig{SegmentSize: p.MSS})
+			if p.TargetRate > 0 {
+				c.rc = core.AdaptTFRC(gtfrc.New(c.tfrcSnd, p.TargetRate))
+			} else {
+				c.rc = core.AdaptTFRC(c.tfrcSnd)
+			}
 		}
 		if c.multi {
 			// Reliability lives per stream: each stream owns a scoreboard
@@ -317,7 +329,10 @@ func (c *Conn) buildMachines(now time.Duration) {
 				c.sendBuf = sack.NewSendBuffer(p.Deadline)
 			}
 		}
-		if p.Feedback == packet.FeedbackSenderLoss {
+		if p.Feedback == packet.FeedbackSenderLoss && p.Congestion != packet.CongestionBBR {
+			// The sender-side loss estimator exists to feed the TFRC
+			// equation; BBR reads the same SACK vectors through its
+			// ccTracker instead.
 			c.est = tfrc.NewSenderEstimator(tfrc.EstimatorConfig{
 				SegmentSize: p.MSS,
 				WALIDepth:   p.WALIDepth,
@@ -371,13 +386,24 @@ func (c *Conn) Rate() float64 {
 	if c.rc == nil {
 		return 0
 	}
-	return c.rc.Rate()
+	return c.rc.PacingRate()
+}
+
+// BBR returns the connection's BBR controller for telemetry, nil when
+// the negotiated congestion control is the TFRC family (or this is the
+// receiving side).
+func (c *Conn) BBR() *bbr.Controller {
+	b, _ := c.rc.(*bbr.Controller)
+	return b
 }
 
 // LossRate returns the current loss-event-rate estimate in use: the
 // sender-side estimate under QTPlight, the last received report
 // otherwise; 0 on the receiving side of classic flows.
 func (c *Conn) LossRate() float64 {
+	if b := c.BBR(); b != nil {
+		return b.LossRate()
+	}
 	switch {
 	case c.est != nil:
 		return c.est.P()

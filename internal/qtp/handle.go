@@ -9,7 +9,6 @@ import (
 	"repro/internal/core"
 	"repro/internal/packet"
 	"repro/internal/seqspace"
-	"repro/internal/tfrc"
 )
 
 // HandleFrame processes one inbound datagram. Decode errors are counted
@@ -263,19 +262,39 @@ func (c *Conn) onFeedback(now time.Duration, hdr *packet.Header, payload []byte)
 	}
 	f := &c.fbBuf
 	sample := rttSample(now, hdr.TSEcho, f.ElapsedUS)
-	c.rc.OnFeedback(now, tfrc.FeedbackInfo{
+	c.rc.OnFeedback(now, core.Feedback{
 		XRecv: float64(f.XRecv), P: f.LossRate, RTTSample: sample,
 	})
+	ranges := blocksToRanges(f.Blocks, &c.blockBuf)
+	if c.cc != nil {
+		c.cc.onAckVector(now, f.CumAck, ranges, sample)
+	}
 	if c.multi {
-		c.onStreamAcks(now, f.CumAck, blocksToRanges(f.Blocks, &c.blockBuf), f.Streams)
+		c.onStreamAcks(now, f.CumAck, ranges, f.Streams)
 	} else if c.sendBuf != nil {
-		c.sendBuf.OnSACK(now, f.CumAck, blocksToRanges(f.Blocks, &c.blockBuf))
+		c.sendBuf.LossGuard = c.lossGuard()
+		c.sendBuf.OnSACK(now, f.CumAck, ranges)
 	}
 	return nil
 }
 
+// lossGuard returns the re-mark shield for retransmitted segments (see
+// sack.SendBuffer.LossGuard). Only BBR connections need it: their
+// split-budget ack vectors keep presenting duplicate evidence above
+// segments the receiver holds but could not fit in the vector, which
+// would otherwise re-declare every retransmission lost on each ack. One
+// RTT is the earliest fresh evidence about a retransmission can arrive.
+func (c *Conn) lossGuard() time.Duration {
+	if c.profile.Congestion != packet.CongestionBBR {
+		return 0
+	}
+	return c.retxTimeout() / 4
+}
+
 func (c *Conn) onSACK(now time.Duration, hdr *packet.Header, payload []byte) error {
-	if c.rc == nil || c.est == nil {
+	// A bare SACK needs a sender-side consumer: the TFRC loss estimator
+	// (QTPlight), or a per-packet tracker (BBR).
+	if c.rc == nil || (c.est == nil && c.cc == nil) {
 		return ErrBadState
 	}
 	if err := c.sackBuf.Parse(payload); err != nil {
@@ -289,11 +308,24 @@ func (c *Conn) onSACK(now time.Duration, hdr *packet.Header, payload []byte) err
 	if rtt == 0 {
 		rtt = sample
 	}
-	c.est.OnAckVector(now, s.CumAck, ranges, rtt)
+	if c.cc != nil {
+		c.cc.onAckVector(now, s.CumAck, ranges, sample)
+	}
+	if c.est != nil {
+		c.est.OnAckVector(now, s.CumAck, ranges, rtt)
+	}
 	if c.multi {
 		c.onStreamAcks(now, s.CumAck, ranges, s.Streams)
 	} else if c.sendBuf != nil {
+		c.sendBuf.LossGuard = c.lossGuard()
 		c.sendBuf.OnSACK(now, s.CumAck, ranges)
+	}
+	if c.est == nil {
+		// Event-driven controller: the ack events above did the work;
+		// report the RTT sample so the nofeedback deadline re-arms even
+		// on a vector with nothing newly covered.
+		c.rc.OnFeedback(now, core.Feedback{RTTSample: sample})
+		return nil
 	}
 	// Update the rate machine once per RTT, like classic feedback — but
 	// never from an empty window (duplicate SACKs carry no new bytes and
@@ -305,7 +337,7 @@ func (c *Conn) onSACK(now time.Duration, hdr *packet.Header, payload []byte) err
 	if c.est.PendingBytes() > 0 &&
 		(c.lastReport == 0 || now-c.lastReport >= cadence) {
 		xRecv, p := c.est.MakeReport(now)
-		c.rc.OnFeedback(now, tfrc.FeedbackInfo{XRecv: xRecv, P: p, RTTSample: sample})
+		c.rc.OnFeedback(now, core.Feedback{XRecv: xRecv, P: p, RTTSample: sample})
 		c.lastReport = now
 	}
 	return nil

@@ -259,7 +259,11 @@ func (c *Conn) buildFeedback(now time.Duration, dst []byte) []byte {
 	if c.havePeerTS {
 		fb.ElapsedUS = uint32((now - c.lastPeerTSAt) / time.Microsecond)
 	}
-	if c.profile.Reliability != packet.ReliabilityNone || c.multi {
+	if c.profile.Reliability != packet.ReliabilityNone || c.multi ||
+		c.profile.Congestion == packet.CongestionBBR {
+		// BBR senders need the full acknowledgment vector even on
+		// unreliable profiles: the per-packet delivery samples come from
+		// diffing these blocks.
 		c.blockBuf = c.recvBlocks(c.blockBuf[:0], c.profile.SACKBlockBudget)
 		for _, r := range c.blockBuf {
 			fb.Blocks = append(fb.Blocks, packet.SACKBlock{Lo: r.Lo, Hi: r.Hi})
@@ -337,6 +341,13 @@ func (c *Conn) buildData(now time.Duration, dst []byte) ([]byte, bool) {
 			return frame, true
 		}
 	}
+	if !c.rc.CanSend() {
+		// A window-limited controller (BBR) has a full bottleneck-delay
+		// product in flight: fresh data waits for acknowledgments (the
+		// retransmission path above stays open — retransmits reuse their
+		// inflight budget).
+		return nil, false
+	}
 	if len(c.backlog) == 0 {
 		if !c.needFinSingle() {
 			return nil, false
@@ -353,6 +364,9 @@ func (c *Conn) buildData(now time.Duration, dst []byte) ([]byte, bool) {
 		}
 		if c.est != nil {
 			c.est.OnSent(now, seq, packet.HeaderLen)
+		}
+		if c.cc != nil {
+			c.cc.onSent(now, seq, packet.HeaderLen)
 		}
 		frame := c.dataFrame(now, dst, seq, nil, false, true)
 		c.stats.DataFramesSent++
@@ -378,6 +392,9 @@ func (c *Conn) buildData(now time.Duration, dst []byte) ([]byte, bool) {
 	}
 	if c.est != nil {
 		c.est.OnSent(now, seq, len(payload)+packet.HeaderLen)
+	}
+	if c.cc != nil {
+		c.cc.onSent(now, seq, len(payload)+packet.HeaderLen)
 	}
 	frame := c.dataFrame(now, dst, seq, payload, false, fin)
 	c.stats.DataFramesSent++
@@ -461,7 +478,13 @@ func (c *Conn) NextWake(now time.Duration) (at time.Duration, ok bool) {
 		}
 	}
 	if c.started && c.sendActive() {
-		if len(c.backlog) > 0 || c.sendWorkPending() || c.needFinSingle() {
+		if (len(c.backlog) > 0 || c.sendWorkPending() || c.needFinSingle()) &&
+			c.rc.CanSend() {
+			// Fresh data is due at the pacing boundary — but only while
+			// the controller's inflight cap admits it; a window-limited
+			// connection wakes on acknowledgments (the driver polls after
+			// HandleFrame) or the nofeedback deadline below, not on a
+			// timer that would poll to no effect.
 			merge(c.nextSendAt)
 		}
 		if c.rc != nil {

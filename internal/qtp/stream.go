@@ -623,7 +623,21 @@ func (c *Conn) recvCumAck() seqspace.Seq {
 
 // recvBlocks appends up to max SACK blocks for feedback frames from
 // whichever structure tracks received sequences on this connection.
+//
+// BBR windows routinely outgrow the wire's block budget; reporting only
+// the lowest blocks would leave every arrival above the truncation
+// horizon invisible — no delivery samples for the peer's estimator and
+// no scoreboard resolution, which freezes the window. For those
+// connections the budget is split between the retransmit frontier and
+// the newest arrivals. TFRC keeps the legacy nearest-first framing
+// byte-identical.
 func (c *Conn) recvBlocks(dst []seqspace.Range, max int) []seqspace.Range {
+	if c.profile.Congestion == packet.CongestionBBR {
+		if c.multi {
+			return seqspace.AppendSplit(dst, c.ackTrack.received.Ranges(), max)
+		}
+		return c.reasm.BlocksSplit(dst, max)
+	}
 	if c.multi {
 		return c.ackTrack.blocks(dst, max)
 	}
@@ -685,7 +699,9 @@ func (c *Conn) finishedMulti() bool {
 // skipping a stale hole moves its cum past the hole, telling the sender
 // to stop caring even before its own deadline fires).
 func (c *Conn) onStreamAcks(now time.Duration, cum seqspace.Seq, ranges []seqspace.Range, acks []packet.StreamAck) {
+	guard := c.lossGuard()
 	for _, s := range c.sendStreams {
+		s.buf.LossGuard = guard
 		s.buf.OnConnSACK(now, cum, ranges)
 	}
 	for _, a := range acks {
@@ -857,6 +873,12 @@ func (c *Conn) buildDataMulti(now time.Duration, dst []byte) ([]byte, bool) {
 		c.pace(now, len(frame)-len(dst))
 		return frame, true
 	}
+	if !c.rc.CanSend() {
+		// Window-limited controller with a full BDP outstanding: fresh
+		// stream data waits for acknowledgments; retransmissions above
+		// stay admitted.
+		return nil, false
+	}
 	for k := 0; k < n; k++ {
 		s := c.sendStreams[(c.rrData+k)%n]
 		if len(s.backlog) == 0 && !s.needFin() {
@@ -883,6 +905,9 @@ func (c *Conn) buildDataMulti(now time.Duration, dst []byte) ([]byte, bool) {
 		s.buf.AddStream(now, seq, conn, payload)
 		if c.est != nil {
 			c.est.OnSent(now, conn, len(payload)+packet.HeaderLen)
+		}
+		if c.cc != nil {
+			c.cc.onSent(now, conn, len(payload)+packet.HeaderLen)
 		}
 		frame := c.streamDataFrame(now, dst, s, conn, seq, payload, false, fin)
 		c.stats.DataFramesSent++

@@ -1,0 +1,151 @@
+package qtpnet
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/packet"
+)
+
+// TestDialRejectsListenerOnlyOptions pins the fix for a silent option
+// drop: WithRequireToken and WithAcceptRate configure listener-side
+// admission control and used to vanish without effect when passed to
+// Dial. Dial now refuses them by name.
+func TestDialRejectsListenerOnlyOptions(t *testing.T) {
+	cases := []struct {
+		opt  Option
+		name string
+	}{
+		{WithRequireToken(), "WithRequireToken"},
+		{WithAcceptRate(10), "WithAcceptRate"},
+	}
+	for _, tc := range cases {
+		_, err := Dial("127.0.0.1:1", core.QTPLightReliable(0), time.Second, tc.opt)
+		if err == nil {
+			t.Fatalf("Dial with %s: want error, got nil", tc.name)
+		}
+		if !strings.Contains(err.Error(), tc.name) {
+			t.Errorf("Dial with %s: error %q does not name the option", tc.name, err)
+		}
+	}
+}
+
+// TestOptionConsolidation pins the epOptions → EndpointConfig fold: a
+// WithEndpointConfig seed survives untouched except where a targeted
+// option overrides it.
+func TestOptionConsolidation(t *testing.T) {
+	base := EndpointConfig{
+		ReadQueue:     128,
+		AcceptBacklog: 7,
+		DisableGSO:    false,
+		AcceptRate:    1,
+	}
+	o := applyOptions([]Option{
+		WithEndpointConfig(base),
+		WithNoGSO(),
+		WithAcceptRate(50),
+		WithRequireToken(),
+	})
+	cfg := o.config()
+	if cfg.ReadQueue != 128 || cfg.AcceptBacklog != 7 {
+		t.Errorf("seed fields lost: %+v", cfg)
+	}
+	if !cfg.DisableGSO {
+		t.Error("WithNoGSO did not override the seed")
+	}
+	if cfg.AcceptRate != 50 {
+		t.Errorf("AcceptRate = %v, want the option's 50 over the seed's 1", cfg.AcceptRate)
+	}
+	if !cfg.RequireToken {
+		t.Error("WithRequireToken lost in the fold")
+	}
+	// No options at all: the zero config, one shard.
+	if o := applyOptions(nil); o.config() != (EndpointConfig{}) || o.shards != 1 {
+		t.Errorf("empty fold: %+v shards=%d", o.config(), o.shards)
+	}
+}
+
+// ccTransfer dials the listener proposing the given options, pushes a
+// small reliable transfer through, and returns the two negotiated
+// profiles.
+func ccTransfer(t *testing.T, l *Listener, opts ...Option) (client, server core.Profile) {
+	t.Helper()
+	type result struct {
+		profile core.Profile
+		ok      bool
+	}
+	done := make(chan result, 1)
+	go func() {
+		conn, err := l.Accept()
+		if err != nil {
+			done <- result{}
+			return
+		}
+		defer conn.Close()
+		deadline := time.Now().Add(20 * time.Second)
+		got := 0
+		for !conn.Finished() && time.Now().Before(deadline) {
+			if chunk, ok := conn.Read(200 * time.Millisecond); ok {
+				got += len(chunk)
+				conn.Release(chunk)
+			}
+		}
+		done <- result{profile: conn.Profile(), ok: got == 32<<10}
+	}()
+
+	conn, err := Dial(l.Addr().String(), core.QTPLightReliable(0), 10*time.Second, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := conn.Write(make([]byte, 32<<10)); err != nil {
+		t.Fatal(err)
+	}
+	conn.CloseSend()
+	r := <-done
+	if !r.ok {
+		t.Fatal("transfer did not complete")
+	}
+	return conn.Profile(), r.profile
+}
+
+// TestCongestionNegotiationUDP runs the congestion TLV end-to-end over
+// real sockets: a listener that allows BBR grants a dialer's proposal
+// and both sides run it.
+func TestCongestionNegotiationUDP(t *testing.T) {
+	l, err := Listen("127.0.0.1:0", core.Permissive(0),
+		WithCongestion(packet.CongestionBBR))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	cp, sp := ccTransfer(t, l, WithCongestion(packet.CongestionBBR))
+	if cp.Congestion != packet.CongestionBBR {
+		t.Errorf("client negotiated cc=%v, want bbr", cp.Congestion)
+	}
+	if sp.Congestion != packet.CongestionBBR {
+		t.Errorf("server negotiated cc=%v, want bbr", sp.Congestion)
+	}
+}
+
+// TestCongestionFallbackUDP: a listener whose constraints refuse BBR
+// (also how a pre-TLV build effectively behaves) must push the dialer
+// back onto TFRC, and the transfer must still complete.
+func TestCongestionFallbackUDP(t *testing.T) {
+	cons := core.Permissive(0)
+	cons.AllowBBR = false
+	l, err := Listen("127.0.0.1:0", cons)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	cp, sp := ccTransfer(t, l, WithCongestion(packet.CongestionBBR))
+	if cp.Congestion != packet.CongestionTFRC {
+		t.Errorf("client negotiated cc=%v, want tfrc fallback", cp.Congestion)
+	}
+	if sp.Congestion != packet.CongestionTFRC {
+		t.Errorf("server negotiated cc=%v, want tfrc fallback", sp.Congestion)
+	}
+}

@@ -39,18 +39,62 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/packet"
 )
 
 // Option configures Listen and Dial.
 type Option func(*epOptions)
 
 type epOptions struct {
-	shards       int
-	noGSO        bool
-	noUring      bool
-	noEncrypt    bool
-	requireToken bool
-	acceptRate   float64
+	shards        int
+	base          *EndpointConfig
+	noGSO         bool
+	noUring       bool
+	noEncrypt     bool
+	requireToken  bool
+	acceptRate    float64
+	congestion    packet.CongestionMode
+	congestionSet bool
+}
+
+// listenerOnly returns the name of the first supplied option that has
+// no meaning on a dialer, or "" when every option applies. Dial fails
+// fast on these rather than silently dropping them.
+func (o *epOptions) listenerOnly() string {
+	if o.requireToken {
+		return "WithRequireToken"
+	}
+	if o.acceptRate > 0 {
+		return "WithAcceptRate"
+	}
+	return ""
+}
+
+// config folds the options into the EndpointConfig shared by Dial and
+// Listen: the WithEndpointConfig base (zero otherwise) with each
+// targeted option applied on top. Listen then stamps the fields it
+// owns (AcceptInbound, Constraints) over the result.
+func (o *epOptions) config() EndpointConfig {
+	var cfg EndpointConfig
+	if o.base != nil {
+		cfg = *o.base
+	}
+	if o.noGSO {
+		cfg.DisableGSO = true
+	}
+	if o.noUring {
+		cfg.DisableUring = true
+	}
+	if o.noEncrypt {
+		cfg.DisableEncryption = true
+	}
+	if o.requireToken {
+		cfg.RequireToken = true
+	}
+	if o.acceptRate > 0 {
+		cfg.AcceptRate = o.acceptRate
+	}
+	return cfg
 }
 
 // WithShards runs the endpoint as n SO_REUSEPORT shards (one socket,
@@ -106,6 +150,26 @@ func WithAcceptRate(n float64) Option {
 	return func(o *epOptions) { o.acceptRate = n }
 }
 
+// WithCongestion selects the congestion-control machinery. On Dial it
+// overrides the profile argument's Congestion field — the mode rides a
+// handshake TLV and falls back to TFRC if the responder declines (or
+// predates the TLV). On Listen, CongestionBBR additionally flips
+// Constraints.AllowBBR so the responder may grant what dialers propose;
+// CongestionTFRC leaves constraints alone (TFRC is always grantable).
+func WithCongestion(mode packet.CongestionMode) Option {
+	return func(o *epOptions) { o.congestion = mode; o.congestionSet = true }
+}
+
+// WithEndpointConfig seeds the whole EndpointConfig instead of going
+// through one targeted option at a time — the escape hatch for settings
+// without a dedicated With* helper (read queues, accept backlogs,
+// batch-IO rungs, token lifetimes). Targeted options given alongside it
+// are applied on top of the seed, and Listen still owns AcceptInbound
+// and Constraints.
+func WithEndpointConfig(cfg EndpointConfig) Option {
+	return func(o *epOptions) { o.base = &cfg }
+}
+
 func applyOptions(opts []Option) epOptions {
 	o := epOptions{shards: 1}
 	for _, opt := range opts {
@@ -121,8 +185,15 @@ func applyOptions(opts []Option) epOptions {
 // its socket(s).
 func Dial(addr string, profile core.Profile, timeout time.Duration, opts ...Option) (*Conn, error) {
 	o := applyOptions(opts)
+	if name := o.listenerOnly(); name != "" {
+		return nil, fmt.Errorf("qtpnet: dial %s: %s is a listener-only option", addr, name)
+	}
+	if o.congestionSet {
+		profile.Congestion = o.congestion
+	}
+	cfg := o.config()
 	if o.shards != 1 {
-		se, err := NewShardedEndpoint(":0", EndpointConfig{DisableGSO: o.noGSO, DisableUring: o.noUring, DisableEncryption: o.noEncrypt}, o.shards)
+		se, err := NewShardedEndpoint(":0", cfg, o.shards)
 		if err != nil {
 			return nil, err
 		}
@@ -134,7 +205,7 @@ func Dial(addr string, profile core.Profile, timeout time.Duration, opts ...Opti
 		c.owner = se
 		return c, nil
 	}
-	e, err := NewEndpoint(":0", EndpointConfig{DisableGSO: o.noGSO, DisableUring: o.noUring, DisableEncryption: o.noEncrypt})
+	e, err := NewEndpoint(":0", cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -152,15 +223,13 @@ func Dial(addr string, profile core.Profile, timeout time.Duration, opts ...Opti
 // listener runs n kernel-hashed SO_REUSEPORT shards.
 func Listen(addr string, constraints core.Constraints, opts ...Option) (*Listener, error) {
 	o := applyOptions(opts)
-	se, err := NewShardedEndpoint(addr, EndpointConfig{
-		AcceptInbound:     true,
-		Constraints:       constraints,
-		DisableGSO:        o.noGSO,
-		DisableUring:      o.noUring,
-		DisableEncryption: o.noEncrypt,
-		RequireToken:      o.requireToken,
-		AcceptRate:        o.acceptRate,
-	}, o.shards)
+	cfg := o.config()
+	cfg.AcceptInbound = true
+	cfg.Constraints = constraints
+	if o.congestionSet && o.congestion == packet.CongestionBBR {
+		cfg.Constraints.AllowBBR = true
+	}
+	se, err := NewShardedEndpoint(addr, cfg, o.shards)
 	if err != nil {
 		return nil, fmt.Errorf("qtpnet: listen %s: %w", addr, err)
 	}

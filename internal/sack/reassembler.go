@@ -135,6 +135,13 @@ func (r *Reassembler) Blocks(dst []seqspace.Range, max int) []seqspace.Range {
 	return dst
 }
 
+// BlocksSplit is Blocks with the budget split between the lowest and
+// highest buffered ranges when the map holds more than max, so both the
+// retransmit frontier and the newest arrivals stay visible to the peer.
+func (r *Reassembler) BlocksSplit(dst []seqspace.Range, max int) []seqspace.Range {
+	return seqspace.AppendSplit(dst, r.received.Ranges(), max)
+}
+
 // NextDeadline returns the instant at which the frontier hole will be
 // skipped, or ok false if no skip is pending (no hole, or full
 // reliability).

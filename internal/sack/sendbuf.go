@@ -40,6 +40,13 @@ type SendBuffer struct {
 	// DupThresh is the number of SACKed segments above a hole that
 	// declare it lost (default 3).
 	DupThresh int
+	// LossGuard, when non-zero, shields a retransmitted segment from
+	// being re-declared lost until this long after its last
+	// transmission: duplicate evidence that predates the retransmission
+	// proves nothing about the retransmission itself. Senders whose
+	// acknowledgment vectors can under-report (split block budgets) set
+	// it near one RTT; zero keeps immediate re-marking.
+	LossGuard time.Duration
 
 	segs    []segment
 	cumAck  seqspace.Seq
@@ -118,7 +125,7 @@ func (b *SendBuffer) OnSACK(now time.Duration, cum seqspace.Seq, blocks []seqspa
 		}
 	}
 	b.AckedBytes += newly
-	b.markLost()
+	b.markLost(now)
 	return newly
 }
 
@@ -158,13 +165,14 @@ func (b *SendBuffer) OnConnSACK(now time.Duration, cum seqspace.Seq, blocks []se
 		}
 	}
 	b.AckedBytes += newly
-	b.markLost()
+	b.markLost(now)
 	return newly
 }
 
 // markLost applies the dup-threshold rule: a segment is lost once
-// DupThresh segments above it are SACKed.
-func (b *SendBuffer) markLost() {
+// DupThresh segments above it are SACKed. Segments retransmitted within
+// LossGuard of now are left alone — see the field comment.
+func (b *SendBuffer) markLost(now time.Duration) {
 	dt := b.DupThresh
 	if dt <= 0 {
 		dt = 3
@@ -177,6 +185,9 @@ func (b *SendBuffer) markLost() {
 			continue
 		}
 		if sackedAbove >= dt && !s.lost && !s.abandoned {
+			if s.retx > 0 && now-s.lastSent < b.LossGuard {
+				continue
+			}
 			s.lost = true
 		}
 	}

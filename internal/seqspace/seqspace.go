@@ -138,6 +138,25 @@ func (st *IntervalSet) Count() int {
 // the next modifying call.
 func (st *IntervalSet) Ranges() []Range { return st.ranges }
 
+// AppendSplit appends up to max of the given ascending ranges to dst.
+// When they all fit it is a plain copy; when they do not, the budget is
+// split between the lowest ranges and the highest, skipping the middle.
+// Receivers use this when the buffered window outgrows the ack budget:
+// the low half keeps the retransmit frontier visible while the high
+// half reports the newest arrivals instead of silently dropping them,
+// so a rate estimator on the far side keeps receiving delivery samples.
+func AppendSplit(dst, all []Range, max int) []Range {
+	if len(all) <= max {
+		return append(dst, all...)
+	}
+	if max <= 0 {
+		return dst
+	}
+	lo := (max + 1) / 2
+	dst = append(dst, all[:lo]...)
+	return append(dst, all[len(all)-(max-lo):]...)
+}
+
 // Clear removes every range from the set, retaining capacity.
 func (st *IntervalSet) Clear() { st.ranges = st.ranges[:0] }
 
