@@ -10,6 +10,9 @@
 //	         [-insecure] [-shards N] [-streams N -mix reliable,unordered,expiring [-deadline D]]
 //	qtpbench -churn [-arrival N] [-lifetime D] [-duration D] [-shards N]
 //	         [-require-token] [-accept-rate N] [-insecure]
+//
+// Any mode additionally takes -cpuprofile/-memprofile (pprof files for
+// `go tool pprof`) and -pprof-addr (live net/http/pprof listener).
 package main
 
 import (
@@ -24,6 +27,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/packet"
+	"repro/internal/profiling"
 	"repro/internal/qtpnet"
 )
 
@@ -50,7 +54,12 @@ func main() {
 	requireToken := flag.Bool("require-token", false, "churn: server challenges every token-less Connect with a stateless Retry")
 	acceptRate := flag.Float64("accept-rate", 0, "churn: server-side cap on new connections per second per shard (0 = unlimited)")
 	insecure := flag.Bool("insecure", false, "loopback/churn: disable transport encryption on both ends (A/B the AEAD cost)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile (after GC) to this file on exit")
+	pprofAddr := flag.String("pprof-addr", "", "serve live net/http/pprof on this host:port for the duration of the run")
 	flag.Parse()
+	stopProfiles := profiling.Start(*cpuprofile, *memprofile, *pprofAddr)
+	defer stopProfiles()
 
 	if *churn {
 		runChurn(churnConfig{

@@ -6,6 +6,7 @@
 // Usage:
 //
 //	qtpd [-listen :9000] [-shards n] [-nogso] [-nouring] [-insecure] [-require-token] [-accept-rate n] [-no-bbr] [-qos-budget bytesPerSec] [-o prefix] [-max n] [-v]
+//	     [-cpuprofile f] [-memprofile f] [-pprof-addr host:port]
 package main
 
 import (
@@ -18,6 +19,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/profiling"
 	"repro/internal/qtpnet"
 )
 
@@ -35,7 +37,12 @@ func main() {
 	out := flag.String("o", "", "write each stream to <prefix>.<connID> (default: discard)")
 	maxConns := flag.Int("max", 0, "exit after serving this many connections (0 = serve forever)")
 	verbose := flag.Bool("v", false, "periodically log endpoint datagram/batch statistics")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile (after GC) to this file on exit")
+	pprofAddr := flag.String("pprof-addr", "", "serve live net/http/pprof on this host:port (inspect a running daemon)")
 	flag.Parse()
+	stopProfiles := profiling.Start(*cpuprofile, *memprofile, *pprofAddr)
+	defer stopProfiles()
 
 	cons := core.Constraints{
 		MaxTargetRate:   *budget,

@@ -275,6 +275,35 @@ func benchUringFanout(b *testing.B, nouring bool) {
 	benchFanout(b, false, true, nouring, false, packet.CongestionTFRC, 64, 256<<10, 5e6)
 }
 
+// BenchmarkUringPacedLowRate pins the regime that motivated the
+// ring-owner refactor: few connections, smoothly TFRC-paced at a low
+// rate, on however few cores the box has. Arrivals come one at a time
+// with even spacing — the worst case for a multishot ring, since
+// there is never a burst for the completion queue to amortize. The PR
+// 6 shared-entry ring ran ~2x slower than recvmmsg here because every
+// datagram scheduled per-datagram task_work onto the entering thread;
+// the DEFER_TASKRUN owner ring batches that work inside the owner's
+// enter and must hold wall-clock parity or better against
+// BenchmarkUringPacedLowRateNoUring (same load pinned to mmsg).
+func BenchmarkUringPacedLowRate(b *testing.B) { benchUringPaced(b, false) }
+
+// BenchmarkUringPacedLowRateNoUring is the recvmmsg baseline for
+// BenchmarkUringPacedLowRate (ring disabled, everything else identical).
+func BenchmarkUringPacedLowRateNoUring(b *testing.B) { benchUringPaced(b, true) }
+
+func benchUringPaced(b *testing.B, nouring bool) {
+	probe, err := qtpnet.NewEndpoint("127.0.0.1:0", qtpnet.EndpointConfig{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	uring := probe.UringEnabled()
+	probe.Close()
+	if !uring {
+		b.Skip("kernel without a usable io_uring; nothing to measure")
+	}
+	benchFanout(b, false, true, nouring, false, packet.CongestionTFRC, 16, 64<<10, 2e6)
+}
+
 // BenchmarkBBRFanout is the fan-out load with every connection running
 // the BBR controller instead of the gTFRC-clamped QTPAF profile: same
 // socket pair, same batched data path, but window-gated pacing driven

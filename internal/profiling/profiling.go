@@ -1,0 +1,61 @@
+// Package profiling wires the standard pprof surfaces into the
+// long-running commands (qtpbench, qtpd) so data-path work can be
+// profiled in situ: -cpuprofile/-memprofile files for offline analysis
+// with `go tool pprof`, and an optional net/http/pprof listener for
+// live inspection of a running daemon.
+package profiling
+
+import (
+	"log"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof handlers on DefaultServeMux
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins the requested profiles. cpuFile and memFile name output
+// files (empty = off); addr is a host:port for a live net/http/pprof
+// listener (empty = off). The returned stop function flushes and closes
+// the file-based profiles — call it exactly once, on the way out, after
+// the workload finished. Errors are fatal: a profiling run with a
+// half-working profile is worse than no run.
+func Start(cpuFile, memFile, addr string) (stop func()) {
+	var cpu *os.File
+	if cpuFile != "" {
+		f, err := os.Create(cpuFile)
+		if err != nil {
+			log.Fatalf("profiling: %v", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatalf("profiling: start cpu profile: %v", err)
+		}
+		cpu = f
+	}
+	if addr != "" {
+		go func() {
+			// DefaultServeMux carries the /debug/pprof handlers via the
+			// net/http/pprof import above.
+			if err := http.ListenAndServe(addr, nil); err != nil {
+				log.Printf("profiling: pprof listener: %v", err)
+			}
+		}()
+	}
+	return func() {
+		if cpu != nil {
+			pprof.StopCPUProfile()
+			cpu.Close()
+		}
+		if memFile != "" {
+			f, err := os.Create(memFile)
+			if err != nil {
+				log.Fatalf("profiling: %v", err)
+			}
+			defer f.Close()
+			runtime.GC() // settle live heap so the profile shows retention, not garbage
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				log.Fatalf("profiling: write heap profile: %v", err)
+			}
+		}
+	}
+}

@@ -36,16 +36,18 @@ func NewAEAD(key []byte) *AEAD {
 }
 
 // polyInit derives the one-time Poly1305 key for this nonce (keystream
-// block 0) and absorbs the additional data with its padding.
-func (a *AEAD) polyInit(nonce, aad []byte) *poly1305 {
+// block 0) into the caller's authenticator and absorbs the additional
+// data with its padding. Taking the authenticator as an out-parameter
+// keeps it on the caller's stack — returning a fresh *poly1305 here
+// escaped one per sealed/opened datagram.
+func (a *AEAD) polyInit(p *poly1305, nonce, aad []byte) {
 	var block [64]byte
 	chachaBlock(&a.key, 0, nonce, &block)
 	var pk [32]byte
 	copy(pk[:], block[:32])
-	p := newPoly1305(&pk)
+	p.init(&pk)
 	p.update(aad)
 	p.pad16()
-	return p
 }
 
 func polyFinish(p *poly1305, aadLen, ctLen int, tag []byte) {
@@ -63,14 +65,15 @@ func (a *AEAD) Seal(dst, nonce, plaintext, aad []byte) []byte {
 	if len(nonce) != NonceLen {
 		panic("qcrypto: nonce must be 12 bytes")
 	}
-	p := a.polyInit(nonce, aad)
+	var p poly1305
+	a.polyInit(&p, nonce, aad)
 	off := len(dst)
 	dst = append(dst, plaintext...)
 	dst = append(dst, make([]byte, TagLen)...)
 	ct := dst[off : len(dst)-TagLen]
 	chachaXOR(ct, ct, &a.key, 1, nonce)
 	p.update(ct)
-	polyFinish(p, len(aad), len(ct), dst[len(dst)-TagLen:])
+	polyFinish(&p, len(aad), len(ct), dst[len(dst)-TagLen:])
 	return dst
 }
 
@@ -86,10 +89,11 @@ func (a *AEAD) Open(dst, nonce, box, aad []byte) ([]byte, error) {
 		return dst, ErrAuth
 	}
 	ct, tag := box[:len(box)-TagLen], box[len(box)-TagLen:]
-	p := a.polyInit(nonce, aad)
+	var p poly1305
+	a.polyInit(&p, nonce, aad)
 	p.update(ct)
 	var want [TagLen]byte
-	polyFinish(p, len(aad), len(ct), want[:])
+	polyFinish(&p, len(aad), len(ct), want[:])
 	if subtle.ConstantTimeCompare(want[:], tag) != 1 {
 		return dst, ErrAuth
 	}

@@ -22,13 +22,22 @@ type poly1305 struct {
 
 func newPoly1305(key *[32]byte) *poly1305 {
 	p := &poly1305{}
+	p.init(key)
+	return p
+}
+
+// init resets the authenticator under a fresh one-time key. Sealing and
+// opening init a stack-allocated value through this instead of calling
+// newPoly1305, whose returned pointer escapes to the heap — one
+// authenticator allocation per datagram on the hot path.
+func (p *poly1305) init(key *[32]byte) {
+	*p = poly1305{}
 	// r is clamped: the top four bits of bytes 3,7,11,15 and the bottom
 	// two of bytes 4,8,12 must be zero (RFC 8439 §2.5).
 	p.r0 = binary.LittleEndian.Uint64(key[0:8]) & 0x0FFFFFFC0FFFFFFF
 	p.r1 = binary.LittleEndian.Uint64(key[8:16]) & 0x0FFFFFFC0FFFFFFC
 	p.s0 = binary.LittleEndian.Uint64(key[16:24])
 	p.s1 = binary.LittleEndian.Uint64(key[24:32])
-	return p
 }
 
 func (p *poly1305) update(m []byte) {

@@ -204,6 +204,7 @@ type Conn struct {
 	ackTail      []packet.StreamAck
 
 	// Scratch state for frame building/parsing.
+	segArena []byte // carve block for outgoing payload copies (segCopy)
 	scratch  []byte
 	fbBuf    packet.Feedback
 	sackBuf  packet.SACK

@@ -377,7 +377,7 @@ func (c *Conn) buildData(now time.Duration, dst []byte) ([]byte, bool) {
 	if n > len(c.backlog) {
 		n = len(c.backlog)
 	}
-	payload := append([]byte(nil), c.backlog[:n]...)
+	payload := c.segCopy(c.backlog[:n])
 	c.backlog = c.backlog[:copy(c.backlog, c.backlog[n:])]
 
 	seq := c.nextSeq
@@ -427,6 +427,30 @@ func (c *Conn) dataFrame(now time.Duration, dst []byte, seq seqspace.Seq, payloa
 
 func (c *Conn) pace(now time.Duration, wireSize int) {
 	c.nextSendAt = now + c.rc.InterPacketInterval(wireSize)
+}
+
+// segArenaSize is the carve block for outgoing payload copies: ~20-30
+// MSS-sized segments per heap allocation instead of one each.
+const segArenaSize = 32 << 10
+
+// segCopy copies one outgoing payload into a slice carved from the
+// connection's segment arena. The send buffer owns the copy until the
+// segment resolves; carving from a shared block cuts the per-frame
+// allocation to one per segArenaSize bytes sent, at the cost of a
+// resolved block staying reachable until its last segment resolves
+// (bounded by the in-flight window, like the send buffer itself).
+func (c *Conn) segCopy(p []byte) []byte {
+	if len(c.segArena) < len(p) {
+		n := segArenaSize
+		if n < len(p) {
+			n = len(p)
+		}
+		c.segArena = make([]byte, n)
+	}
+	dst := c.segArena[:len(p):len(p)]
+	c.segArena = c.segArena[len(p):]
+	copy(dst, p)
+	return dst
 }
 
 // retxTimeout is the retransmission timer: generous relative to RTT so

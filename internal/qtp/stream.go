@@ -102,6 +102,13 @@ type sendStream struct {
 	peerCum      seqspace.Seq  // highest receiver-reported stream cum ack
 	peerCumSet   bool
 
+	// Scheduling (see pickStream): strict streams preempt the weighted
+	// round-robin; weighted streams spend credit frames per refill round
+	// proportional to weight.
+	weight int
+	strict bool
+	credit int
+
 	frames, bytes           int
 	retransFrames, retransB int
 }
@@ -114,6 +121,7 @@ func newSendStream(id uint64, mode packet.StreamMode, deadline time.Duration, st
 	return &sendStream{
 		id: id, mode: mode, deadline: deadline,
 		buf: sack.NewSendBuffer(bufDeadline), nextSeq: start, open: true,
+		weight: 1, credit: 1,
 	}
 }
 
@@ -345,12 +353,41 @@ func (c *Conn) retireStreams() {
 // multiplexing.
 func (c *Conn) MultiStream() bool { return c.multi }
 
+// StreamOpts carries optional per-stream scheduling parameters for
+// OpenStreamOpts. The zero value is the default: weight 1, not strict.
+type StreamOpts struct {
+	// Weight is the stream's share of the weighted round-robin data
+	// scheduler: with queued data on both, a weight-4 stream gets four
+	// fresh frames for every one a weight-1 stream gets. Zero or
+	// negative means the default weight 1; values above maxStreamWeight
+	// are clamped so one stream cannot starve the rest for an unbounded
+	// stretch within a single credit round.
+	Weight int
+	// Strict marks a strictly-prioritized stream (control/feedback
+	// traffic): its queued data always goes out before any weighted
+	// stream's. Strict streams round-robin among themselves. An
+	// always-backlogged strict stream starves the weighted tier — that
+	// is the contract; keep strict streams low-rate.
+	Strict bool
+}
+
+// maxStreamWeight bounds the per-round frame burst a single weighted
+// stream can take between credit refills.
+const maxStreamWeight = 256
+
 // OpenStream creates a new outbound stream with the given delivery mode
 // (sender side, established multi-stream connections only). deadline is
 // the retransmission bound for StreamExpiring and must be positive for
 // it; it is ignored for the reliable modes. The new stream's ID is
 // returned; the receiver learns of the stream from its first frame.
+// The stream gets default scheduling (weight 1); use OpenStreamOpts for
+// weighted or strict-priority streams.
 func (c *Conn) OpenStream(mode packet.StreamMode, deadline time.Duration) (uint64, error) {
+	return c.OpenStreamOpts(mode, deadline, StreamOpts{})
+}
+
+// OpenStreamOpts is OpenStream with explicit scheduling parameters.
+func (c *Conn) OpenStreamOpts(mode packet.StreamMode, deadline time.Duration, opts StreamOpts) (uint64, error) {
 	if !c.isSender() {
 		return 0, ErrNotSender
 	}
@@ -369,9 +406,19 @@ func (c *Conn) OpenStream(mode packet.StreamMode, deadline time.Duration) (uint6
 	if mode != packet.StreamExpiring {
 		deadline = 0
 	}
+	w := opts.Weight
+	if w <= 0 {
+		w = 1
+	}
+	if w > maxStreamWeight {
+		w = maxStreamWeight
+	}
 	id := c.nextStreamID
 	c.nextStreamID++
 	s := newSendStream(id, mode, deadline, c.streamStart())
+	s.weight = w
+	s.strict = opts.Strict
+	s.credit = w
 	c.sendStreams = append(c.sendStreams, s)
 	c.sendByID[id] = s
 	return id, nil
@@ -851,9 +898,10 @@ func (c *Conn) ackFloor() seqspace.Seq {
 	return floor
 }
 
-// buildDataMulti emits one paced data frame chosen round-robin across
-// streams: any stream's due retransmission first, otherwise a fresh
-// segment from the next stream with queued data (or an owed FIN).
+// buildDataMulti emits one paced data frame: any stream's due
+// retransmission first (round-robin), otherwise a fresh segment from
+// the stream pickStream selects — strict-priority streams before the
+// weighted round-robin tier.
 func (c *Conn) buildDataMulti(now time.Duration, dst []byte) ([]byte, bool) {
 	rto := c.retxTimeout()
 	n := len(c.sendStreams)
@@ -879,17 +927,12 @@ func (c *Conn) buildDataMulti(now time.Duration, dst []byte) ([]byte, bool) {
 		// stay admitted.
 		return nil, false
 	}
-	for k := 0; k < n; k++ {
-		s := c.sendStreams[(c.rrData+k)%n]
-		if len(s.backlog) == 0 && !s.needFin() {
-			continue
-		}
-		c.rrData = (c.rrData + k + 1) % n
+	if s := c.pickStream(); s != nil {
 		nb := c.profile.MSS
 		if nb > len(s.backlog) {
 			nb = len(s.backlog)
 		}
-		payload := append([]byte(nil), s.backlog[:nb]...)
+		payload := c.segCopy(s.backlog[:nb])
 		s.backlog = s.backlog[:copy(s.backlog, s.backlog[nb:])]
 
 		seq := s.nextSeq
@@ -918,6 +961,47 @@ func (c *Conn) buildDataMulti(now time.Duration, dst []byte) ([]byte, bool) {
 		return frame, true
 	}
 	return nil, false
+}
+
+// pickStream selects the stream whose fresh data (or owed FIN) goes out
+// next. Strict-priority streams drain first, round-robin among
+// themselves; then the weighted tier runs deficit round-robin: each
+// eligible stream spends one credit per frame, and when every
+// backlogged weighted stream is out of credit the credits refill from
+// the weights. The rrData cursor keeps both tiers fair across calls.
+func (c *Conn) pickStream() *sendStream {
+	n := len(c.sendStreams)
+	for k := 0; k < n; k++ {
+		s := c.sendStreams[(c.rrData+k)%n]
+		if s.strict && (len(s.backlog) > 0 || s.needFin()) {
+			c.rrData = (c.rrData + k + 1) % n
+			return s
+		}
+	}
+	for refilled := false; ; refilled = true {
+		for k := 0; k < n; k++ {
+			s := c.sendStreams[(c.rrData+k)%n]
+			if s.strict || (len(s.backlog) == 0 && !s.needFin()) {
+				continue
+			}
+			if s.credit <= 0 {
+				continue
+			}
+			s.credit--
+			c.rrData = (c.rrData + k + 1) % n
+			return s
+		}
+		if refilled {
+			// Refilling did not make anyone eligible: nothing to send.
+			return nil
+		}
+		// Someone may be backlogged but out of credit — start a new
+		// round. If no weighted stream has data the next pass falls
+		// through to the refilled exit.
+		for _, s := range c.sendStreams {
+			s.credit = s.weight
+		}
+	}
 }
 
 // streamDataFrame encodes one multi-stream data frame: fixed header,

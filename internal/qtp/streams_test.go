@@ -391,6 +391,85 @@ func TestStreamLimitEnforced(t *testing.T) {
 	}
 }
 
+// TestStreamSchedulingStrictAndWeighted drives buildDataMulti directly
+// on an established sender: a strict control stream must drain before
+// any weighted stream sends, re-queued control data must preempt
+// mid-bulk, and two backlogged bulk streams must converge on their 4:1
+// weight ratio.
+func TestStreamSchedulingStrictAndWeighted(t *testing.T) {
+	c := NewConn(Config{Initiator: true, Profile: multiProfile(), ConnID: 9})
+	prof := multiProfile().Normalize()
+	c.StartDirect(0, prof, 10*time.Millisecond)
+
+	w4, err := c.OpenStreamOpts(packet.StreamReliableOrdered, 0, StreamOpts{Weight: 4})
+	if err != nil {
+		t.Fatalf("OpenStreamOpts: %v", err)
+	}
+	w1, err := c.OpenStream(packet.StreamReliableOrdered, 0)
+	if err != nil {
+		t.Fatalf("OpenStream: %v", err)
+	}
+	ctl, err := c.OpenStreamOpts(packet.StreamReliableOrdered, 0, StreamOpts{Strict: true})
+	if err != nil {
+		t.Fatalf("OpenStreamOpts strict: %v", err)
+	}
+
+	mss := prof.MSS
+	c.WriteStream(w4, make([]byte, 200*mss))
+	c.WriteStream(w1, make([]byte, 200*mss))
+	c.WriteStream(ctl, make([]byte, 3*mss))
+
+	frames := func(id uint64) int {
+		st, ok := c.StreamStats(id)
+		if !ok {
+			t.Fatalf("no stats for stream %d", id)
+		}
+		return st.DataFramesSent
+	}
+	build := func() {
+		t.Helper()
+		if _, ok := c.buildDataMulti(0, nil); !ok {
+			t.Fatal("buildDataMulti refused with backlogged streams")
+		}
+	}
+
+	// Strict control drains first, before any weighted frame.
+	for i := 0; i < 3; i++ {
+		build()
+	}
+	if got := frames(ctl); got != 3 {
+		t.Fatalf("control sent %d frames during its drain, want 3", got)
+	}
+	if b4, b1 := frames(w4), frames(w1); b4 != 0 || b1 != 0 {
+		t.Fatalf("bulk streams sent %d/%d frames before strict control drained", b4, b1)
+	}
+
+	// Bulk proceeds on the weighted tier; mid-bulk control data preempts.
+	for i := 0; i < 10; i++ {
+		build()
+	}
+	c.WriteStream(ctl, make([]byte, mss))
+	pre4, pre1 := frames(w4), frames(w1)
+	build()
+	if got := frames(ctl); got != 4 {
+		t.Fatalf("re-queued control frame did not preempt (control at %d frames)", got)
+	}
+	if frames(w4) != pre4 || frames(w1) != pre1 {
+		t.Fatal("bulk advanced on the frame that should have carried control")
+	}
+
+	// Weighted shares converge on 4:1 across full credit rounds (50
+	// more frames = 10 rounds of 4+1).
+	base4, base1 := frames(w4), frames(w1)
+	for i := 0; i < 50; i++ {
+		build()
+	}
+	d4, d1 := frames(w4)-base4, frames(w1)-base1
+	if d1 == 0 || d4*10 < d1*35 || d4*10 > d1*45 {
+		t.Fatalf("weighted shares %d:%d, want ~4:1", d4, d1)
+	}
+}
+
 // blackout is a togglable total-loss model: while *on it eats every
 // forward packet, which engineers a deterministically lost stream tail.
 type blackout struct{ on *bool }

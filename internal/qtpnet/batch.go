@@ -129,6 +129,10 @@ type uringStatser interface {
 	uringWakeups() uint64
 	uringSubmits() uint64
 	uringCompletions() uint64
+	// uringDeferred reports whether the ring runs in owner mode
+	// (DEFER_TASKRUN + SINGLE_ISSUER behind a dedicated goroutine)
+	// rather than the shared-entry fallback.
+	uringDeferred() bool
 }
 
 // batchOpts collects the per-socket data-path knobs: each rung of the
@@ -139,6 +143,7 @@ type batchOpts struct {
 	noBatch  bool // force the portable single-datagram fallback
 	noGSO    bool // never probe UDP_SEGMENT/UDP_GRO
 	noUring  bool // never probe io_uring
+	noDefer  bool // never probe the DEFER_TASKRUN ring-owner mode
 	noTxTime bool // never probe SO_TXTIME
 }
 

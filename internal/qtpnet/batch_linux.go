@@ -163,7 +163,7 @@ func newPlatformBatchIO(pc *net.UDPConn, maxBatch int, o batchOpts) batchIO {
 		// io_uring, sharing all of mmsgIO's offload/pacing state. The
 		// probe tears itself down and answers nil wherever the kernel
 		// lacks uring UDP multishot, leaving the mmsg path in charge.
-		if u := newUringIO(m, maxBatch); u != nil {
+		if u := newUringIO(m, maxBatch, o.noDefer); u != nil {
 			return u
 		}
 	}

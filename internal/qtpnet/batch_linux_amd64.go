@@ -5,8 +5,10 @@ package qtpnet
 import "syscall"
 
 // The syscall package predates sendmmsg on amd64, so its number is
-// spelled out here; recvmmsg made the generated table.
+// spelled out here; recvmmsg made the generated table. eventfd2 is the
+// ring-owner's cross-goroutine wake primitive.
 const (
 	sysRecvmmsg = syscall.SYS_RECVMMSG
 	sysSendmmsg = 307
+	sysEventfd2 = 290
 )

@@ -7,4 +7,5 @@ import "syscall"
 const (
 	sysRecvmmsg = syscall.SYS_RECVMMSG
 	sysSendmmsg = syscall.SYS_SENDMMSG
+	sysEventfd2 = 19
 )

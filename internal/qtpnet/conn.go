@@ -165,6 +165,15 @@ func (c *Conn) closeSendStream(id uint64) {
 // Stream.Read: block until a chunk lands on ch, the connection dies
 // (draining anything already queued first), or the timeout passes.
 func (c *Conn) readFrom(ch chan []byte, timeout time.Duration) ([]byte, bool) {
+	// Fast path: in steady-state delivery a chunk is already queued, so
+	// the wait machinery (and its timer allocation) never runs.
+	select {
+	case p := <-ch:
+		return p, true
+	default:
+	}
+	t := acquireTimer(timeout)
+	defer releaseTimer(t)
 	select {
 	case p := <-ch:
 		return p, true
@@ -175,9 +184,40 @@ func (c *Conn) readFrom(ch chan []byte, timeout time.Duration) ([]byte, bool) {
 		default:
 			return nil, false
 		}
-	case <-time.After(timeout):
+	case <-t.C:
 		return nil, false
 	}
+}
+
+// timerPool recycles the wait timers behind Conn.Read/Stream.Read: an
+// application draining a hot connection parks briefly between delivery
+// batches, and a fresh timer per park was the single largest allocation
+// site on the delivery path.
+var timerPool sync.Pool
+
+func acquireTimer(d time.Duration) *time.Timer {
+	t, _ := timerPool.Get().(*time.Timer)
+	if t == nil {
+		return time.NewTimer(d)
+	}
+	t.Reset(d)
+	return t
+}
+
+func releaseTimer(t *time.Timer) {
+	if !t.Stop() {
+		// Pre-1.23 timer semantics (go.mod pins the old behavior): a
+		// fired timer leaves its tick buffered; drain it so the next
+		// Reset does not surface a stale expiry. If Stop races the fire
+		// instant the tick can still land after this drain — the next
+		// user then sees one early timeout, which every readFrom caller
+		// treats as "no data yet" and re-polls.
+		select {
+		case <-t.C:
+		default:
+		}
+	}
+	timerPool.Put(t)
 }
 
 // Write queues application data, blocking while the transport applies

@@ -44,10 +44,14 @@ const closeGrace = 3 * time.Second
 // win. Read per construction, not at init, so tests can flip them.
 // envNoUring (QTPNET_NOURING) and envNoTxTime (QTPNET_NOTXTIME) do the
 // same for the io_uring data path and SO_TXTIME pacing offload.
+// envNoDefer (QTPNET_NODEFER) keeps the uring on the shared-entry
+// fallback — simulating a pre-6.1 kernel that lacks DEFER_TASKRUN —
+// without giving up the ring itself.
 func envNoBatchIO() bool   { return os.Getenv("QTPNET_NOBATCH") != "" }
 func envNoReusePort() bool { return os.Getenv("QTPNET_NOREUSEPORT") != "" }
 func envNoGSO() bool       { return os.Getenv("QTPNET_NOGSO") != "" }
 func envNoUring() bool     { return os.Getenv("QTPNET_NOURING") != "" }
+func envNoDefer() bool     { return os.Getenv("QTPNET_NODEFER") != "" }
 func envNoTxTime() bool    { return os.Getenv("QTPNET_NOTXTIME") != "" }
 func envNoEncrypt() bool   { return os.Getenv("QTPNET_NOENCRYPT") != "" }
 
@@ -92,6 +96,11 @@ type EndpointConfig struct {
 	// DisableBatchIO and by the QTPNET_NOURING environment override;
 	// delivery is byte-identical either way.
 	DisableUring bool
+	// DisableUringDefer keeps the io_uring path on the shared-entry
+	// fallback ring, never probing the DEFER_TASKRUN + SINGLE_ISSUER
+	// ring-owner mode — simulating a pre-6.1 kernel on a capable one.
+	// Implied by QTPNET_NODEFER; delivery is byte-identical either way.
+	DisableUringDefer bool
 	// DisableTxTime keeps SO_TXTIME pacing offload off the socket, so
 	// flushes leave as kernel-scheduled bursts rather than fq-paced
 	// release instants. Implied by DisableBatchIO and QTPNET_NOTXTIME.
@@ -183,6 +192,13 @@ type EndpointStats struct {
 	UringCompletions uint64
 	TxTimeSends      uint64
 
+	// UringDeferred reports the ring-owner (DEFER_TASKRUN +
+	// SINGLE_ISSUER) mode: completion work runs only inside the owner
+	// goroutine's io_uring_enter, so one blocked owner counts one
+	// Wakeup however many requests it serves. False on the shared-entry
+	// ring and off the uring path entirely.
+	UringDeferred bool
+
 	// Cross-shard traffic (always zero on unsharded endpoints): frames
 	// the kernel hashed to a shard other than the one their connection
 	// ID names. Fwd counts at the receiving (wrong) shard, Recv at the
@@ -252,8 +268,8 @@ func (s EndpointStats) String() string {
 	}
 	str += fmt.Sprintf(" wakeups %d", s.Wakeups)
 	if s.UringSubmits > 0 || s.UringCompletions > 0 {
-		str += fmt.Sprintf(" uring submits %d completions %d",
-			s.UringSubmits, s.UringCompletions)
+		str += fmt.Sprintf(" uring submits %d completions %d deferred %v",
+			s.UringSubmits, s.UringCompletions, s.UringDeferred)
 	}
 	if s.TxTimeSends > 0 {
 		str += fmt.Sprintf(" txtime sends %d", s.TxTimeSends)
@@ -297,6 +313,7 @@ func (s EndpointStats) add(o EndpointStats) EndpointStats {
 	s.Wakeups += o.Wakeups
 	s.UringSubmits += o.UringSubmits
 	s.UringCompletions += o.UringCompletions
+	s.UringDeferred = s.UringDeferred || o.UringDeferred
 	s.TxTimeSends += o.TxTimeSends
 	s.CrossShardFwd += o.CrossShardFwd
 	s.CrossShardRecv += o.CrossShardRecv
@@ -481,6 +498,9 @@ func newEndpointOn(pc *net.UDPConn, cfg EndpointConfig, sh shardEnv) *Endpoint {
 	if envNoUring() {
 		cfg.DisableUring = true
 	}
+	if envNoDefer() {
+		cfg.DisableUringDefer = true
+	}
 	if envNoTxTime() {
 		cfg.DisableTxTime = true
 	}
@@ -495,6 +515,7 @@ func newEndpointOn(pc *net.UDPConn, cfg EndpointConfig, sh shardEnv) *Endpoint {
 		noBatch:  cfg.DisableBatchIO,
 		noGSO:    cfg.DisableGSO,
 		noUring:  cfg.DisableUring,
+		noDefer:  cfg.DisableUringDefer,
 		noTxTime: cfg.DisableTxTime,
 	})
 	if cfg.SocketBufferBytes == 0 {
@@ -601,6 +622,7 @@ func (e *Endpoint) Stats() EndpointStats {
 		st.Wakeups = us.uringWakeups()
 		st.UringSubmits = us.uringSubmits()
 		st.UringCompletions = us.uringCompletions()
+		st.UringDeferred = us.uringDeferred()
 	}
 	if tw, ok := e.bio.(txTimeWriter); ok {
 		st.TxTimeSends = tw.txTimeSendCount()
@@ -635,6 +657,19 @@ func (e *Endpoint) GROEnabled() bool {
 func (e *Endpoint) UringEnabled() bool {
 	_, ok := e.bio.(uringStatser)
 	return ok
+}
+
+// UringDeferred reports whether the io_uring data path runs in the
+// ring-owner mode (IORING_SETUP_DEFER_TASKRUN + SINGLE_ISSUER, kernel
+// >= 6.1): all completion work batched inside one owner goroutine's
+// io_uring_enter instead of per-datagram task_work on whichever thread
+// enters the ring. False on the shared-entry fallback ring, under
+// DisableUringDefer / QTPNET_NODEFER, and off the uring path entirely.
+func (e *Endpoint) UringDeferred() bool {
+	if us, ok := e.bio.(uringStatser); ok {
+		return us.uringDeferred()
+	}
+	return false
 }
 
 // TxTimeEnabled reports whether sends may carry SO_TXTIME release

@@ -12,6 +12,12 @@ import (
 // not import the wire-format package.
 type StreamMode = packet.StreamMode
 
+// StreamOpts carries optional per-stream scheduling parameters for
+// OpenStreamOpts: Weight sets the stream's weighted-round-robin share
+// (default 1), Strict marks a strictly-prioritized control stream whose
+// queued data preempts every weighted stream.
+type StreamOpts = qtp.StreamOpts
+
 // Delivery modes for OpenStream.
 const (
 	StreamReliableOrdered   = packet.StreamReliableOrdered
@@ -84,10 +90,16 @@ func (s *Stream) Done() <-chan struct{} { return s.c.closedCh }
 // OpenStream creates a new outbound stream with the given delivery mode
 // (initiator side; requires the negotiated streams capability).
 // deadline is the retransmission bound for StreamExpiring, ignored
-// otherwise.
+// otherwise. The stream gets default scheduling (weight 1); use
+// OpenStreamOpts for weighted or strict-priority streams.
 func (c *Conn) OpenStream(mode StreamMode, deadline time.Duration) (*Stream, error) {
+	return c.OpenStreamOpts(mode, deadline, StreamOpts{})
+}
+
+// OpenStreamOpts is OpenStream with explicit scheduling parameters.
+func (c *Conn) OpenStreamOpts(mode StreamMode, deadline time.Duration, opts StreamOpts) (*Stream, error) {
 	c.mu.Lock()
-	id, err := c.inner.OpenStream(mode, deadline)
+	id, err := c.inner.OpenStreamOpts(mode, deadline, opts)
 	if err != nil {
 		c.mu.Unlock()
 		return nil, err

@@ -36,6 +36,14 @@ type uringIO struct {
 
 	closed atomic.Bool
 
+	// Owner mode (IORING_SETUP_DEFER_TASKRUN + SINGLE_ISSUER, kernel >=
+	// 6.1): own is non-nil, all ring access funnels through its
+	// goroutine over ordRead/ordWrite, and the legacy rx/tx rings below
+	// are never created. See uring_owner_linux.go.
+	own      *uringOwner
+	ordRead  ownerReq
+	ordWrite ownerReq
+
 	// Receive ring: owned by the endpoint's read loop goroutine. rxMu
 	// guards only SQ production (the loop's re-arm vs the close-time
 	// NOP wake) and teardown; the blocking io_uring_enter itself runs
@@ -270,8 +278,9 @@ type uringGeteventsArg struct {
 	ts        uint64
 }
 
-// setupUring creates a ring. ok is false — with everything released —
-// wherever the kernel lacks io_uring or the required features.
+// setupUring creates a shared-entry ring. ok is false — with
+// everything released — wherever the kernel lacks io_uring or the
+// required features.
 func setupUring(sqEntries, cqEntries uint32) (*uring, bool) {
 	// COOP_TASKRUN stops the kernel from interrupting the ring's owner
 	// task with a scheduler kick for every posted completion; without it
@@ -279,19 +288,23 @@ func setupUring(sqEntries, cqEntries uint32) (*uring, bool) {
 	// reader runs after one CQE, and the completion queue never gets to
 	// accumulate a batch. Pre-5.19 kernels reject the flag, so retry
 	// plain — the ring works identically, just with eager wakeups.
-	var fd uintptr
-	var p ioUringParams
 	for _, extra := range []uint32{uringSetupCoopTaskrun, 0} {
-		p = ioUringParams{flags: uringSetupCqsize | extra, cqEntries: cqEntries}
-		var e syscall.Errno
-		fd, _, e = syscall.Syscall(sysIoUringSetup,
-			uintptr(sqEntries), uintptr(unsafe.Pointer(&p)), 0)
-		if e == 0 {
-			break
+		if r, ok := setupUringWith(sqEntries, cqEntries, uringSetupCqsize|extra); ok {
+			return r, true
 		}
-		if extra == 0 {
-			return nil, false
-		}
+	}
+	return nil, false
+}
+
+// setupUringWith creates a ring with exactly the given setup flags —
+// the shared-entry ladder above and the owner's deferred-taskrun ring
+// both build on it.
+func setupUringWith(sqEntries, cqEntries, flags uint32) (*uring, bool) {
+	p := ioUringParams{flags: flags, cqEntries: cqEntries}
+	fd, _, e := syscall.Syscall(sysIoUringSetup,
+		uintptr(sqEntries), uintptr(unsafe.Pointer(&p)), 0)
+	if e != 0 {
+		return nil, false
 	}
 	r := &uring{fd: int(fd)}
 	if p.features&uringFeatSingleMmap == 0 {
@@ -489,18 +502,30 @@ func pageAlign(n int) int {
 // newUringIO probes and builds the io_uring path over mm's socket,
 // returning nil — with every partial resource released — wherever the
 // running kernel lacks a required piece. The probe is structural, not
-// version-sniffing: ring setup fails without io_uring at all, buffer-
-// ring registration without 5.19, and the armed multishot recvmsg
-// fails its first CQE with -EINVAL before 6.0.
-func newUringIO(mm *mmsgIO, maxBatch int) *uringIO {
+// version-sniffing, and runs as a ladder: first the owner-goroutine
+// deferred-taskrun ring (setup fails with -EINVAL before 6.1, or is
+// skipped under noDefer), then the shared-entry ring — whose setup
+// fails without io_uring at all, whose buffer-ring registration fails
+// without 5.19, and whose armed multishot recvmsg fails its first CQE
+// with -EINVAL before 6.0.
+func newUringIO(mm *mmsgIO, maxBatch int, noDefer bool) *uringIO {
 	if mm.fd < 0 {
 		return nil
+	}
+	u := &uringIO{mm: mm, sockFD: mm.fd}
+	if !noDefer {
+		if o := newUringOwner(u); o != nil {
+			u.own = o
+			u.ordRead.done = make(chan struct{}, 1)
+			u.ordWrite.done = make(chan struct{}, 1)
+			return u
+		}
 	}
 	rx, ok := setupUring(uringRxSq, uringRxCq)
 	if !ok {
 		return nil
 	}
-	u := &uringIO{mm: mm, sockFD: mm.fd, rx: rx}
+	u.rx = rx
 	u.rxBufs, ok = newPbufRing(rx, uringRxBufs, uringRxStride, 0)
 	if !ok {
 		rx.close()
@@ -583,6 +608,9 @@ func (u *uringIO) teardownRx() {
 }
 
 func (u *uringIO) readBatch(ms []ioMsg) (int, error) {
+	if u.own != nil {
+		return u.ownerReadBatch(ms)
+	}
 	timedWait := false
 	for {
 		if u.closed.Load() {
@@ -693,14 +721,20 @@ func (u *uringIO) reapRx(ms []ioMsg) (int, error) {
 	return n, nil
 }
 
-// parseRecv decodes one multishot completion buffer — recvmsg_out
-// header, source address, GRO control, payload — into m, copying the
-// payload into m's pooled buffer.
+// parseRecv decodes one multishot completion buffer into m.
 func (u *uringIO) parseRecv(bid uint16, m *ioMsg) bool {
-	if uint32(bid) >= u.rxBufs.entries {
+	return parseRingRecv(u.rxBufs, u.mm.gro, bid, m)
+}
+
+// parseRingRecv decodes one multishot completion buffer — recvmsg_out
+// header, source address, GRO control, payload — into m, copying the
+// payload into m's pooled buffer. Shared by the shared-entry reader
+// and the owner goroutine.
+func parseRingRecv(bufs *pbufRing, gro bool, bid uint16, m *ioMsg) bool {
+	if uint32(bid) >= bufs.entries {
 		return false
 	}
-	buf := u.rxBufs.buf(bid)
+	buf := bufs.buf(bid)
 	out := (*uringRecvmsgOut)(unsafe.Pointer(&buf[0]))
 	payLen := int(out.payloadlen)
 	if payLen > len(buf)-uringRxHdrLen {
@@ -709,7 +743,7 @@ func (u *uringIO) parseRecv(bid uint16, m *ioMsg) bool {
 	m.n = copy(m.buf, buf[uringRxHdrLen:uringRxHdrLen+payLen])
 	m.addr = saToAddrPort((*syscall.RawSockaddrInet6)(unsafe.Pointer(&buf[16])))
 	m.segSize = 0
-	if u.mm.gro && out.controllen > 0 {
+	if gro && out.controllen > 0 {
 		cl := int(out.controllen)
 		if cl > uringRxCtlLen {
 			cl = uringRxCtlLen
@@ -719,6 +753,54 @@ func (u *uringIO) parseRecv(bid uint16, m *ioMsg) bool {
 	return true
 }
 
+// prepTxMsgs fills the kernel-visible send scratch — sockaddr, iovec,
+// msghdr and GSO/TXTIME cmsgs — for up to n leading messages of ms,
+// stopping early at a GSO train the socket can no longer offload or at
+// an unencodable address. With nothing prepped, direct=true asks the
+// caller to send ms[0] segment-by-segment through mmsgIO, and err
+// reports an unencodable ms[0]. Shared by the shared-entry tx ring and
+// the owner write path.
+func prepTxMsgs(mm *mmsgIO, ms []ioMsg, n int, gso, txt bool,
+	wsa []syscall.RawSockaddrInet6, wiov []syscall.Iovec,
+	whdr []syscall.Msghdr, wctl []ctlBuf) (prep int, direct bool, err error) {
+	for prep < n {
+		m := &ms[prep]
+		if m.segSize > 0 && m.n > m.segSize && !gso {
+			if prep == 0 {
+				return 0, true, nil
+			}
+			break // send what we have; the train heads the next call
+		}
+		salen, ok := mm.fillSA(&wsa[prep], m.addr)
+		if !ok {
+			if prep == 0 {
+				return 0, false, os.NewSyscallError("io_uring sendmsg", syscall.EAFNOSUPPORT)
+			}
+			break
+		}
+		wiov[prep] = syscall.Iovec{Base: &m.buf[0], Len: uint64(m.n)}
+		whdr[prep] = syscall.Msghdr{
+			Name:    (*byte)(unsafe.Pointer(&wsa[prep])),
+			Namelen: salen,
+			Iov:     &wiov[prep],
+			Iovlen:  1,
+		}
+		clen := 0
+		if m.segSize > 0 && m.n > m.segSize {
+			clen = putGSOCmsg(&wctl[prep], uint16(m.segSize))
+		}
+		if txt && m.txTime > 0 {
+			clen = putTxTimeCmsg(&wctl[prep], clen, m.txTime)
+		}
+		if clen > 0 {
+			whdr[prep].Control = &wctl[prep].b[0]
+			whdr[prep].SetControllen(clen)
+		}
+		prep++
+	}
+	return prep, false, nil
+}
+
 // writeBatch submits up to a tx-ring's worth of sendmsg SQEs — linked,
 // so failure of one cancels its successors and ordering is preserved —
 // in one io_uring_enter, then reaps every completion before returning.
@@ -726,6 +808,9 @@ func (u *uringIO) parseRecv(bid uint16, m *ioMsg) bool {
 // path; a kernel refusing a train trips the shared GSO state off and
 // resends it segment-by-segment through mmsgIO, exactly like sendmmsg.
 func (u *uringIO) writeBatch(ms []ioMsg) (int, error) {
+	if u.own != nil {
+		return u.ownerWriteBatch(ms)
+	}
 	if u.closed.Load() {
 		return 0, net.ErrClosed
 	}
@@ -744,41 +829,15 @@ func (u *uringIO) writeBatch(ms []ioMsg) (int, error) {
 	}
 	gso := mm.gsoOK.Load()
 	txt := mm.txtOK.Load()
-	prep := 0
-	for prep < n {
-		m := &ms[prep]
-		if m.segSize > 0 && m.n > m.segSize && !gso {
-			if prep == 0 {
-				return mm.sendSegments(m)
-			}
-			break // send what we have; the train heads the next call
+	prep, direct, err := prepTxMsgs(mm, ms, n, gso, txt, u.wsa, u.wiov, u.whdr, u.wctl)
+	if prep == 0 {
+		if direct {
+			return mm.sendSegments(&ms[0])
 		}
-		salen, ok := mm.fillSA(&u.wsa[prep], m.addr)
-		if !ok {
-			if prep == 0 {
-				return 0, os.NewSyscallError("io_uring sendmsg", syscall.EAFNOSUPPORT)
-			}
-			break
+		if err != nil {
+			return 0, err
 		}
-		u.wiov[prep] = syscall.Iovec{Base: &m.buf[0], Len: uint64(m.n)}
-		u.whdr[prep] = syscall.Msghdr{
-			Name:    (*byte)(unsafe.Pointer(&u.wsa[prep])),
-			Namelen: salen,
-			Iov:     &u.wiov[prep],
-			Iovlen:  1,
-		}
-		clen := 0
-		if m.segSize > 0 && m.n > m.segSize {
-			clen = putGSOCmsg(&u.wctl[prep], uint16(m.segSize))
-		}
-		if txt && m.txTime > 0 {
-			clen = putTxTimeCmsg(&u.wctl[prep], clen, m.txTime)
-		}
-		if clen > 0 {
-			u.whdr[prep].Control = &u.wctl[prep].b[0]
-			u.whdr[prep].SetControllen(clen)
-		}
-		prep++
+		return 0, nil
 	}
 	for i := 0; i < prep; i++ {
 		sqe := ioUringSqe{
@@ -861,6 +920,10 @@ func (u *uringIO) closeIO() {
 	if u.closed.Swap(true) {
 		return
 	}
+	if u.own != nil {
+		u.ownerClose()
+		return
+	}
 	u.rxMu.Lock()
 	if !u.rxGone {
 		nop := ioUringSqe{opcode: uringOpNop, userData: udNop}
@@ -889,3 +952,4 @@ func (u *uringIO) nowNs() uint64           { return u.mm.nowNs() }
 func (u *uringIO) uringWakeups() uint64     { return u.wakeups.Load() }
 func (u *uringIO) uringSubmits() uint64     { return u.submits.Load() }
 func (u *uringIO) uringCompletions() uint64 { return u.completions.Load() }
+func (u *uringIO) uringDeferred() bool      { return u.own != nil }

@@ -1,0 +1,771 @@
+//go:build linux && (amd64 || arm64)
+
+package qtpnet
+
+import (
+	"errors"
+	"net"
+	"os"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+	"unsafe"
+)
+
+// The ring-owner data path. On kernels >= 6.1 the ring is created with
+// IORING_SETUP_SINGLE_ISSUER | IORING_SETUP_DEFER_TASKRUN, which moves
+// every completion off the interrupt path: instead of the kernel
+// scheduling per-datagram task_work onto whichever thread last touched
+// the ring (the behaviour that made the multishot ring ~2x slower than
+// recvmmsg under smoothly paced low-rate traffic on one core — see
+// BENCH_endpoint.json), completions are batched and run only inside
+// io_uring_enter, called by one dedicated owner goroutine locked to the
+// OS thread that created the ring.
+//
+// The endpoint's read loop and the send scheduler never enter the ring
+// themselves. They hand preallocated request records to the owner over
+// a small channel and block on a per-request done signal; a producer
+// that finds the owner parked inside io_uring_enter wakes it with one
+// 8-byte write to an eventfd whose read the owner keeps armed in the
+// ring. Both rx and tx ride a single combined ring, so the owner has
+// exactly one place to sleep.
+//
+// The owner also registers a block of send slots with
+// IORING_REGISTER_BUFFERS: large frames — sealed GSO trains, above all
+// — are copied into a pre-pinned slot and submitted as SENDMSG_ZC with
+// IORING_RECVSEND_FIXED_BUF, so the kernel neither copies the payload
+// nor pins pages per send. Kernels that accept the registration but
+// refuse fixed-buffer sendmsg zerocopy (6.1..6.9) fail the first such
+// SQE with -EINVAL; that trips zerocopy off for the socket and the
+// batch is transparently resubmitted as plain SENDMSG.
+const (
+	uringSetupSingleIssuer = 1 << 12 // IORING_SETUP_SINGLE_ISSUER (6.0)
+	uringSetupDeferTaskrun = 1 << 13 // IORING_SETUP_DEFER_TASKRUN (6.1)
+
+	uringOpRead      = 22 // IORING_OP_READ
+	uringOpSendmsgZC = 48 // IORING_OP_SENDMSG_ZC (6.1)
+
+	uringRecvsendFixedBuf = 1 << 2 // IORING_RECVSEND_FIXED_BUF, in sqe.ioprio
+	uringCqeFNotif        = 8      // IORING_CQE_F_NOTIF: zerocopy buffer released
+
+	uringRegisterBuffers = 0 // IORING_REGISTER_BUFFERS
+)
+
+// Combined-ring geometry: the SQ holds one writeBatch (uringTxSq)
+// plus the multishot and eventfd re-arms; the CQ absorbs a full
+// multishot burst, a tx batch and its zerocopy notifications at once.
+const (
+	uringOwnSq = 128
+	uringOwnCq = 512
+)
+
+// Registered send slots. Only messages of at least uringZCMin bytes
+// take the zerocopy path: below that the notification CQE and the
+// copy into the slot cost more than the kernel copy they save, so MSS
+// frames stay on plain SENDMSG and GSO trains (>= 2 segments) go
+// fixed-buffer. The slot stride fits the largest train
+// (gsoMaxTrainBytes); the whole block is uringZCSlots*uringZCStride =
+// 1 MiB, pinned once at registration.
+const (
+	uringZCSlots  = 16
+	uringZCStride = 65536
+	uringZCMin    = 2048
+)
+
+// udWake tags the eventfd read; tx SQEs are tagged udTxBase+index.
+const (
+	udWake   = 3
+	udTxBase = 16
+)
+
+// Owner request kinds.
+const (
+	ownerRead = iota
+	ownerWrite
+	ownerClose
+)
+
+// ownerReq is one unit of work handed to the owner goroutine. The read
+// and write records are preallocated on the uringIO (one reader — the
+// endpoint's read loop — and writers serialized by txMu), so steady
+// state allocates nothing. done is buffered: the owner's reply never
+// blocks.
+type ownerReq struct {
+	kind int
+	ms   []ioMsg // read: batch to fill
+	n    int     // read: filled count (owner); write: prepped SQE count (caller)
+	err  error
+	done chan struct{}
+}
+
+// uringOwner is the dedicated ring-owner: one goroutine, locked to the
+// thread that created the ring, performing every io_uring_enter.
+type uringOwner struct {
+	u     *uringIO
+	ring  *uring
+	bufs  *pbufRing
+	hdr   syscall.Msghdr // persistent multishot template
+	evFD  int
+	evBuf [8]byte // eventfd read target (kernel writes via the armed SQE)
+
+	reqCh   chan *ownerReq
+	parked  atomic.Bool // owner inside (or committed to) a blocking enter
+	dead    atomic.Bool // ring failed: readers error out, writers take mmsg
+	deadErr atomic.Value
+
+	sendMu sync.RWMutex // guards shut + the eventfd lifetime for kick()
+	shut   bool
+
+	// Send scratch, filled by writeBatch callers under txMu before the
+	// request is handed over; the kernel reads it between submit and
+	// completion, which the request round-trip brackets.
+	wsa   []syscall.RawSockaddrInet6
+	wiov  []syscall.Iovec
+	whdr  []syscall.Msghdr
+	wctl  []ctlBuf
+	wzc   []bool
+	txRes [uringTxSq]int32
+	zcMem []byte
+	zcOn  atomic.Bool
+
+	// Owner-goroutine-local state. The stage holds buffer ids of
+	// datagram completions reaped while no reader was waiting (a send
+	// flush forced the CQ drain): the buffers are simply not recycled
+	// until the next readBatch parses them, so a reader-less flood runs
+	// the provided-buffer ring dry (ENOBUFS lapse) and backs up in the
+	// socket buffer — identical backpressure to the shared-entry ring,
+	// no datagram dropped, no copy made. At most uringRxBufs ids can
+	// ever be held, so the stage never overflows.
+	rxArmed bool
+	evArmed bool
+	rxHot   bool
+	pend    uint32 // SQEs pushed but not yet submitted
+	stage   [uringRxBufs]uint16
+	stageH  int // monotonic; index via & (uringRxBufs - 1)
+	stageN  int
+}
+
+// newUringOwner spawns the owner goroutine and waits for its on-thread
+// ring setup to succeed or refuse (pre-6.1 kernel, QTPNET_NODEFER
+// simulation handled by the caller). nil means no owner — the caller
+// falls back to the shared-entry ring probe.
+func newUringOwner(u *uringIO) *uringOwner {
+	o := &uringOwner{
+		u:     u,
+		reqCh: make(chan *ownerReq, 4),
+		wsa:   make([]syscall.RawSockaddrInet6, uringTxSq),
+		wiov:  make([]syscall.Iovec, uringTxSq),
+		whdr:  make([]syscall.Msghdr, uringTxSq),
+		wctl:  make([]ctlBuf, uringTxSq),
+		wzc:   make([]bool, uringTxSq),
+	}
+	ok := make(chan bool)
+	go o.run(ok)
+	if !<-ok {
+		return nil
+	}
+	return o
+}
+
+// submit hands a request to the owner, waking it if it is parked in
+// io_uring_enter. False once the owner has shut down (closed or dead).
+// The RLock brackets the eventfd write so shutdown can close the fd
+// safely under the write lock.
+func (o *uringOwner) submit(r *ownerReq) bool {
+	o.sendMu.RLock()
+	defer o.sendMu.RUnlock()
+	if o.shut {
+		return false
+	}
+	o.reqCh <- r
+	if o.parked.Load() {
+		one := [8]byte{}
+		one[0] = 1
+		syscall.Write(o.evFD, one[:])
+	}
+	return true
+}
+
+// init creates the ring — on the owner's locked thread, which
+// SINGLE_ISSUER binds every future enter to — and arms the probe
+// chain: deferred-taskrun setup, buffer ring, multishot receive,
+// eventfd wake, send-slot registration.
+func (o *uringOwner) init() bool {
+	r, ok := setupUringWith(uringOwnSq, uringOwnCq,
+		uringSetupCqsize|uringSetupSingleIssuer|uringSetupDeferTaskrun)
+	if !ok {
+		return false
+	}
+	o.ring = r
+	if o.bufs, ok = newPbufRing(r, uringRxBufs, uringRxStride, 0); !ok {
+		r.close()
+		return false
+	}
+	fd, _, e := syscall.Syscall(sysEventfd2, 0, uintptr(syscall.O_CLOEXEC), 0)
+	if e != 0 {
+		o.bufs.free()
+		r.close()
+		return false
+	}
+	o.evFD = int(fd)
+	o.hdr = syscall.Msghdr{Namelen: uringRxNameLen, Controllen: uringRxCtlLen}
+	// Arm the multishot and flush it through one enter: a kernel
+	// without buffer-selected multishot recvmsg fails the request
+	// synchronously, posting an error CQE before any datagram could.
+	if !o.pushMultishot() {
+		o.teardown()
+		return false
+	}
+	o.u.submits.Add(1)
+	if err := o.ring.enter(o.pend, 0, uringEnterGetevents); err != nil {
+		o.teardown()
+		return false
+	}
+	o.pend = 0
+	if cqe, ok := o.ring.peekCqe(); ok && cqe.res < 0 {
+		o.teardown()
+		return false
+	}
+	o.initZC()
+	return true
+}
+
+// initZC registers the fixed send-slot block. Failure (memlock limits,
+// ancient kernel) just leaves zerocopy off; plain SENDMSG carries
+// everything.
+func (o *uringOwner) initZC() {
+	mem, err := syscall.Mmap(-1, 0, uringZCSlots*uringZCStride,
+		syscall.PROT_READ|syscall.PROT_WRITE, syscall.MAP_ANONYMOUS|syscall.MAP_PRIVATE)
+	if err != nil {
+		return
+	}
+	iov := syscall.Iovec{Base: &mem[0], Len: uint64(len(mem))}
+	if _, _, e := syscall.Syscall6(sysIoUringRegister, uintptr(o.ring.fd),
+		uringRegisterBuffers, uintptr(unsafe.Pointer(&iov)), 1, 0, 0); e != 0 {
+		syscall.Munmap(mem)
+		return
+	}
+	o.zcMem = mem
+	o.zcOn.Store(true)
+}
+
+func (o *uringOwner) teardown() {
+	o.bufs.free()
+	o.ring.close()
+	if o.zcMem != nil {
+		syscall.Munmap(o.zcMem)
+		o.zcMem = nil
+	}
+	syscall.Close(o.evFD)
+}
+
+func (o *uringOwner) pushMultishot() bool {
+	sqe := ioUringSqe{
+		opcode:   uringOpRecvmsg,
+		flags:    uringSqeBufferSelect,
+		ioprio:   uringRecvMultishot,
+		fd:       int32(o.u.sockFD),
+		addr:     uint64(uintptr(unsafe.Pointer(&o.hdr))),
+		len:      1,
+		userData: udMultishot,
+	}
+	if !o.ring.pushSqe(&sqe) {
+		return false
+	}
+	o.rxArmed = true
+	o.pend++
+	return true
+}
+
+func (o *uringOwner) pushEvRead() bool {
+	sqe := ioUringSqe{
+		opcode:   uringOpRead,
+		fd:       int32(o.evFD),
+		addr:     uint64(uintptr(unsafe.Pointer(&o.evBuf[0]))),
+		len:      8,
+		userData: udWake,
+	}
+	if !o.ring.pushSqe(&sqe) {
+		return false
+	}
+	o.evArmed = true
+	o.pend++
+	return true
+}
+
+// pushTx turns one prepped write request into linked SQEs. Entries the
+// caller staged into registered slots go out as fixed-buffer
+// SENDMSG_ZC while zerocopy holds; if it tripped off between prep and
+// push, the same slot-backed iovec is simply read by plain SENDMSG.
+func (o *uringOwner) pushTx(r *ownerReq) {
+	zc := o.zcOn.Load()
+	for i := 0; i < r.n; i++ {
+		sqe := ioUringSqe{
+			opcode:   uringOpSendmsg,
+			fd:       int32(o.u.sockFD),
+			addr:     uint64(uintptr(unsafe.Pointer(&o.whdr[i]))),
+			len:      1,
+			userData: uint64(udTxBase + i),
+		}
+		if zc && o.wzc[i] {
+			sqe.opcode = uringOpSendmsgZC
+			sqe.ioprio = uringRecvsendFixedBuf
+		}
+		if i < r.n-1 {
+			sqe.flags = uringSqeIOLink
+		}
+		o.ring.pushSqe(&sqe) // SQ is drained every round; r.n <= uringTxSq
+		o.pend++
+	}
+}
+
+// copyStage parses held buffers (oldest first) into a reader's batch,
+// recycling each to the kernel's ring as it drains.
+func (o *uringOwner) copyStage(ms []ioMsg) int {
+	n, drained := 0, 0
+	for n < len(ms) && o.stageH < o.stageN {
+		bid := o.stage[o.stageH&(uringRxBufs-1)]
+		o.stageH++
+		if parseRingRecv(o.bufs, o.u.mm.gro, bid, &ms[n]) {
+			n++
+		}
+		o.bufs.add(bid)
+		drained++
+	}
+	if drained > 0 {
+		o.bufs.publish()
+	}
+	return n
+}
+
+// reap drains every posted completion: datagrams into the waiting
+// reader (or the stage), tx results into txRes, wake and re-arm
+// bookkeeping in place. Returns a fatal receive error, if any.
+func (o *uringOwner) reap(rd *ownerReq, wrGot, wrNotif *int) error {
+	recycled := false
+	for {
+		cqe, ok := o.ring.peekCqe()
+		if !ok {
+			break
+		}
+		userData, res, flags := cqe.userData, cqe.res, cqe.flags
+		o.ring.advanceCq()
+		switch {
+		case userData == udWake:
+			o.evArmed = false
+		case userData == udMultishot:
+			o.u.completions.Add(1)
+			if flags&uringCqeFMore == 0 {
+				o.rxArmed = false
+				o.u.rearms.Add(1)
+			}
+			if res < 0 {
+				e := syscall.Errno(-res)
+				if e == syscall.ENOBUFS || e == syscall.ECANCELED || e == syscall.EINTR {
+					continue
+				}
+				if recycled {
+					o.bufs.publish()
+				}
+				return os.NewSyscallError("io_uring recvmsg", e)
+			}
+			if flags&uringCqeFBuffer == 0 {
+				continue
+			}
+			bid := uint16(flags >> 16)
+			if rd != nil && rd.n < len(rd.ms) {
+				if parseRingRecv(o.bufs, o.u.mm.gro, bid, &rd.ms[rd.n]) {
+					rd.n++
+				}
+				o.bufs.add(bid)
+				recycled = true
+			} else if o.stageN-o.stageH < uringRxBufs {
+				// No reader: hold the buffer for the next readBatch.
+				o.stage[o.stageN&(uringRxBufs-1)] = bid
+				o.stageN++
+			} else {
+				o.bufs.add(bid) // unreachable: only uringRxBufs ids exist
+				recycled = true
+			}
+		case userData >= udTxBase:
+			o.u.completions.Add(1)
+			if flags&uringCqeFNotif != 0 {
+				*wrNotif--
+				continue
+			}
+			if idx := int(userData - udTxBase); idx < len(o.txRes) {
+				o.txRes[idx] = res
+				*wrGot++
+			}
+			if flags&uringCqeFMore != 0 {
+				*wrNotif++ // zerocopy: a notification CQE will follow
+			}
+		}
+	}
+	if recycled {
+		o.bufs.publish()
+	}
+	return nil
+}
+
+// run is the owner loop. All ring access — setup, submission, enter,
+// reaping — happens here, on one locked thread, as SINGLE_ISSUER and
+// DEFER_TASKRUN require.
+func (o *uringOwner) run(initOK chan<- bool) {
+	runtime.LockOSThread()
+	defer runtime.UnlockOSThread()
+	if !o.init() {
+		initOK <- false
+		return
+	}
+	initOK <- true
+
+	var rd, wr, cl *ownerReq
+	wrGot, wrNotif := 0, 0
+	timedLast := false
+	rdWaited := false
+	accept := func(r *ownerReq) {
+		switch r.kind {
+		case ownerRead:
+			rd = r
+			rd.n = 0
+			rdWaited = false
+		case ownerWrite:
+			wr = r
+			wrGot, wrNotif = 0, 0
+			o.pushTx(wr)
+			o.u.submits.Add(1)
+		case ownerClose:
+			cl = r
+		}
+	}
+	fail := func(r *ownerReq, err error) {
+		if r != nil {
+			r.err = err
+			r.done <- struct{}{}
+		}
+	}
+	die := func(err error) {
+		o.deadErr.Store(err)
+		o.dead.Store(true)
+		o.sendMu.Lock()
+		o.shut = true
+		o.sendMu.Unlock()
+		for {
+			select {
+			case r := <-o.reqCh:
+				accept(r)
+			default:
+				fail(rd, err)
+				fail(wr, err)
+				fail(cl, nil)
+				o.teardown()
+				return
+			}
+		}
+	}
+
+	for {
+		if cl != nil {
+			o.sendMu.Lock()
+			o.shut = true
+			o.sendMu.Unlock()
+			o.dead.Store(true)
+			// Everything in flight or queued resolves as closed.
+			for {
+				select {
+				case r := <-o.reqCh:
+					accept(r)
+					continue
+				default:
+				}
+				break
+			}
+			fail(rd, net.ErrClosed)
+			fail(wr, net.ErrClosed)
+			o.teardown()
+			cl.done <- struct{}{}
+			return
+		}
+		if rd == nil && wr == nil {
+			// Nothing blocks on the ring: flush queued re-arms and park
+			// on the request channel (a plain Go block — the producers'
+			// channel send is the wake).
+			if o.pend > 0 {
+				if err := o.enterWait(0, false); err != nil {
+					die(err)
+					return
+				}
+			}
+			accept(<-o.reqCh)
+			continue
+		}
+		// Drain whatever else queued up behind the first request.
+		for {
+			select {
+			case r := <-o.reqCh:
+				accept(r)
+				continue
+			default:
+			}
+			break
+		}
+		if cl != nil {
+			continue
+		}
+		if rd != nil && o.stageN > o.stageH {
+			rd.n = o.copyStage(rd.ms)
+		}
+		if err := o.reap(rd, &wrGot, &wrNotif); err != nil {
+			die(err)
+			return
+		}
+		if rd != nil {
+			if rd.n > 0 {
+				o.rxHot = rd.n >= uringRxHotAt
+				timedLast = false
+				rdWaited = false
+				r := rd
+				rd = nil
+				r.err = nil
+				r.done <- struct{}{}
+			} else if timedLast {
+				// A timed batch-wait lapsed empty: the burst is over.
+				o.rxHot = false
+				timedLast = false
+			}
+		}
+		if wr != nil && wrGot >= wr.n && wrNotif <= 0 {
+			r := wr
+			wr = nil
+			r.err = nil
+			r.done <- struct{}{}
+		}
+		if rd == nil && wr == nil {
+			continue
+		}
+		// Re-arm AFTER the reap, which may have consumed the previous
+		// eventfd completion (or observed a multishot lapse): blocking
+		// below with either unarmed would leave the owner deaf — to
+		// producer kicks whose eventfd write posts no CQE, or to the
+		// datagrams the pending read is waiting for. The multishot only
+		// re-arms for a waiting reader: with none, a lapsed shot stays
+		// down and inbound traffic backs up in the socket buffer instead
+		// of churning ENOBUFS wakes during a long send flush.
+		if rd != nil && !o.rxArmed && o.pushMultishot() {
+			o.u.submits.Add(1)
+		}
+		if !o.evArmed {
+			o.pushEvRead()
+		}
+		// Block in the ring. parked must be set before the final
+		// channel check: a producer that enqueues after the check sees
+		// parked and kicks the eventfd, whose armed read wakes the
+		// enter.
+		o.parked.Store(true)
+		if len(o.reqCh) > 0 {
+			o.parked.Store(false)
+			continue
+		}
+		timed := rd != nil && wr == nil && o.rxHot && o.ring.extArg
+		if rd != nil && !rdWaited {
+			// One wakeup per read request that actually had to block,
+			// however many enters serve it while write traffic (eventfd
+			// kicks, tx completions) churns the ring underneath: the
+			// metric is what the receive path paid, not how often the
+			// owner stirred.
+			rdWaited = true
+			o.u.wakeups.Add(1)
+		}
+		err := o.enterWait(1, timed)
+		o.parked.Store(false)
+		if err != nil {
+			die(err)
+			return
+		}
+		timedLast = timed
+	}
+}
+
+// enterWait submits o.pend and waits for completions — timed
+// (batch-collecting) or indefinite — retrying transient submission
+// pressure in place.
+func (o *uringOwner) enterWait(minComplete uint32, timed bool) error {
+	for {
+		var err error
+		if timed {
+			err = o.ring.enterTimed(o.pend, uringRxWaitFor, uringRxWaitNs)
+		} else {
+			err = o.ring.enter(o.pend, minComplete, uringEnterGetevents)
+		}
+		if err == nil {
+			o.pend = 0
+			return nil
+		}
+		if errors.Is(err, syscall.EAGAIN) || errors.Is(err, syscall.ENOMEM) ||
+			errors.Is(err, syscall.EBUSY) {
+			time.Sleep(50 * time.Microsecond)
+			continue
+		}
+		return err
+	}
+}
+
+// ---- uringIO methods for owner mode ------------------------------------
+
+// ownerReadBatch hands the read loop's batch to the owner and blocks
+// for the reply. Single reader (the endpoint's read loop), matching the
+// legacy ring's ownership rule, so the request record is reused.
+func (u *uringIO) ownerReadBatch(ms []ioMsg) (int, error) {
+	if u.closed.Load() {
+		return 0, net.ErrClosed
+	}
+	o := u.own
+	if o.dead.Load() {
+		if err, ok := o.deadErr.Load().(error); ok {
+			return 0, err
+		}
+		return 0, net.ErrClosed
+	}
+	r := &u.ordRead
+	r.kind = ownerRead
+	r.ms = ms
+	r.n = 0
+	r.err = nil
+	if !o.submit(r) {
+		return 0, net.ErrClosed
+	}
+	<-r.done
+	if r.err != nil {
+		return 0, r.err
+	}
+	return r.n, nil
+}
+
+// ownerWriteBatch preps the batch into the owner's kernel-visible
+// scratch (and, for large frames, its registered slots), hands it
+// over, and interprets the results exactly like the shared-entry ring:
+// leading successes count, a GSO refusal trips offload and resends
+// segment-by-segment, a fixed-buffer zerocopy refusal trips zerocopy
+// and resubmits plain.
+func (u *uringIO) ownerWriteBatch(ms []ioMsg) (int, error) {
+	if u.closed.Load() {
+		return 0, net.ErrClosed
+	}
+	o := u.own
+	u.txMu.Lock()
+	defer u.txMu.Unlock()
+	if o.dead.Load() {
+		return u.mm.writeBatch(ms)
+	}
+	mm := u.mm
+	sent := 0
+	for {
+		rest := ms[sent:]
+		if len(rest) == 0 {
+			return sent, nil
+		}
+		n := len(rest)
+		if n > uringTxSq {
+			n = uringTxSq
+		}
+		gso := mm.gsoOK.Load()
+		txt := mm.txtOK.Load()
+		prep, direct, err := prepTxMsgs(mm, rest, n, gso, txt, o.wsa, o.wiov, o.whdr, o.wctl)
+		if prep == 0 {
+			if direct {
+				k, serr := mm.sendSegments(&rest[0])
+				if serr != nil {
+					if sent > 0 {
+						return sent, nil
+					}
+					return 0, serr
+				}
+				sent += k
+				continue
+			}
+			if err != nil {
+				if sent > 0 {
+					return sent, nil
+				}
+				return 0, err
+			}
+			return sent, nil
+		}
+		// Stage large frames into registered slots for fixed-buffer
+		// zerocopy submission.
+		slot := 0
+		for i := 0; i < prep; i++ {
+			o.wzc[i] = false
+			m := &rest[i]
+			if o.zcOn.Load() && m.n >= uringZCMin && m.n <= uringZCStride && slot < uringZCSlots {
+				dst := o.zcMem[slot*uringZCStride:]
+				copy(dst[:m.n], m.buf[:m.n])
+				o.wiov[i].Base = &dst[0]
+				o.wzc[i] = true
+				slot++
+			}
+		}
+		r := &u.ordWrite
+		r.kind = ownerWrite
+		r.n = prep
+		r.err = nil
+		if !o.submit(r) {
+			if sent > 0 {
+				return sent, nil
+			}
+			return 0, net.ErrClosed
+		}
+		<-r.done
+		if r.err != nil {
+			if sent > 0 {
+				return sent, nil
+			}
+			return 0, r.err
+		}
+		k := 0
+		for k < prep && o.txRes[k] >= 0 {
+			if txt && rest[k].txTime > 0 {
+				mm.txtSends.Add(1)
+			}
+			k++
+		}
+		sent += k
+		if k == prep {
+			return sent, nil
+		}
+		e := syscall.Errno(-o.txRes[k])
+		if o.wzc[k] && o.zcOn.Load() && (e == syscall.EINVAL || e == syscall.EOPNOTSUPP) {
+			// The kernel registered the buffers but refuses fixed-buffer
+			// SENDMSG_ZC (pre-6.10): zerocopy off for the socket's
+			// lifetime, resubmit the remainder as plain SENDMSG.
+			o.zcOn.Store(false)
+			continue
+		}
+		if m := &rest[k]; m.segSize > 0 && m.n > m.segSize && isGSORefusal(e) {
+			mm.gsoOK.Store(false)
+			mm.gsoFell.Add(1)
+			kk, serr := mm.sendSegments(m)
+			if serr != nil {
+				if sent > 0 {
+					return sent, nil
+				}
+				return 0, serr
+			}
+			return sent + kk, nil
+		}
+		return sent, os.NewSyscallError("io_uring sendmsg", e)
+	}
+}
+
+// ownerClose asks the owner to tear the ring down and waits for it;
+// the owner goroutine exits, so a closed endpoint leaves nothing
+// parked.
+func (u *uringIO) ownerClose() {
+	r := &ownerReq{kind: ownerClose, done: make(chan struct{}, 1)}
+	if u.own.submit(r) {
+		<-r.done
+	}
+}

@@ -27,7 +27,8 @@ func TestUringProbe(t *testing.T) {
 	}
 	defer e.Close()
 	if e.UringEnabled() {
-		t.Logf("uring probe decision: offload (multishot receive + registered ring, txtime=%v)", e.TxTimeEnabled())
+		t.Logf("uring probe decision: offload (multishot receive + registered ring, defer_taskrun=%v, txtime=%v)",
+			e.UringDeferred(), e.TxTimeEnabled())
 	} else {
 		t.Logf("uring probe decision: fallback (kernel refused the ring probe, or QTPNET_NOURING set)")
 	}
@@ -378,6 +379,102 @@ func TestUringEnvFallback(t *testing.T) {
 	sums := uringTransfer(t, EndpointConfig{}, 8, 4<<10)
 	if len(sums) != 8 {
 		t.Fatalf("fallback transfer delivered %d streams, want 8", len(sums))
+	}
+}
+
+// TestUringDeferFallback checks the QTPNET_NODEFER escape hatch: with
+// the variable set, a uring-capable endpoint must stay on the
+// shared-entry ring — UringEnabled true, UringDeferred false — and
+// still move every byte. This is the old-kernel simulation CI's
+// uring-probe job greps for.
+func TestUringDeferFallback(t *testing.T) {
+	t.Setenv("QTPNET_NODEFER", "1")
+	e, err := NewEndpoint("127.0.0.1:0", EndpointConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	enabled, deferred := e.UringEnabled(), e.UringDeferred()
+	e.Close()
+	if !enabled {
+		t.Skip("uring unavailable")
+	}
+	if deferred {
+		t.Fatal("QTPNET_NODEFER set but UringDeferred reports true")
+	}
+	t.Logf("uring probe decision: offload (shared-entry ring, defer_taskrun=%v)", deferred)
+
+	sums := uringTransfer(t, EndpointConfig{}, 8, 4<<10)
+	if len(sums) != 8 {
+		t.Fatalf("nodefer transfer delivered %d streams, want 8", len(sums))
+	}
+}
+
+// TestUringWakeupDrain pins the owner-model wakeup accounting against
+// the drain loop: datagrams that pile up while no reader is waiting
+// must drain for a handful of wakeups — one per blocking wait the
+// reader actually paid, never one per pending SQE or per datagram the
+// owner's enter happened to serve.
+func TestUringWakeupDrain(t *testing.T) {
+	pc, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pc.Close()
+	pc.SetReadBuffer(4 << 20)
+	u, ok := newPlatformBatchIO(pc, rxBatch, batchOpts{}).(*uringIO)
+	if !ok {
+		t.Skip("uring unavailable")
+	}
+	defer u.closeIO()
+
+	const nDgrams = 256
+	const payLen = 400
+	spc, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer spc.Close()
+	dst := pc.LocalAddr().(*net.UDPAddr)
+	buf := make([]byte, payLen)
+	for i := 0; i < nDgrams; i++ {
+		buf[0] = byte(i)
+		if _, err := spc.WriteToUDP(buf, dst); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Let the burst land in the socket while no readBatch is pending.
+	time.Sleep(50 * time.Millisecond)
+	w0 := u.wakeups.Load()
+
+	ms := make([]ioMsg, rxBatch)
+	for i := range ms {
+		ms[i].buf = make([]byte, maxDatagram)
+	}
+	total := 0
+	deadline := time.Now().Add(5 * time.Second)
+	for total < nDgrams && time.Now().Before(deadline) {
+		n, err := u.readBatch(ms)
+		if err != nil {
+			t.Fatalf("readBatch after %d datagrams: %v", total, err)
+		}
+		for i := 0; i < n; i++ {
+			if m := &ms[i]; m.segSize > 0 && m.n > m.segSize {
+				total += (m.n + m.segSize - 1) / m.segSize
+			} else {
+				total++
+			}
+		}
+	}
+	if total < nDgrams {
+		t.Fatalf("drained %d of %d datagrams", total, nDgrams)
+	}
+	drainWakeups := u.wakeups.Load() - w0
+	t.Logf("drained %d datagrams for %d wakeups (deferred=%v)", total, drainWakeups, u.uringDeferred())
+	// The drain may lapse and re-arm the buffer ring a few times (256
+	// datagrams vs 128 ring buffers), each costing at most one blocked
+	// wait — but nothing close to per-datagram or per-pending-SQE cost.
+	if drainWakeups > nDgrams/8 {
+		t.Fatalf("drain of %d queued datagrams cost %d wakeups — per-pending accounting", total, drainWakeups)
 	}
 }
 
